@@ -1,0 +1,35 @@
+"""Shared helpers for the figure-reproduction benchmarks.
+
+Every benchmark:
+
+1. builds one paper figure via its :mod:`repro.experiments.figures`
+   function (timed by pytest-benchmark — the cost of regenerating the
+   figure from scratch, simulation included);
+2. prints the figure's rows/series in paper-style form (captured into
+   ``benchmarks/results/<figure>.txt`` for EXPERIMENTS.md);
+3. asserts the paper's qualitative *shape* — who wins, by roughly what
+   factor — never exact numbers.
+"""
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def figure_runner(benchmark):
+    """Run a figure function once under the benchmark timer, persist its
+    text rendering, and return the FigureResult."""
+
+    def run(figure_fn):
+        result = benchmark.pedantic(figure_fn, rounds=1, iterations=1)
+        RESULTS_DIR.mkdir(exist_ok=True)
+        text = result.format_text()
+        name = result.figure_id.lower().replace(" ", "")
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        print("\n" + text)
+        return result
+
+    return run

@@ -1,0 +1,71 @@
+"""Ablation: checkpoint interval vs failure-recovery cost (§3.4.1).
+
+The paper checkpoints the state data "every few iterations" and recovers
+from the most recent checkpoint.  This ablation quantifies the trade:
+
+* failure-free runs — frequent checkpoints cost a little extra time
+  (parallel DFS writes still contend for disk/NIC);
+* runs with a mid-computation worker failure — frequent checkpoints
+  bound the rollback, so recovery is cheaper.
+"""
+
+import pytest
+
+from repro.algorithms import sssp
+from repro.cluster import FaultSchedule, local_cluster
+from repro.data import load_graph
+from repro.dfs import DFS
+from repro.imapreduce import IMapReduceRuntime
+from repro.simulation import Engine
+
+ITERATIONS = 10
+
+
+def run_once(checkpoint_interval, fail_at=None):
+    graph = load_graph("dblp")
+    engine = Engine()
+    cluster = local_cluster(engine)
+    dfs = DFS(cluster, replication=2)
+    dfs.ingest("/a/state", sssp.initial_state(graph, 0))
+    dfs.ingest("/a/static", sssp.static_records(graph))
+    if fail_at is not None:
+        FaultSchedule().fail_at(fail_at, "node1").arm(engine, cluster)
+    job = sssp.build_imr_job(
+        state_path="/a/state",
+        static_path="/a/static",
+        output_path="/a/out",
+        max_iterations=ITERATIONS,
+        checkpoint_interval=checkpoint_interval,
+    )
+    return IMapReduceRuntime(cluster, dfs).submit(job)
+
+
+def test_checkpoint_interval_tradeoff(benchmark):
+    def sweep():
+        clean = {k: run_once(k) for k in (1, 3, 5)}
+        # Aim the failure at ~70% through the clean run.
+        when = clean[3].metrics.total_time * 0.7
+        failed = {k: run_once(k, fail_at=when) for k in (1, 3, 5)}
+        return clean, failed
+
+    clean, failed = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    print("\n== Ablation: checkpoint interval (SSSP on DBLP stand-in) ==")
+    for k in (1, 3, 5):
+        print(
+            f"  interval={k}: clean {clean[k].metrics.total_time:7.1f}s   "
+            f"with failure {failed[k].metrics.total_time:7.1f}s   "
+            f"(recoveries {failed[k].recoveries})"
+        )
+
+    # Every failed run recovered and completed all iterations.
+    for k in (1, 3, 5):
+        assert failed[k].iterations_run == ITERATIONS
+        assert failed[k].recoveries >= 1
+        # Recovery always costs something.
+        assert failed[k].metrics.total_time > clean[k].metrics.total_time
+    # Rolling back to a per-iteration checkpoint redoes less work than
+    # rolling back up to 5 iterations.
+    redo_1 = failed[1].metrics.total_time - clean[1].metrics.total_time
+    redo_5 = failed[5].metrics.total_time - clean[5].metrics.total_time
+    assert redo_1 < redo_5

@@ -1,0 +1,37 @@
+"""Ablation: map-side Combiner on a graph workload.
+
+§5.1.3 measures the Combiner only for K-means; here we quantify it for
+SSSP (min is associative, so the combiner is exact) on both engines —
+a design point the paper mentions but does not plot.
+"""
+
+import pytest
+
+from repro.experiments import RunSpec, execute
+
+
+def test_combiner_on_graph_workload(benchmark):
+    def sweep():
+        return {
+            ("imapreduce", False): execute(
+                RunSpec("sssp", "facebook", "imapreduce", "local", 6)
+            ),
+            ("imapreduce", True): execute(
+                RunSpec("sssp", "facebook", "imapreduce", "local", 6, combiner=True)
+            ),
+        }
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    print("\n== Ablation: combiner for SSSP (Facebook stand-in, iMapReduce) ==")
+    for (engine, combiner), metrics in results.items():
+        print(
+            f"  combiner={str(combiner):5}: total {metrics.total_time:7.1f}s  "
+            f"shuffle {metrics.total_shuffle_bytes / 1e6:7.1f} MB"
+        )
+
+    plain = results[("imapreduce", False)]
+    combined = results[("imapreduce", True)]
+    # The combiner collapses duplicate-target offers, cutting shuffle volume.
+    assert combined.total_shuffle_bytes < plain.total_shuffle_bytes
+    assert combined.total_time <= plain.total_time * 1.05

@@ -1,0 +1,31 @@
+"""Fig 5: SSSP running time vs iterations on the Facebook stand-in.
+
+Paper: same four curves as Fig 4, 2-3x overall speedup.
+"""
+
+from repro.experiments.figures import fig5
+
+
+def test_fig5(figure_runner):
+    result = figure_runner(fig5)
+
+    curves = result.series
+    mr = dict(curves["MapReduce"])
+    imr = dict(curves["iMapReduce"])
+    ex_init = dict(curves["MapReduce (ex. init.)"])
+    sync = dict(curves["iMapReduce (sync.)"])
+    for k in mr:
+        # Curve ordering the paper plots: iMR < MR (ex init) < MR.
+        assert ex_init[k] < mr[k]
+        assert imr[k] < mr[k]
+    # Asynchronous execution wins over synchronous once the pipeline is
+    # warm (the first iteration or two may cross over while run-ahead
+    # maps fill).
+    last = max(mr)
+    assert imr[last] <= sync[last] + 1e-9
+    # Monotone cumulative time.
+    xs = [x for x, _ in curves["MapReduce"]]
+    assert xs == sorted(xs)
+
+    assert 1.7 <= result.stats["speedup"] <= 5.6
+    assert result.stats["static_shuffle_share"] > 0.08

@@ -1,0 +1,16 @@
+"""Fig 8: SSSP on the synthetic s/m/l graphs (EC2-like, 20 instances).
+
+Paper: iMapReduce reduces running time to 23.2% / 37.0% / 38.6% of
+Hadoop's, doing best on the smallest input.
+"""
+
+from repro.experiments.figures import fig8
+
+
+def test_fig8(figure_runner):
+    result = figure_runner(fig8)
+    ratios = {k.split("[")[1][:-1]: v for k, v in result.stats.items()}
+    for tier, ratio in ratios.items():
+        assert 0.15 <= ratio <= 0.75, (tier, ratio)
+    # Best (lowest) ratio on the smallest graph, as in the paper.
+    assert ratios["sssp-s"] == min(ratios.values())

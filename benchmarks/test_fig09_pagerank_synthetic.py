@@ -1,0 +1,15 @@
+"""Fig 9: PageRank on the synthetic s/m/l graphs (EC2-like, 20 instances).
+
+Paper: running time reduced to 44% (s) and about 60% (m, l).
+"""
+
+from repro.experiments.figures import fig9
+
+
+def test_fig9(figure_runner):
+    result = figure_runner(fig9)
+    ratios = {k.split("[")[1][:-1]: v for k, v in result.stats.items()}
+    assert 0.30 <= ratios["pagerank-s"] <= 0.60
+    for tier in ("pagerank-m", "pagerank-l"):
+        assert 0.40 <= ratios[tier] <= 0.80, (tier, ratios[tier])
+    assert ratios["pagerank-s"] == min(ratios.values())

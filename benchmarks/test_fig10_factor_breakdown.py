@@ -1,0 +1,21 @@
+"""Fig 10: the three factors' shares of the running-time reduction on
+SSSP-m and PageRank-m.
+
+Paper: one-time initialization and asynchronous execution each save
+~5-10%; static-shuffle avoidance saves more, growing with the static
+data size (SSSP-m's input is larger than PageRank-m's).
+"""
+
+from repro.experiments.figures import fig10
+
+
+def test_fig10(figure_runner):
+    result = figure_runner(fig10)
+    for tier, factors in result.series.items():
+        shares = dict(factors)
+        assert shares["one-time initialization"] > 0.0
+        assert shares["avoid static data shuffling"] > 0.0
+        # Static-shuffle avoidance is the dominant factor (paper Fig 10).
+        assert shares["avoid static data shuffling"] == max(shares.values())
+    assert result.stats["total_reduction[sssp-m]"] > 0.25
+    assert result.stats["total_reduction[pagerank-m]"] > 0.2

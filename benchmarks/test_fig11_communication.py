@@ -1,0 +1,21 @@
+"""Fig 11: total communication cost on the l-tier graphs.
+
+Paper: iMapReduce reduces the data exchanged to ~12% of Hadoop's.  Our
+byte accounting reproduces a large reduction (state-only vs
+state+static+DFS traffic); the exact ratio is higher (~30%) because our
+small framed state records weigh relatively more - see EXPERIMENTS.md.
+"""
+
+from repro.experiments.figures import fig11
+
+
+def test_fig11(figure_runner):
+    result = figure_runner(fig11)
+    # SSSP's static data (weighted adjacency) dominates its baseline
+    # traffic; PageRank's per-edge rank shares weigh more, so its ratio
+    # is higher.  Both show the paper's direction: a large reduction.
+    assert result.stats["comm_ratio[sssp-l]"] < 0.45
+    assert result.stats["comm_ratio[pagerank-l]"] < 0.65
+    for tier, bars in result.series.items():
+        values = dict(bars)
+        assert values["iMapReduce"] < 0.7 * values["MapReduce"]

@@ -1,0 +1,17 @@
+"""Fig 12: SSSP-l when scaling the cluster from 20 to 80 instances.
+
+Paper: the iMapReduce/MapReduce time ratio falls by ~8 points as the
+cluster grows (more network communication for Hadoop to save).
+"""
+
+from repro.experiments.figures import fig12
+
+
+def test_fig12(figure_runner):
+    result = figure_runner(fig12)
+    # Both engines get faster with more machines.
+    for name in ("MapReduce", "iMapReduce"):
+        times = [t for _, t in result.series[name]]
+        assert times[0] > times[-1]
+    # iMapReduce's relative advantage grows with cluster size.
+    assert result.stats["ratio_drop_20_to_80"] > 0.0

@@ -1,0 +1,14 @@
+"""Fig 13: PageRank-l when scaling the cluster from 20 to 80 instances.
+
+Paper: the time ratio falls by ~7 points from 20 to 80 instances.
+"""
+
+from repro.experiments.figures import fig13
+
+
+def test_fig13(figure_runner):
+    result = figure_runner(fig13)
+    for name in ("MapReduce", "iMapReduce"):
+        times = [t for _, t in result.series[name]]
+        assert times[0] > times[-1]
+    assert result.stats["ratio_drop_20_to_80"] > 0.0

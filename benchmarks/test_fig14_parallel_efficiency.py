@@ -1,0 +1,18 @@
+"""Fig 14: parallel efficiency T*/(n*Tn) at 20/50/80 instances.
+
+Paper: iMapReduce yields higher parallel efficiency than Hadoop for both
+SSSP and PageRank (SSSP slowdown ~43% vs ~60% at 80 instances).
+"""
+
+from repro.experiments.figures import fig14
+
+
+def test_fig14(figure_runner):
+    result = figure_runner(fig14)
+    for algorithm in ("sssp", "pagerank"):
+        imr = dict(result.series[f"{algorithm}/iMapReduce"])
+        mr = dict(result.series[f"{algorithm}/MapReduce"])
+        for n in (20, 50, 80):
+            assert imr[n] > mr[n], (algorithm, n)
+            assert 0.0 < mr[n] <= 1.2
+            assert 0.0 < imr[n] <= 1.2

@@ -1,0 +1,16 @@
+"""Fig 16 (+ the Combiner experiment of §5.1.3): K-means on the Last.fm
+stand-in.
+
+Paper: iMapReduce achieves ~1.2x over Hadoop (less than the graph
+algorithms - K-means must broadcast state and run maps synchronously);
+the Combiner reduces both engines' times by ~23-26%.
+"""
+
+from repro.experiments.figures import fig16
+
+
+def test_fig16(figure_runner):
+    result = figure_runner(fig16)
+    assert 1.02 <= result.stats["speedup"] <= 1.9
+    assert 0.02 <= result.stats["combiner_saving_mapreduce"] <= 0.6
+    assert 0.02 <= result.stats["combiner_saving_imapreduce"] <= 0.6

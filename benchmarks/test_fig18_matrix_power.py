@@ -1,0 +1,12 @@
+"""Fig 18: matrix power computation (two map-reduce phases/iteration).
+
+Paper: ~10% speedup - the phase-2 shuffle is inherent, so iMapReduce
+only saves the framework overheads.
+"""
+
+from repro.experiments.figures import fig18
+
+
+def test_fig18(figure_runner):
+    result = figure_runner(fig18)
+    assert 1.02 <= result.stats["speedup"] <= 1.8

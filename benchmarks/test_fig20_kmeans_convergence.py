@@ -1,0 +1,16 @@
+"""Fig 20: K-means with convergence detection.
+
+Paper: running the detection as a parallel auxiliary phase (instead of
+an extra synchronous Hadoop job per iteration) cuts ~25% of running
+time; the computation stops after ~6 iterations.
+"""
+
+from repro.experiments.figures import fig20
+
+
+def test_fig20(figure_runner):
+    result = figure_runner(fig20)
+    assert result.stats["time_saving"] > 0.10
+    # Both implementations detect convergence well before the cap.
+    assert result.stats["mapreduce_iterations"] < 30
+    assert result.stats["imapreduce_iterations"] < 30

@@ -1,0 +1,27 @@
+"""Table 1: SSSP data sets statistics.
+
+Paper: five weighted graphs (DBLP, Facebook, three log-normal synthetic
+graphs) with their node/edge counts and file sizes.  We regenerate the
+stand-ins and report the same columns next to the paper's values.
+"""
+
+from repro.experiments.figures import table1
+
+
+def test_table1(figure_runner):
+    result = figure_runner(table1)
+    rows = {r["graph"]: r for r in result.rows}
+    assert set(rows) == {"dblp", "facebook", "sssp-s", "sssp-m", "sssp-l"}
+    # Mean degrees track the paper's edge/node ratios.
+    for row in rows.values():
+        assert (
+            abs(row["mean_degree"] - row["paper_mean_degree"])
+            <= 0.35 * row["paper_mean_degree"]
+        )
+    # The synthetic ladder is ordered like the paper's (s < m < l).
+    assert rows["sssp-s"]["nodes"] < rows["sssp-m"]["nodes"] < rows["sssp-l"]["nodes"]
+    assert (
+        rows["sssp-s"]["file_size_bytes"]
+        < rows["sssp-m"]["file_size_bytes"]
+        < rows["sssp-l"]["file_size_bytes"]
+    )

@@ -1,0 +1,45 @@
+"""Table 2: PageRank data sets statistics.
+
+Paper: five unweighted webgraphs (Google, Berkeley-Stanford, three
+log-normal synthetic graphs).
+
+Note an internal inconsistency in the paper itself: it generates the
+synthetic family from a log-normal out-degree distribution with σ=2.0,
+μ=−0.5 (mean degree e^{1.5} ≈ 4.5), yet Table 2 reports ≈7.4 edges per
+node for those graphs.  We follow the *published parameters* (the
+generative recipe), so our synthetic tiers land near mean degree 4–5;
+the real-graph stand-ins match their published edge/node ratios closely.
+"""
+
+from repro.experiments.figures import table2
+
+
+def test_table2(figure_runner):
+    result = figure_runner(table2)
+    rows = {r["graph"]: r for r in result.rows}
+    assert set(rows) == {
+        "google",
+        "berk-stan",
+        "pagerank-s",
+        "pagerank-m",
+        "pagerank-l",
+    }
+    # Real-graph stand-ins: mean degree tracks the published ratio.
+    for name in ("google", "berk-stan"):
+        row = rows[name]
+        assert (
+            abs(row["mean_degree"] - row["paper_mean_degree"])
+            <= 0.15 * row["paper_mean_degree"]
+        )
+    # Synthetic tiers: generated from the paper's published log-normal
+    # parameters, whose analytic mean degree is e^1.5 ~ 4.5 (see module
+    # docstring for the paper's internal inconsistency).
+    import math
+
+    for name in ("pagerank-s", "pagerank-m", "pagerank-l"):
+        assert abs(rows[name]["mean_degree"] - math.e ** 1.5) <= 1.5
+    assert (
+        rows["pagerank-s"]["nodes"]
+        < rows["pagerank-m"]["nodes"]
+        < rows["pagerank-l"]["nodes"]
+    )

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Solving a linear system with distributed Jacobi iteration (§5.1).
+
+The paper names the Jacobi method as the archetypal computation needing
+the one-to-all (broadcast) mapping: each reduce task produces a slice of
+the iterate x, and every map task needs the *intact* vector for the next
+sweep.  This example solves a diagonally dominant system to machine
+precision and validates against ``numpy.linalg.solve``.
+
+Run:  python examples/jacobi_linear_solver.py
+"""
+
+import numpy as np
+
+from repro.algorithms import jacobi
+from repro.cluster import local_cluster
+from repro.dfs import DFS
+from repro.imapreduce import IMapReduceRuntime
+from repro.metrics import format_run
+from repro.simulation import Engine
+
+N = 400
+
+
+def main():
+    a, b = jacobi.make_system(N, density=0.15, seed=42)
+
+    engine = Engine()
+    cluster = local_cluster(engine)
+    dfs = DFS(cluster, replication=2)
+    dfs.ingest("/jacobi/state", jacobi.initial_state(N))
+    dfs.ingest("/jacobi/static", jacobi.system_to_static_records(a, b))
+
+    job = jacobi.build_imr_job(
+        state_path="/jacobi/state",
+        static_path="/jacobi/static",
+        output_path="/jacobi/out",
+        max_iterations=300,
+        threshold=1e-10,  # Manhattan distance between sweeps
+    )
+    result = IMapReduceRuntime(cluster, dfs).submit(job)
+
+    def read():
+        records = []
+        for path in result.final_paths:
+            records.extend((yield from dfs.read_all(path, "node0")))
+        return records
+
+    state = dict(engine.run(engine.process(read())))
+    x = np.array([state[i] for i in range(N)])
+    exact = jacobi.reference_solution(a, b)
+    residual = np.linalg.norm(a @ x - b)
+
+    print(
+        f"[jacobi]   {N}x{N} system converged in {result.iterations_run} sweeps "
+        f"({result.metrics.total_time:.1f} virtual s, "
+        f"final distance {result.final_distance:.2e})"
+    )
+    print(f"[validate] ||Ax - b|| = {residual:.2e}; "
+          f"max |x - numpy.solve| = {np.abs(x - exact).max():.2e}")
+
+    print("[breakdown]")
+    # Show the first iterations of the per-iteration metrics table.
+    text = format_run(result.metrics)
+    print("\n".join(text.splitlines()[:8]))
+    print("   ...")
+
+
+if __name__ == "__main__":
+    main()

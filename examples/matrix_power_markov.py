@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Matrix powers via chained map-reduce phases (the paper's §5.2).
+
+Scenario: a Markov chain's k-step transition probabilities are the k-th
+power of its transition matrix.  Each iteration multiplies the static
+matrix M into the iterated state N = M^k using TWO map-reduce phases
+chained with ``add_successor`` semantics (phase 1 joins rows/columns,
+phase 2 multiplies and sums) — the multi-phase extension of iMapReduce.
+
+The result is validated against ``numpy.linalg.matrix_power``.
+
+Run:  python examples/matrix_power_markov.py
+"""
+
+import numpy as np
+
+from repro.algorithms import matrixpower as mp
+from repro.cluster import local_cluster
+from repro.dfs import DFS
+from repro.imapreduce import IMapReduceRuntime
+from repro.mapreduce import IterativeDriver, MapReduceRuntime
+from repro.simulation import Engine
+
+STATES = 30
+STEPS = 4  # compute M^(STEPS+1)
+
+
+def random_markov_matrix(n: int, seed: int = 3) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    raw = rng.random((n, n)) * (rng.random((n, n)) < 0.3)
+    raw += np.eye(n) * 0.1  # ensure every state has an outgoing step
+    return raw / raw.sum(axis=1, keepdims=True)
+
+
+def main():
+    matrix = random_markov_matrix(STATES)
+
+    # ---- iMapReduce: two phases per iteration ----
+    engine = Engine()
+    cluster = local_cluster(engine)
+    dfs = DFS(cluster, replication=2)
+    dfs.ingest("/markov/state", mp.matrix_to_state_records(matrix))
+    dfs.ingest("/markov/static", mp.matrix_to_column_records(matrix))
+    job = mp.build_imr_job(
+        state_path="/markov/state",
+        static_path="/markov/static",
+        output_path="/markov/out",
+        max_iterations=STEPS,
+    )
+    result = IMapReduceRuntime(cluster, dfs).submit(job)
+
+    def read():
+        records = []
+        for path in result.final_paths:
+            records.extend((yield from dfs.read_all(path, "node0")))
+        return records
+
+    power = mp.records_to_matrix(
+        engine.run(engine.process(read())), matrix.shape
+    )
+    expected = mp.reference_power(matrix, STEPS + 1)
+    assert np.allclose(power, expected), "distributed power differs from numpy!"
+    print(
+        f"[iMapReduce] M^{STEPS + 1} over {STATES} states in "
+        f"{result.metrics.total_time:.1f} virtual s — matches numpy"
+    )
+    print(
+        f"[stationary] after {STEPS + 1} steps, state-0 row: "
+        f"{np.array2string(power[0][:6], precision=4)} ..."
+    )
+
+    # ---- the Hadoop baseline: two chained jobs per iteration ----
+    engine2 = Engine()
+    cluster2 = local_cluster(engine2)
+    dfs2 = DFS(cluster2, replication=2)
+    dfs2.ingest("/markov/m", mp.matrix_to_mr_records(matrix, "M"))
+    dfs2.ingest("/markov/n", mp.matrix_to_mr_records(matrix, "N"))
+    driver = IterativeDriver(MapReduceRuntime(cluster2, dfs2))
+    spec = mp.build_mr_spec(
+        m_path="/markov/m", output_prefix="/markov/mr", max_iterations=STEPS
+    )
+    baseline = driver.run(spec, ["/markov/n"])
+    print(
+        f"[MapReduce]  same computation as TWO chained jobs per iteration: "
+        f"{baseline.metrics.total_time:.1f} virtual s "
+        f"({baseline.metrics.total_time / result.metrics.total_time:.2f}x slower; on "
+        "this small matrix the per-job overhead dominates — at Fig. 18's scale "
+        "the inherent phase-2 shuffle shrinks the gap to ~10-25%)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Shortest paths in a social network (the paper's §2.1.1 workload).
+
+Scenario: a Facebook-like interaction graph where link weights encode
+interaction frequency (closer friends = lower weight); we compute every
+member's "social distance" from one seed user, as used for friend
+recommendation.  The script shows:
+
+* threshold-based termination (the framework stops when the distance
+  between consecutive iterations drops to zero — the paper's §3.1.2);
+* fault tolerance: the same job is re-run with a worker failing
+  mid-computation; checkpoint-based recovery (§3.4.1) produces the
+  identical result;
+* validation against scipy's Dijkstra.
+
+Run:  python examples/social_network_sssp.py
+"""
+
+import numpy as np
+
+from repro.algorithms import sssp
+from repro.cluster import FaultSchedule, local_cluster
+from repro.data import load_graph
+from repro.dfs import DFS
+from repro.imapreduce import IMapReduceRuntime
+from repro.simulation import Engine
+
+SOURCE = 0
+
+
+def run(with_failure: bool):
+    graph = load_graph("facebook", nodes=5_000)
+    engine = Engine()
+    cluster = local_cluster(engine)
+    dfs = DFS(cluster, replication=2)
+    dfs.ingest("/sssp/state", sssp.initial_state(graph, SOURCE))
+    dfs.ingest("/sssp/static", sssp.static_records(graph))
+
+    job = sssp.build_imr_job(
+        state_path="/sssp/state",
+        static_path="/sssp/static",
+        output_path="/sssp/out",
+        max_iterations=50,
+        threshold=0.0,  # stop when nothing changes any more
+        checkpoint_interval=2,
+    )
+    runtime = IMapReduceRuntime(cluster, dfs)
+
+    if with_failure:
+        # Estimate a mid-run instant from the clean run and kill a worker
+        # there; the master recovers from the latest checkpoint.
+        FaultSchedule().fail_at(12.0, "node2").arm(engine, cluster)
+
+    result = runtime.submit(job)
+
+    def read():
+        records = []
+        for path in result.final_paths:
+            records.extend((yield from dfs.read_all(path, "node0")))
+        return records
+
+    distances = dict(engine.run(engine.process(read())))
+    return graph, result, distances
+
+
+def main():
+    graph, clean, distances = run(with_failure=False)
+    reached = [d for d in distances.values() if d != float("inf")]
+    print(
+        f"[clean]    converged after {clean.iterations_run} iterations "
+        f"({clean.metrics.total_time:.1f} virtual s); "
+        f"{len(reached)}/{graph.num_nodes} members reachable, "
+        f"median social distance {np.median(reached):.3f}"
+    )
+
+    # ---- validate against scipy's Dijkstra ----
+    exact = sssp.reference_exact(graph, SOURCE)
+    ours = np.array([distances[u] for u in range(graph.num_nodes)])
+    assert np.allclose(ours, exact), "distributed result differs from Dijkstra!"
+    print("[validate] matches scipy.sparse.csgraph.dijkstra exactly")
+
+    # ---- the same job with a mid-run worker failure ----
+    _, failed, distances_failed = run(with_failure=True)
+    assert distances_failed == distances, "recovery changed the result!"
+    print(
+        f"[failure]  worker killed mid-run: {failed.recoveries} recovery, "
+        f"same exact result, {failed.metrics.total_time:.1f} virtual s "
+        f"(vs {clean.metrics.total_time:.1f} clean)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Legacy shim so `pip install -e .` / `python setup.py develop` work
+without the `wheel` package (this environment is offline; PEP 660
+editable builds need wheel).  Mirrors pyproject.toml's entry point."""
+
+from setuptools import setup
+
+setup(entry_points={"console_scripts": ["repro = repro.cli:main"]})

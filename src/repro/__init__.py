@@ -1,0 +1,72 @@
+"""repro — a reproduction of *iMapReduce: A Distributed Computing
+Framework for Iterative Computation* (Zhang, Gao, Gao, Wang).
+
+The package implements the paper's system — an iterative MapReduce
+framework with persistent tasks, static/state data separation, and
+asynchronous map execution — together with the Hadoop-like baseline it
+is compared against, on a deterministic discrete-event-simulated
+cluster.  See README.md for the quickstart and DESIGN.md for the
+architecture map.
+
+Top-level convenience re-exports cover the common user path (writing
+and running an iterative job); subsystem internals live in their
+subpackages (``repro.simulation``, ``repro.cluster``, ``repro.dfs``,
+``repro.mapreduce``, ``repro.imapreduce``, ``repro.graph``,
+``repro.data``, ``repro.algorithms``, ``repro.experiments``).
+"""
+
+from .cluster import (
+    Cluster,
+    FaultSchedule,
+    Machine,
+    ec2_cluster,
+    heterogeneous_cluster,
+    local_cluster,
+)
+from .common import IterKeys, JobConf
+from .dfs import DFS
+from .imapreduce import (
+    AuxPhase,
+    IMapReduceRuntime,
+    IterativeJob,
+    IterativeRunResult,
+    LoadBalanceConfig,
+    Phase,
+    run_local,
+)
+from .mapreduce import (
+    CostModel,
+    IterativeDriver,
+    IterativeSpec,
+    Job,
+    MapReduceRuntime,
+)
+from .simulation import Engine
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Cluster",
+    "FaultSchedule",
+    "Machine",
+    "ec2_cluster",
+    "heterogeneous_cluster",
+    "local_cluster",
+    "IterKeys",
+    "JobConf",
+    "DFS",
+    "AuxPhase",
+    "IMapReduceRuntime",
+    "IterativeJob",
+    "IterativeRunResult",
+    "LoadBalanceConfig",
+    "Phase",
+    "run_local",
+    "CostModel",
+    "IterativeDriver",
+    "IterativeSpec",
+    "Job",
+    "MapReduceRuntime",
+    "Engine",
+    "__version__",
+]

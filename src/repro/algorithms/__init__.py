@@ -1,0 +1,17 @@
+"""Algorithm library: each workload with iMapReduce, Hadoop-baseline and
+reference implementations, plus input-preparation helpers."""
+
+from . import components, inputs, jacobi, kmeans, matrixpower, pagerank, sssp
+from .inputs import prepare_pagerank_inputs, prepare_sssp_inputs
+
+__all__ = [
+    "components",
+    "inputs",
+    "jacobi",
+    "kmeans",
+    "matrixpower",
+    "pagerank",
+    "sssp",
+    "prepare_pagerank_inputs",
+    "prepare_sssp_inputs",
+]

@@ -1,0 +1,65 @@
+"""Input-preparation helpers: one call from a graph (or its text form)
+to the DFS files an iterative job needs.
+
+The paper (§3.5): "iMapReduce supports automatically graph partitioning
+and graph loading for a few particular formatted graphs (including
+weighted and unweighted graphs). Users can first format their graphs in
+our supported formats."  These helpers are that loading path: they accept
+a :class:`~repro.graph.Digraph` or adjacency-text lines (see
+:mod:`repro.graph.io`) and ingest the state and static files.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..dfs import DFS
+from ..graph import Digraph, parse_adjacency_lines
+from . import pagerank, sssp
+
+__all__ = ["as_graph", "prepare_sssp_inputs", "prepare_pagerank_inputs"]
+
+
+def as_graph(graph_or_lines: Digraph | Iterable[str]) -> Digraph:
+    """Accept a Digraph or the framework's adjacency-text format."""
+    if isinstance(graph_or_lines, Digraph):
+        return graph_or_lines
+    return parse_adjacency_lines(graph_or_lines)
+
+
+def prepare_sssp_inputs(
+    dfs: DFS,
+    graph_or_lines: Digraph | Iterable[str],
+    source: int,
+    *,
+    prefix: str = "/sssp",
+    overwrite: bool = False,
+) -> tuple[str, str]:
+    """Ingest SSSP's state (initial distances) and static (weighted
+    adjacency) files; returns ``(state_path, static_path)`` ready for
+    :func:`repro.algorithms.sssp.build_imr_job`."""
+    graph = as_graph(graph_or_lines)
+    if not 0 <= source < graph.num_nodes:
+        raise ValueError(f"source {source} not in graph of {graph.num_nodes} nodes")
+    state_path = f"{prefix}/state"
+    static_path = f"{prefix}/static"
+    dfs.ingest(state_path, sssp.initial_state(graph, source), overwrite=overwrite)
+    dfs.ingest(static_path, sssp.static_records(graph), overwrite=overwrite)
+    return state_path, static_path
+
+
+def prepare_pagerank_inputs(
+    dfs: DFS,
+    graph_or_lines: Digraph | Iterable[str],
+    *,
+    prefix: str = "/pagerank",
+    overwrite: bool = False,
+) -> tuple[str, str, int]:
+    """Ingest PageRank's state (uniform ranks) and static (adjacency)
+    files; returns ``(state_path, static_path, num_nodes)``."""
+    graph = as_graph(graph_or_lines)
+    state_path = f"{prefix}/state"
+    static_path = f"{prefix}/static"
+    dfs.ingest(state_path, pagerank.initial_state(graph), overwrite=overwrite)
+    dfs.ingest(static_path, pagerank.static_records(graph), overwrite=overwrite)
+    return state_path, static_path, graph.num_nodes

@@ -1,0 +1,371 @@
+"""K-means clustering (paper §5.1, §5.3) on the Last.fm workload.
+
+State = the k cluster centroids (dense vectors over the artist
+catalogue); static = the users' sparse preference vectors.  The mapping
+from reduce to map is one-to-all: every map task needs every centroid,
+so iMapReduce broadcasts the state and runs maps synchronously (§5.1.2).
+
+Record formats:
+
+* static: ``(user_id, (artist_ids, play_counts))`` — two small numpy
+  arrays (the sparse preference vector);
+* state:  ``(cid, centroid_vector)`` — or, when ``track_membership`` is
+  on (the §5.3 convergence-detection variant), ``(cid, (centroid_vector,
+  member_ids))`` so the auxiliary phase can count nodes that moved
+  between clusters;
+* shuffle: ``(cid, ("pt", ids, counts))`` points, combinable into
+  ``(cid, ("sum", dense_sum, n))`` partial aggregates — the Combiner
+  experiment of §5.1.3.
+
+Squared Euclidean distances are computed as ‖c‖² − 2·c[ids]·counts + ‖x‖²
+in *every* implementation (engines and the numpy reference), so
+assignments agree bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+import numpy as np
+
+from ..common.config import IterKeys, JobConf
+from ..common.partition import ModPartitioner
+from ..data.lastfm import LastFmDataset
+from ..imapreduce import AuxPhase, IterativeJob
+from ..mapreduce import Job
+from ..mapreduce.driver import IterativeSpec
+
+__all__ = [
+    "initial_centroids",
+    "assign",
+    "build_imr_job",
+    "build_mr_spec",
+    "make_convergence_aux",
+    "reference_lloyd",
+]
+
+
+# ----------------------------------------------------------------- setup --
+def initial_centroids(
+    data: LastFmDataset, k: int, seed: int = 0
+) -> list[tuple[int, np.ndarray]]:
+    """k starting centroids: the dense vectors of k seeded-random users."""
+    rng = np.random.default_rng(seed)
+    chosen = rng.choice(data.num_users, size=k, replace=False)
+    centroids = []
+    for cid, uid in enumerate(sorted(chosen.tolist())):
+        ids, counts = data.records[uid]
+        vec = np.zeros(data.num_artists)
+        vec[ids] = counts
+        centroids.append((cid, vec))
+    return centroids
+
+
+def _sq_norm(ids: np.ndarray, counts: np.ndarray) -> float:
+    return float(np.dot(counts, counts))
+
+
+def assign(
+    ids: np.ndarray,
+    counts: np.ndarray,
+    centroids: Sequence[tuple[int, np.ndarray]],
+) -> int:
+    """Nearest-centroid id; ties break to the lowest cid."""
+    x_norm = _sq_norm(ids, counts)
+    best_cid = -1
+    best_dist = np.inf
+    for cid, vec in sorted(centroids, key=lambda kv: kv[0]):
+        dist = float(vec @ vec) - 2.0 * float(vec[ids] @ counts) + x_norm
+        if dist < best_dist:
+            best_cid, best_dist = cid, dist
+    return best_cid
+
+
+def _centroid_of(value: Any) -> np.ndarray:
+    """State value → centroid vector (with or without membership)."""
+    if isinstance(value, tuple):
+        return value[0]
+    return value
+
+
+# ---------------------------------------------------------- iMapReduce --
+def _offer_keeps(ctx, pairs) -> None:
+    """Once per task context: re-offer every centroid so empty clusters
+    survive (the reduce falls back to the offer when no point arrives).
+    One offer per map *task*, not per record — the tasks share a context
+    for the iteration in both engines."""
+    if "_keeps_emitted" in ctx.counters:
+        return
+    ctx.increment("_keeps_emitted")
+    for cid, vec in pairs:
+        ctx.emit(cid, ("keep", vec))
+
+
+def make_imr_map(track_membership: bool):
+    def imr_map(uid: int, centroids: list, prefs: tuple, ctx) -> None:
+        pairs = [(cid, _centroid_of(v)) for cid, v in centroids]
+        _offer_keeps(ctx, pairs)
+        ids, counts = prefs
+        best = assign(ids, counts, pairs)
+        ctx.emit(best, ("pt", uid, ids, counts))
+
+    _ = track_membership  # same map either way; reduce differs
+    return imr_map
+
+
+def make_imr_reduce(track_membership: bool):
+    def imr_reduce(cid: int, values: list, ctx) -> None:
+        # Every map offers ("keep", centroid), so the dense length is known.
+        keep = next(v[1] for v in values if v[0] == "keep")
+        total = np.zeros(len(keep))
+        count = 0
+        members: list[int] = []
+        for value in values:
+            kind = value[0]
+            if kind == "pt":
+                _, uid, ids, counts = value
+                np.add.at(total, ids, counts)
+                count += 1
+                members.append(uid)
+            elif kind == "sum":
+                _, vec, n, uids = value
+                total[: len(vec)] += vec
+                count += n
+                members.extend(uids)
+        centroid = total / count if count else keep
+        if track_membership:
+            ctx.emit(cid, (centroid, tuple(sorted(members))))
+        else:
+            ctx.emit(cid, centroid)
+
+    return imr_reduce
+
+
+def centroid_distance(cid: Any, prev: Any, curr: Any) -> float:
+    """Manhattan movement of a centroid between iterations."""
+    if prev is None:
+        return float(np.abs(_centroid_of(curr)).sum())
+    return float(np.abs(_centroid_of(prev) - _centroid_of(curr)).sum())
+
+
+def make_convergence_aux(move_threshold: int, num_tasks: int = 1) -> AuxPhase:
+    """§5.3: auxiliary phase that counts users who changed cluster and
+    signals termination when fewer than ``move_threshold`` moved.
+
+    Requires the main job to run with ``track_membership=True``.
+    """
+
+    def aux_map(cid: int, value: tuple, ctx) -> None:
+        _centroid, members = value
+        previous: set = ctx.task_state.setdefault("members", {}).get(cid, set())
+        members = set(members)
+        stayed = len(members & previous)
+        ctx.task_state["members"][cid] = members
+        ctx.emit(0, ("counts", len(members), stayed))
+
+    def aux_reduce(key: int, values: list, ctx) -> None:
+        total = sum(v[1] for v in values)
+        stayed = sum(v[2] for v in values)
+        first_round = ctx.task_state.get("rounds", 0) == 0
+        ctx.task_state["rounds"] = ctx.task_state.get("rounds", 0) + 1
+        if not first_round and (total - stayed) < move_threshold:
+            ctx.signal_terminate()
+
+    return AuxPhase(map_fn=aux_map, reduce_fn=aux_reduce, num_tasks=num_tasks)
+
+
+def build_imr_job(
+    *,
+    state_path: str,
+    static_path: str,
+    output_path: str,
+    max_iterations: int | None = None,
+    threshold: float | None = None,
+    num_pairs: int | None = None,
+    combiner: bool = False,
+    track_membership: bool = False,
+    aux: AuxPhase | None = None,
+    checkpoint_interval: int | None = None,
+) -> IterativeJob:
+    conf = JobConf()
+    conf.set(IterKeys.STATE_PATH, state_path)
+    conf.set(IterKeys.STATIC_PATH, static_path)
+    conf.set(IterKeys.MAPPING, "one2all")  # §5.1.2
+    conf.set_boolean(IterKeys.SYNC, True)
+    if max_iterations is not None:
+        conf.set_int(IterKeys.MAX_ITER, max_iterations)
+    if threshold is not None:
+        conf.set_float(IterKeys.DIST_THRESH, threshold)
+    if checkpoint_interval is not None:
+        conf.set_int(IterKeys.CHECKPOINT_INTERVAL, checkpoint_interval)
+    return IterativeJob.single_phase(
+        "kmeans",
+        make_imr_map(track_membership),
+        make_imr_reduce(track_membership),
+        conf=conf,
+        output_path=output_path,
+        distance_fn=centroid_distance if threshold is not None else None,
+        partitioner=ModPartitioner(),
+        combiner=mr_combiner if combiner else None,
+        num_pairs=num_pairs,
+        aux=aux,
+    )
+
+
+# ------------------------------------------------------------ MapReduce --
+class KMeansMapper:
+    """Baseline mapper: centroids arrive as a distributed-cache side file."""
+
+    def __init__(self):
+        self._centroids: list[tuple[int, np.ndarray]] = []
+
+    def configure(self, side_data: dict) -> None:
+        centroids: list[tuple[int, np.ndarray]] = []
+        for records in side_data.values():
+            centroids.extend((cid, _centroid_of(v)) for cid, v in records)
+        self._centroids = sorted(centroids, key=lambda kv: kv[0])
+
+    def map(self, uid: int, prefs: tuple, ctx) -> None:
+        _offer_keeps(ctx, self._centroids)
+        ids, counts = prefs
+        best = assign(ids, counts, self._centroids)
+        ctx.emit(best, ("pt", uid, ids, counts))
+
+
+def mr_combiner(cid: int, values: list, ctx) -> None:
+    """Partial aggregation: points → ("sum", vec, count, uids).
+
+    Each map task emits a ("keep", …) for every cid, so one is always in
+    the group and fixes the dense length.  One keep is re-emitted so the
+    reduce side still sees the empty-cluster fallback.
+    """
+    keep = next(v[1] for v in values if v[0] == "keep")
+    total = np.zeros(len(keep))
+    count = 0
+    uids: list[int] = []
+    for value in values:
+        kind = value[0]
+        if kind == "pt":
+            _, uid, ids, counts = value
+            np.add.at(total, ids, counts)
+            count += 1
+            uids.append(uid)
+        elif kind == "sum":
+            _, vec, n, vuids = value
+            total[: len(vec)] += vec
+            count += n
+            uids.extend(vuids)
+    ctx.emit(cid, ("keep", keep))
+    if count > 0:
+        ctx.emit(cid, ("sum", total, count, tuple(uids)))
+
+
+def make_mr_reducer(track_membership: bool):
+    reduce_fn = make_imr_reduce(track_membership)
+
+    def mr_reducer(cid: int, values: list, ctx) -> None:
+        reduce_fn(cid, values, ctx)
+
+    return mr_reducer
+
+
+def build_mr_spec(
+    *,
+    points_path: str | list[str],
+    output_prefix: str,
+    max_iterations: int,
+    num_reduces: int = 4,
+    combiner: bool = False,
+    track_membership: bool = False,
+    move_threshold: int | None = None,
+) -> IterativeSpec:
+    """The Hadoop baseline: the points file is the job input every
+    iteration; the previous iteration's centroids travel as side files.
+
+    With ``move_threshold`` set, an additional convergence-check job runs
+    after each iteration (the paper's Fig. 20 baseline), comparing
+    memberships of the two latest centroid sets.
+    """
+    point_inputs = [points_path] if isinstance(points_path, str) else list(points_path)
+
+    def job_factory(iteration: int, centroid_paths: list[str]) -> Job:
+        return Job(
+            name=f"kmeans-{iteration}",
+            mapper=KMeansMapper(),
+            reducer=make_mr_reducer(track_membership or move_threshold is not None),
+            combiner=mr_combiner if combiner else None,
+            input_paths=point_inputs,
+            output_path=f"{output_prefix}/iter{iteration}",
+            num_reduces=num_reduces,
+            partitioner=ModPartitioner(),
+            side_inputs=centroid_paths,
+        )
+
+    convergence_factory = None
+    if move_threshold is not None:
+
+        def _check_mapper(cid, value, ctx):
+            # The initial centroid file has no membership yet.
+            if isinstance(value, tuple):
+                ctx.emit(0, (cid, tuple(value[1])))
+            else:
+                ctx.emit(0, (cid, ()))
+
+        def _check_reducer(key, values, ctx):
+            # values: (cid, members) records from prev and curr outputs;
+            # the first occurrence of a cid is prev, the second is curr.
+            seen: dict[int, tuple] = {}
+            moved = 0
+            total = 0
+            for cid, members in values:
+                if cid in seen:
+                    prev, curr = set(seen[cid]), set(members)
+                    total += len(curr)
+                    moved += len(curr - prev)
+                else:
+                    seen[cid] = members
+            ctx.increment("moved", moved)
+
+        def convergence_factory(iteration, prev_paths, curr_paths):
+            return Job(
+                name=f"kmeans-check-{iteration}",
+                mapper=_check_mapper,
+                reducer=_check_reducer,
+                input_paths=list(prev_paths) + list(curr_paths),
+                output_path=f"{output_prefix}/check{iteration}",
+                num_reduces=1,
+            )
+
+    return IterativeSpec(
+        name="kmeans",
+        job_factory=job_factory,
+        max_iterations=max_iterations,
+        threshold=float(move_threshold) if move_threshold is not None else None,
+        convergence_factory=convergence_factory,
+        distance_counter="moved",
+    )
+
+
+# ------------------------------------------------------------ references --
+def reference_lloyd(
+    data: LastFmDataset,
+    centroids: list[tuple[int, np.ndarray]],
+    iterations: int,
+) -> tuple[list[tuple[int, np.ndarray]], np.ndarray]:
+    """Plain Lloyd's algorithm with the engines' exact distance formula
+    and tie-breaking.  Returns (centroids, assignments)."""
+    current = [(cid, vec.copy()) for cid, vec in centroids]
+    assignment = np.zeros(data.num_users, dtype=np.int64)
+    for _ in range(iterations):
+        sums = {cid: np.zeros(data.num_artists) for cid, _ in current}
+        counts = {cid: 0 for cid, _ in current}
+        for uid, (ids, play_counts) in enumerate(data.records):
+            best = assign(ids, play_counts, current)
+            assignment[uid] = best
+            np.add.at(sums[best], ids, play_counts)
+            counts[best] += 1
+        current = [
+            (cid, sums[cid] / counts[cid] if counts[cid] else vec)
+            for cid, vec in current
+        ]
+    return current, assignment

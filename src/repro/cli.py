@@ -1,0 +1,156 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``datasets [sssp|pagerank]``
+    Print the Table 1 / Table 2 dataset stand-ins (paper vs generated).
+
+``list-figures``
+    List every reproducible table/figure with the paper's claim.
+
+``figure <name> …``
+    Regenerate one or more figures (e.g. ``figure fig6 fig18``) and print
+    the paper-style series and statistics.
+
+``run <algorithm>``
+    Run one workload on the simulated cluster and print the
+    per-iteration breakdown.  Options: ``--dataset``, ``--engine``,
+    ``--cluster``, ``--iterations``, ``--sync``, ``--combiner``.
+
+``report``
+    Write EXPERIMENTS.md (optionally reusing ``--results-dir`` output
+    saved by a benchmark run).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="iMapReduce reproduction — datasets, figures and workloads",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_data = sub.add_parser("datasets", help="print Table 1/2 dataset stand-ins")
+    p_data.add_argument("kind", nargs="?", choices=("sssp", "pagerank"), default=None)
+
+    sub.add_parser("list-figures", help="list reproducible tables/figures")
+
+    p_fig = sub.add_parser("figure", help="regenerate figures by name")
+    p_fig.add_argument("names", nargs="+", help="e.g. fig6 fig18 table1")
+
+    p_run = sub.add_parser("run", help="run one workload on the simulated cluster")
+    p_run.add_argument("algorithm", choices=("sssp", "pagerank", "kmeans", "matrixpower"))
+    p_run.add_argument("--dataset", default=None, help="dataset name (default per algorithm)")
+    p_run.add_argument("--engine", choices=("imapreduce", "mapreduce"), default="imapreduce")
+    p_run.add_argument("--cluster", default="local", help="local | single | ec2-<n>")
+    p_run.add_argument("--iterations", type=int, default=10)
+    p_run.add_argument("--sync", action="store_true", help="synchronous maps (iMapReduce)")
+    p_run.add_argument("--combiner", action="store_true")
+    p_run.add_argument("--measure-distance", action="store_true",
+                       help="arm per-iteration convergence measurement")
+
+    p_rep = sub.add_parser("report", help="write EXPERIMENTS.md")
+    p_rep.add_argument("--output", default="EXPERIMENTS.md")
+    p_rep.add_argument("--results-dir", default=None,
+                       help="reuse figure text saved by a benchmark run")
+    return parser
+
+
+_DEFAULT_DATASETS = {
+    "sssp": "dblp",
+    "pagerank": "google",
+    "kmeans": "lastfm",
+    "matrixpower": "matrix40",
+}
+
+
+def _cmd_datasets(args) -> int:
+    from .data import dataset_table
+
+    kinds = [args.kind] if args.kind else ["sssp", "pagerank"]
+    for kind in kinds:
+        table_no = 1 if kind == "sssp" else 2
+        print(f"Table {table_no} ({kind}): paper -> stand-in")
+        for row in dataset_table(kind):
+            print(
+                f"  {row['graph']:<12} paper {row['paper_nodes']:>10,} nodes /"
+                f" {row['paper_edges']:>12,} edges ({row['paper_file_size']});"
+                f"  stand-in {row['nodes']:>8,} / {row['edges']:>10,}"
+                f" ({row['file_size_bytes'] / 1e6:.1f} MB)"
+            )
+    return 0
+
+
+def _cmd_list_figures(args) -> int:
+    from .experiments.figures import ALL_FIGURES
+    from .experiments.report import PAPER_CLAIMS
+
+    for name in ALL_FIGURES:
+        print(f"  {name:<8} {PAPER_CLAIMS[name]}")
+    return 0
+
+
+def _cmd_figure(args) -> int:
+    from .experiments.figures import ALL_FIGURES
+
+    unknown = [n for n in args.names if n not in ALL_FIGURES]
+    if unknown:
+        print(f"unknown figure(s): {', '.join(unknown)}", file=sys.stderr)
+        print(f"known: {', '.join(ALL_FIGURES)}", file=sys.stderr)
+        return 2
+    for name in args.names:
+        print(ALL_FIGURES[name]().format_text())
+    return 0
+
+
+def _cmd_run(args) -> int:
+    from .experiments.workloads import RunSpec, execute
+    from .metrics import format_run
+
+    dataset = args.dataset or _DEFAULT_DATASETS[args.algorithm]
+    spec = RunSpec(
+        algorithm=args.algorithm,
+        dataset=dataset,
+        engine=args.engine,
+        cluster=args.cluster,
+        iterations=args.iterations,
+        sync=args.sync,
+        combiner=args.combiner,
+        measure_distance=args.measure_distance,
+    )
+    metrics = execute(spec)
+    print(format_run(metrics))
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from .experiments.report import main as report_main
+
+    report_main(args.output, args.results_dir)
+    return 0
+
+
+_COMMANDS = {
+    "datasets": _cmd_datasets,
+    "list-figures": _cmd_list_figures,
+    "figure": _cmd_figure,
+    "run": _cmd_run,
+    "report": _cmd_report,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

@@ -1,0 +1,25 @@
+"""Simulated cluster substrate: machines, topologies, fault injection."""
+
+from .faults import FaultEvent, FaultSchedule
+from .machine import BandwidthPipe, Machine
+from .topology import (
+    GIGABIT,
+    Cluster,
+    ec2_cluster,
+    heterogeneous_cluster,
+    local_cluster,
+    single_node,
+)
+
+__all__ = [
+    "BandwidthPipe",
+    "Machine",
+    "Cluster",
+    "GIGABIT",
+    "ec2_cluster",
+    "heterogeneous_cluster",
+    "local_cluster",
+    "single_node",
+    "FaultEvent",
+    "FaultSchedule",
+]

@@ -1,0 +1,62 @@
+"""Fault injection: scripted worker failures and recoveries.
+
+The paper's fault-tolerance design (§3.4.1) checkpoints state data to the
+DFS every few iterations and recovers a failed task pair from the most
+recent checkpoint.  :class:`FaultSchedule` drives the "failure" side of
+that contract in experiments and tests: it fails named machines at given
+virtual times (and optionally recovers them later), killing every
+registered process on the machine through the interrupt mechanism.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..simulation import Engine
+from .topology import Cluster
+
+__all__ = ["FaultEvent", "FaultSchedule"]
+
+
+@dataclass(frozen=True, slots=True)
+class FaultEvent:
+    """One scripted action: fail (or recover) ``machine`` at ``when``."""
+
+    when: float
+    machine: str
+    action: str = "fail"  # "fail" | "recover"
+
+    def __post_init__(self):
+        if self.action not in ("fail", "recover"):
+            raise ValueError(f"unknown fault action {self.action!r}")
+        if self.when < 0:
+            raise ValueError("fault time must be non-negative")
+
+
+@dataclass
+class FaultSchedule:
+    """An ordered list of fault events, armed onto a cluster."""
+
+    events: list[FaultEvent] = field(default_factory=list)
+
+    def fail_at(self, when: float, machine: str) -> "FaultSchedule":
+        self.events.append(FaultEvent(when, machine, "fail"))
+        return self
+
+    def recover_at(self, when: float, machine: str) -> "FaultSchedule":
+        self.events.append(FaultEvent(when, machine, "recover"))
+        return self
+
+    def arm(self, engine: Engine, cluster: Cluster) -> None:
+        """Install one driver process per event on the engine."""
+        for event in sorted(self.events, key=lambda e: e.when):
+            engine.process(self._driver(engine, cluster, event), name=f"fault@{event.when}")
+
+    @staticmethod
+    def _driver(engine: Engine, cluster: Cluster, event: FaultEvent):
+        yield engine.timeout(event.when)
+        machine = cluster[event.machine]
+        if event.action == "fail":
+            machine.fail()
+        else:
+            machine.recover()

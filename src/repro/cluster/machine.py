@@ -1,0 +1,138 @@
+"""A simulated worker machine.
+
+A machine owns the three resources whose contention produces the paper's
+performance effects:
+
+* ``cpu`` — ``cores`` servers; compute work of *w* reference-seconds holds
+  one core for ``w / cpu_speed`` virtual seconds (``cpu_speed`` expresses
+  heterogeneous hardware, §3.4.2's motivation for load balancing);
+* ``disk`` — one bandwidth pipe shared by reads and writes;
+* ``uplink`` / ``downlink`` — the NIC's two directions; every remote
+  transfer occupies the sender's uplink and receiver's downlink, so
+  concurrent flows through one NIC serialize (deterministic contention).
+
+Processes spawned on a machine should be registered via
+:meth:`Machine.spawn` so that fault injection can kill them all at once.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from ..common.errors import ClusterError, WorkerFailure
+from ..simulation import Engine, Event, Process, Resource
+
+__all__ = ["BandwidthPipe", "Machine"]
+
+
+class BandwidthPipe:
+    """A FIFO bandwidth channel: concurrent users queue.
+
+    ``use(nbytes)`` holds the pipe for ``latency + nbytes / rate`` seconds.
+    Byte and transfer counters feed the communication-cost metrics
+    (paper Fig. 11).
+    """
+
+    def __init__(self, engine: Engine, rate_bytes_per_s: float, latency_s: float = 0.0):
+        if rate_bytes_per_s <= 0:
+            raise ClusterError(f"pipe rate must be positive, got {rate_bytes_per_s}")
+        self.engine = engine
+        self.rate = float(rate_bytes_per_s)
+        self.latency = float(latency_s)
+        self._channel = Resource(engine, capacity=1)
+        self.total_bytes = 0
+        self.total_transfers = 0
+
+    def transfer_time(self, nbytes: int) -> float:
+        return self.latency + nbytes / self.rate
+
+    def use(self, nbytes: int) -> Generator[Event, Any, None]:
+        """Process helper: move ``nbytes`` through the pipe."""
+        if nbytes < 0:
+            raise ClusterError(f"negative transfer size: {nbytes}")
+        self.total_bytes += nbytes
+        self.total_transfers += 1
+        yield from self._channel.use(self.transfer_time(nbytes))
+
+
+class Machine:
+    """One simulated worker (or master) host."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        name: str,
+        *,
+        cores: int = 2,
+        cpu_speed: float = 1.0,
+        disk_bw: float = 100e6,
+        nic_bw: float = 125e6,
+        nic_latency: float = 0.5e-3,
+    ):
+        if cpu_speed <= 0:
+            raise ClusterError(f"cpu_speed must be positive, got {cpu_speed}")
+        self.engine = engine
+        self.name = name
+        self.cores = cores
+        self.cpu_speed = float(cpu_speed)
+        self.cpu = Resource(engine, capacity=cores)
+        self.disk = BandwidthPipe(engine, disk_bw)
+        self.uplink = BandwidthPipe(engine, nic_bw, nic_latency)
+        self.downlink = BandwidthPipe(engine, nic_bw, nic_latency)
+        self.failed = False
+        self.local_bytes = 0  # bytes held on the local file system
+        self._processes: list[Process] = []
+
+    # -- compute -------------------------------------------------------------
+    def compute(self, work: float) -> Generator[Event, Any, None]:
+        """Hold one CPU core for ``work`` reference-seconds of computation."""
+        if work < 0:
+            raise ClusterError(f"negative compute work: {work}")
+        self._check_alive()
+        yield from self.cpu.use(work / self.cpu_speed)
+
+    # -- storage -----------------------------------------------------------
+    def disk_read(self, nbytes: int) -> Generator[Event, Any, None]:
+        self._check_alive()
+        yield from self.disk.use(nbytes)
+
+    def disk_write(self, nbytes: int) -> Generator[Event, Any, None]:
+        self._check_alive()
+        self.local_bytes += nbytes
+        yield from self.disk.use(nbytes)
+
+    def disk_delete(self, nbytes: int) -> None:
+        self.local_bytes = max(0, self.local_bytes - nbytes)
+
+    # -- process lifecycle --------------------------------------------------
+    def spawn(self, generator, name: str = "") -> Process:
+        """Start a process bound to this machine (killed on failure)."""
+        self._check_alive()
+        proc = self.engine.process(generator, name=name or f"{self.name}:proc")
+        self._processes.append(proc)
+        self._processes = [p for p in self._processes if p.is_alive]
+        return proc
+
+    def fail(self) -> None:
+        """Fault injection: kill the machine and every process on it."""
+        if self.failed:
+            return
+        self.failed = True
+        failure = WorkerFailure(self.name, self.engine.now)
+        for proc in self._processes:
+            if proc.is_alive:
+                proc.interrupt(failure)
+        self._processes.clear()
+
+    def recover(self) -> None:
+        """Bring a failed machine back (empty local FS, as after reimage)."""
+        self.failed = False
+        self.local_bytes = 0
+
+    def _check_alive(self) -> None:
+        if self.failed:
+            raise WorkerFailure(self.name, self.engine.now)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "FAILED" if self.failed else "up"
+        return f"<Machine {self.name} cores={self.cores} speed={self.cpu_speed} {state}>"

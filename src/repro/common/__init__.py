@@ -1,0 +1,67 @@
+"""Shared building blocks: records, sizes, partitioners, configuration."""
+
+from .config import IterKeys, JobConf
+from .errors import (
+    ClusterError,
+    ConfigError,
+    DFSError,
+    FileAlreadyExists,
+    FileNotFoundInDFS,
+    FrameworkError,
+    JobError,
+    MigrationError,
+    ReproError,
+    SchedulingError,
+    SimulationError,
+    TaskFailure,
+    WorkerFailure,
+)
+from .partition import (
+    HashPartitioner,
+    ModPartitioner,
+    Partitioner,
+    RangePartitioner,
+    default_partitioner,
+    stable_hash,
+)
+from .records import JoinedRecord, KeyValue, group_by_key, kv_pairs
+from .serialization import (
+    RECORD_OVERHEAD,
+    sizeof_record,
+    sizeof_records,
+    sizeof_text_line,
+    sizeof_value,
+)
+
+__all__ = [
+    "IterKeys",
+    "JobConf",
+    "ClusterError",
+    "ConfigError",
+    "DFSError",
+    "FileAlreadyExists",
+    "FileNotFoundInDFS",
+    "FrameworkError",
+    "JobError",
+    "MigrationError",
+    "ReproError",
+    "SchedulingError",
+    "SimulationError",
+    "TaskFailure",
+    "WorkerFailure",
+    "HashPartitioner",
+    "ModPartitioner",
+    "Partitioner",
+    "RangePartitioner",
+    "default_partitioner",
+    "stable_hash",
+    "JoinedRecord",
+    "KeyValue",
+    "group_by_key",
+    "kv_pairs",
+    "RECORD_OVERHEAD",
+    "sizeof_record",
+    "sizeof_records",
+    "sizeof_text_line",
+    "sizeof_value",
+]

@@ -1,0 +1,128 @@
+"""``JobConf`` — typed key/value job configuration.
+
+Mirrors Hadoop's ``JobConf`` so that the paper's API (§3.5) can be
+written verbatim::
+
+    conf = JobConf()
+    conf.set("mapred.iterjob.statepath", "/data/pagerank/state")
+    conf.set("mapred.iterjob.staticpath", "/data/pagerank/static")
+    conf.set_int("mapred.iterjob.maxiter", 20)
+    conf.set_float("mapred.iterjob.disthresh", 0.01)
+    conf.set("mapred.iterjob.mapping", "one2all")
+    conf.set_boolean("mapred.iterjob.sync", True)
+
+The iterative engine reads these exact keys (see
+:mod:`repro.imapreduce.job`).  Unknown keys are allowed — Hadoop's conf is
+an open namespace — but typed getters validate on read.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Mapping
+
+from .errors import ConfigError
+
+__all__ = ["JobConf", "IterKeys"]
+
+
+class IterKeys:
+    """The ``mapred.iterjob.*`` parameter names from §3.5 of the paper."""
+
+    STATE_PATH = "mapred.iterjob.statepath"
+    STATIC_PATH = "mapred.iterjob.staticpath"
+    MAX_ITER = "mapred.iterjob.maxiter"
+    DIST_THRESH = "mapred.iterjob.disthresh"
+    MAPPING = "mapred.iterjob.mapping"  # "one2one" (default) | "one2all"
+    SYNC = "mapred.iterjob.sync"  # force synchronous map execution
+    CHECKPOINT_INTERVAL = "mapred.iterjob.checkpointinterval"
+    BUFFER_RECORDS = "mapred.iterjob.bufferrecords"
+
+
+_MISSING = object()
+
+
+class JobConf:
+    """An open string-keyed configuration with typed accessors."""
+
+    def __init__(self, initial: Mapping[str, Any] | None = None):
+        self._values: dict[str, Any] = dict(initial or {})
+
+    # -- setters ---------------------------------------------------------
+    def set(self, key: str, value: Any) -> "JobConf":
+        self._check_key(key)
+        self._values[key] = value
+        return self
+
+    def set_int(self, key: str, value: int) -> "JobConf":
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise ConfigError(f"{key}: expected int, got {type(value).__name__}")
+        return self.set(key, value)
+
+    def set_float(self, key: str, value: float) -> "JobConf":
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            raise ConfigError(f"{key}: expected float, got {type(value).__name__}")
+        return self.set(key, float(value))
+
+    def set_boolean(self, key: str, value: bool) -> "JobConf":
+        if not isinstance(value, bool):
+            raise ConfigError(f"{key}: expected bool, got {type(value).__name__}")
+        return self.set(key, value)
+
+    # -- getters ---------------------------------------------------------
+    def get(self, key: str, default: Any = None) -> Any:
+        return self._values.get(key, default)
+
+    def get_required(self, key: str) -> Any:
+        value = self._values.get(key, _MISSING)
+        if value is _MISSING:
+            raise ConfigError(f"required job parameter {key!r} is not set")
+        return value
+
+    def get_int(self, key: str, default: int | None = None) -> int | None:
+        value = self._values.get(key, _MISSING)
+        if value is _MISSING:
+            return default
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise ConfigError(f"{key}: expected int, got {value!r}")
+        return value
+
+    def get_float(self, key: str, default: float | None = None) -> float | None:
+        value = self._values.get(key, _MISSING)
+        if value is _MISSING:
+            return default
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise ConfigError(f"{key}: expected float, got {value!r}")
+        return float(value)
+
+    def get_boolean(self, key: str, default: bool = False) -> bool:
+        value = self._values.get(key, _MISSING)
+        if value is _MISSING:
+            return default
+        if not isinstance(value, bool):
+            raise ConfigError(f"{key}: expected bool, got {value!r}")
+        return value
+
+    # -- mapping protocol -------------------------------------------------
+    def __contains__(self, key: str) -> bool:
+        return key in self._values
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._values)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def items(self):
+        return self._values.items()
+
+    def copy(self) -> "JobConf":
+        return JobConf(self._values)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        body = ", ".join(f"{k}={v!r}" for k, v in sorted(self._values.items()))
+        return f"JobConf({body})"
+
+    @staticmethod
+    def _check_key(key: str) -> None:
+        if not isinstance(key, str) or not key:
+            raise ConfigError(f"configuration key must be a non-empty str, got {key!r}")

@@ -1,0 +1,88 @@
+"""Exception hierarchy shared by every repro subsystem.
+
+Each subsystem raises the most specific subclass it can; callers that want
+to distinguish "the framework misbehaved" from "the user's job is invalid"
+can catch :class:`FrameworkError` vs :class:`JobError`.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "FrameworkError",
+    "SimulationError",
+    "ClusterError",
+    "DFSError",
+    "FileNotFoundInDFS",
+    "FileAlreadyExists",
+    "JobError",
+    "ConfigError",
+    "SchedulingError",
+    "TaskFailure",
+    "WorkerFailure",
+    "MigrationError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class FrameworkError(ReproError):
+    """An internal invariant of the framework was violated."""
+
+
+class SimulationError(FrameworkError):
+    """The discrete-event kernel was used incorrectly (e.g. yielding a
+    non-event, running a finished engine)."""
+
+
+class ClusterError(FrameworkError):
+    """Cluster topology or machine-resource misuse."""
+
+
+class DFSError(FrameworkError):
+    """Distributed-file-system errors."""
+
+
+class FileNotFoundInDFS(DFSError):
+    """A DFS path was read before it was written."""
+
+
+class FileAlreadyExists(DFSError):
+    """A DFS path was created twice without ``overwrite=True``."""
+
+
+class JobError(ReproError):
+    """The submitted job is invalid (bad configuration or user code)."""
+
+
+class ConfigError(JobError):
+    """A job parameter is missing, of the wrong type, or out of range."""
+
+
+class SchedulingError(FrameworkError):
+    """The scheduler could not place tasks (e.g. more persistent task
+    pairs than available slots — the paper's §3.1.1 constraint)."""
+
+
+class TaskFailure(FrameworkError):
+    """A map or reduce task died (user exception or injected fault)."""
+
+    def __init__(self, task_id: str, cause: BaseException | str):
+        super().__init__(f"task {task_id} failed: {cause}")
+        self.task_id = task_id
+        self.cause = cause
+
+
+class WorkerFailure(FrameworkError):
+    """A whole worker machine failed (fault injection)."""
+
+    def __init__(self, worker: str, when: float):
+        super().__init__(f"worker {worker} failed at t={when:.3f}")
+        self.worker = worker
+        self.when = when
+
+
+class MigrationError(FrameworkError):
+    """Load-balancing migration could not be carried out."""

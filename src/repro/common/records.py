@@ -1,0 +1,88 @@
+"""Key/value record types used throughout both engines.
+
+The paper's data model is Hadoop's: every stage consumes and produces
+``(key, value)`` pairs.  iMapReduce adds the *state*/*static* distinction
+(§3.2): for a given key there is one static record (never changes — e.g. a
+node's adjacency list) and one state record (updated every iteration —
+e.g. the node's shortest distance or rank).  :class:`JoinedRecord` is what
+the framework hands to an iMapReduce ``map()`` after the automatic join.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Generic, Iterable, Iterator, TypeVar
+
+K = TypeVar("K")
+V = TypeVar("V")
+
+__all__ = ["KeyValue", "JoinedRecord", "group_by_key", "kv_pairs"]
+
+
+@dataclass(frozen=True, slots=True)
+class KeyValue(Generic[K, V]):
+    """One immutable key/value pair.
+
+    Plain tuples are accepted everywhere a ``KeyValue`` is; this class
+    exists for readability at API boundaries and for its helpers.
+    """
+
+    key: K
+    value: V
+
+    def astuple(self) -> tuple[K, V]:
+        return (self.key, self.value)
+
+    def __iter__(self) -> Iterator[Any]:  # allows ``k, v = record``
+        yield self.key
+        yield self.value
+
+
+@dataclass(frozen=True, slots=True)
+class JoinedRecord(Generic[K]):
+    """A state record joined with its same-key static record (§3.2.2)."""
+
+    key: K
+    state: Any
+    static: Any
+
+    def __iter__(self) -> Iterator[Any]:
+        yield self.key
+        yield self.state
+        yield self.static
+
+
+def kv_pairs(pairs: Iterable[Any]) -> list[tuple[Any, Any]]:
+    """Normalise an iterable of ``KeyValue`` / 2-tuples to plain tuples."""
+    out: list[tuple[Any, Any]] = []
+    for p in pairs:
+        if isinstance(p, KeyValue):
+            out.append(p.astuple())
+        else:
+            k, v = p
+            out.append((k, v))
+    return out
+
+
+def group_by_key(pairs: Iterable[tuple[Any, Any]]) -> list[tuple[Any, list[Any]]]:
+    """Group pairs by key, returning groups sorted by key.
+
+    This is the merge step every reducer sees: for each key, the list of
+    all values emitted for it, in emission order within the key.  Sorting
+    matches Hadoop's sorted-shuffle contract (and iMapReduce's key-ordered
+    join, §3.2.2).
+    """
+    buckets: dict[Any, list[Any]] = {}
+    for k, v in pairs:
+        buckets.setdefault(k, []).append(v)
+    return sorted(buckets.items(), key=lambda item: _sort_key(item[0]))
+
+
+def _sort_key(key: Any) -> Any:
+    """Total order over heterogeneous keys: group by type name first.
+
+    Real Hadoop sorts serialized bytes; we sort Python values, but keys of
+    mixed types (e.g. ints and tuples in the matrix-power job) must not
+    raise, so we prefix each key with its type name.
+    """
+    return (type(key).__name__, key)

@@ -1,0 +1,25 @@
+"""Dataset registry: paper Tables 1–2 stand-ins and the Last.fm workload."""
+
+from .datasets import (
+    PAGERANK_DATASETS,
+    REAL_SCALE,
+    SSSP_DATASETS,
+    SYNTHETIC_SIZES,
+    DatasetInfo,
+    dataset_table,
+    load_graph,
+)
+from .lastfm import MEAN_ARTISTS_PER_USER, LastFmDataset, load_lastfm
+
+__all__ = [
+    "PAGERANK_DATASETS",
+    "REAL_SCALE",
+    "SSSP_DATASETS",
+    "SYNTHETIC_SIZES",
+    "DatasetInfo",
+    "dataset_table",
+    "load_graph",
+    "MEAN_ARTISTS_PER_USER",
+    "LastFmDataset",
+    "load_lastfm",
+]

@@ -1,0 +1,167 @@
+"""Dataset registry: the paper's evaluation datasets, reproduced at
+laptop scale.
+
+The paper evaluates on two real SSSP graphs (DBLP, Facebook), two real
+PageRank webgraphs (Google, Berkeley–Stanford), and log-normal synthetic
+families for both (Tables 1 and 2).  None of the real graphs ship with
+this repository, so every dataset here is a *synthetic stand-in*
+generated with the paper's own log-normal model (§4.1.2), with
+
+* the published node counts scaled down by :data:`REAL_SCALE` (real
+  graphs) or to the s/m/l ladder in :data:`SYNTHETIC_SIZES` (synthetic
+  families), and
+* μ solved so the expected mean degree equals the published
+  edges/nodes ratio (the σ values are the paper's).
+
+``file size`` in the reproduced tables is computed from the text encoding
+of the generated graph — the same quantity the paper reports for its
+input files.
+
+All generation is seeded; repeated calls return cached identical objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from ..common.serialization import sizeof_text_line
+from ..graph import Digraph, pagerank_graph, sssp_graph
+
+__all__ = [
+    "DatasetInfo",
+    "REAL_SCALE",
+    "SYNTHETIC_SIZES",
+    "SSSP_DATASETS",
+    "PAGERANK_DATASETS",
+    "load_graph",
+    "dataset_table",
+]
+
+#: Real-graph stand-ins are generated at 1/20 of the published node count.
+REAL_SCALE = 20
+
+#: Node counts for the synthetic families.  The paper uses 1M/10M/50M
+#: (SSSP) and 1M/10M/30M (PageRank); we keep a small:medium:large ladder
+#: with the same ordering and a 1:5:15 spread that stays laptop-friendly.
+SYNTHETIC_SIZES = {"s": 10_000, "m": 50_000, "l": 150_000}
+
+
+@dataclass(frozen=True, slots=True)
+class DatasetInfo:
+    """One row of Table 1 / Table 2, paper numbers plus our stand-in."""
+
+    name: str
+    kind: str  # "sssp" (weighted) | "pagerank" (unweighted)
+    paper_nodes: int
+    paper_edges: int
+    paper_file_size: str
+    nodes: int
+    mean_degree: float | None  # None -> use the paper's synthetic-family μ
+    seed: int
+
+    @property
+    def weighted(self) -> bool:
+        return self.kind == "sssp"
+
+
+def _real(name: str, kind: str, nodes: int, edges: int, size: str, seed: int) -> DatasetInfo:
+    return DatasetInfo(
+        name=name,
+        kind=kind,
+        paper_nodes=nodes,
+        paper_edges=edges,
+        paper_file_size=size,
+        nodes=max(nodes // REAL_SCALE, 2),
+        mean_degree=edges / nodes,
+        seed=seed,
+    )
+
+
+def _synthetic(name: str, kind: str, nodes: int, edges: int, size: str, tier: str, seed: int) -> DatasetInfo:
+    return DatasetInfo(
+        name=name,
+        kind=kind,
+        paper_nodes=nodes,
+        paper_edges=edges,
+        paper_file_size=size,
+        nodes=SYNTHETIC_SIZES[tier],
+        mean_degree=None,
+        seed=seed,
+    )
+
+
+#: Table 1 of the paper (SSSP data sets).
+SSSP_DATASETS: dict[str, DatasetInfo] = {
+    d.name: d
+    for d in [
+        _real("dblp", "sssp", 310_556, 1_518_617, "16 MB", seed=101),
+        _real("facebook", "sssp", 1_204_004, 5_430_303, "58 MB", seed=102),
+        _synthetic("sssp-s", "sssp", 1_000_000, 7_868_140, "87 MB", "s", seed=103),
+        _synthetic("sssp-m", "sssp", 10_000_000, 78_873_968, "958 MB", "m", seed=104),
+        _synthetic("sssp-l", "sssp", 50_000_000, 369_455_293, "5.19 GB", "l", seed=105),
+    ]
+}
+
+#: Table 2 of the paper (PageRank data sets).
+PAGERANK_DATASETS: dict[str, DatasetInfo] = {
+    d.name: d
+    for d in [
+        _real("google", "pagerank", 916_417, 6_078_254, "49 MB", seed=201),
+        _real("berk-stan", "pagerank", 685_230, 7_600_595, "57 MB", seed=202),
+        _synthetic("pagerank-s", "pagerank", 1_000_000, 7_425_360, "61 MB", "s", seed=203),
+        _synthetic("pagerank-m", "pagerank", 10_000_000, 75_061_501, "690 MB", "m", seed=204),
+        _synthetic("pagerank-l", "pagerank", 30_000_000, 224_493_620, "2.26 GB", "l", seed=205),
+    ]
+}
+
+_ALL = {**SSSP_DATASETS, **PAGERANK_DATASETS}
+
+
+@lru_cache(maxsize=None)
+def load_graph(name: str, nodes: int | None = None) -> Digraph:
+    """Generate (and cache) the stand-in graph for a registered dataset.
+
+    ``nodes`` overrides the default stand-in size (used by scaling
+    experiments that sweep sizes).
+    """
+    try:
+        info = _ALL[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown dataset {name!r}; known: {sorted(_ALL)}"
+        ) from None
+    n = nodes if nodes is not None else info.nodes
+    if info.kind == "sssp":
+        return sssp_graph(n, mean_degree=info.mean_degree, seed=info.seed)
+    return pagerank_graph(n, mean_degree=info.mean_degree, seed=info.seed)
+
+
+def _file_size_bytes(graph: Digraph) -> int:
+    return sum(sizeof_text_line(k, v) for k, v in graph.static_records())
+
+
+def dataset_table(kind: str) -> list[dict]:
+    """Reproduce Table 1 (``kind='sssp'``) or Table 2 (``'pagerank'``).
+
+    Returns one row per dataset with the paper's published statistics and
+    the stand-in's measured statistics.
+    """
+    source = SSSP_DATASETS if kind == "sssp" else PAGERANK_DATASETS
+    rows = []
+    for info in source.values():
+        graph = load_graph(info.name)
+        rows.append(
+            {
+                "graph": info.name,
+                "paper_nodes": info.paper_nodes,
+                "paper_edges": info.paper_edges,
+                "paper_file_size": info.paper_file_size,
+                "nodes": graph.num_nodes,
+                "edges": graph.num_edges,
+                "file_size_bytes": _file_size_bytes(graph),
+                "mean_degree": graph.num_edges / graph.num_nodes,
+                "paper_mean_degree": info.paper_edges / info.paper_nodes,
+            }
+        )
+    return rows

@@ -1,0 +1,6 @@
+"""Simulated distributed file system (HDFS stand-in)."""
+
+from .blocks import Block, DFSFile, Split
+from .filesystem import DEFAULT_BLOCK_SIZE, DFS
+
+__all__ = ["Block", "DFSFile", "Split", "DFS", "DEFAULT_BLOCK_SIZE"]

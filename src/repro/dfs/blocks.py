@@ -1,0 +1,75 @@
+"""Block-level metadata for the simulated distributed file system.
+
+Files are split into fixed-size blocks (64 MB by default, matching the
+paper's Hadoop configuration) and each block is replicated on several
+machines.  A :class:`Split` is the scheduling view of a block — what the
+MapReduce job tracker hands to a map task, with the replica locations used
+for locality-aware placement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["Block", "Split", "DFSFile"]
+
+
+@dataclass
+class Block:
+    """One replicated block of a DFS file.
+
+    ``start``/``end`` delimit the record range of the parent file held by
+    this block; ``nbytes`` is the framed size of those records.
+    """
+
+    index: int
+    start: int
+    end: int
+    nbytes: int
+    replicas: list[str] = field(default_factory=list)
+
+    def record_count(self) -> int:
+        return self.end - self.start
+
+
+@dataclass(frozen=True, slots=True)
+class Split:
+    """The unit of map-task input: one block plus its locations."""
+
+    path: str
+    block_index: int
+    start: int
+    end: int
+    nbytes: int
+    locations: tuple[str, ...]
+
+    def record_count(self) -> int:
+        return self.end - self.start
+
+
+@dataclass
+class DFSFile:
+    """A DFS file: the record payload plus its block layout.
+
+    The simulator stores record payloads centrally (Python objects) while
+    block metadata tracks *where* the bytes notionally live; reads charge
+    disk/network time according to the reader's distance from a replica.
+    """
+
+    path: str
+    records: list[tuple[Any, Any]]
+    blocks: list[Block]
+    text_format: bool = False
+
+    @property
+    def nbytes(self) -> int:
+        return sum(block.nbytes for block in self.blocks)
+
+    @property
+    def num_records(self) -> int:
+        return len(self.records)
+
+    def block_records(self, index: int) -> list[tuple[Any, Any]]:
+        block = self.blocks[index]
+        return self.records[block.start : block.end]

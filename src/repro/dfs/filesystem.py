@@ -1,0 +1,232 @@
+"""The simulated distributed file system (HDFS stand-in).
+
+One :class:`DFS` instance plays both NameNode (namespace + block
+placement) and the client API.  Data payloads are plain Python lists of
+key/value records; every byte moved by a read or write is charged to the
+cluster's disk and NIC pipes using the serialization size model, which is
+what makes the baseline's per-iteration DFS load/dump expensive and
+iMapReduce's one-time load cheap — the paper's first two optimisations.
+
+Operations:
+
+* :meth:`DFS.ingest` — place a file instantly (experiment setup; the paper
+  also starts with input pre-loaded on HDFS).
+* :meth:`DFS.write` — simulated-process helper: replica-chain write,
+  charging network + disk time.
+* :meth:`DFS.read_block` / :meth:`DFS.read_all` — locality-aware reads:
+  a local replica costs one disk pass, a remote one costs network + disk.
+* :meth:`DFS.splits` — the job tracker's scheduling view.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Iterable
+
+from ..cluster import Cluster, Machine
+from ..common.errors import DFSError, FileAlreadyExists, FileNotFoundInDFS
+from ..common.partition import stable_hash
+from ..common.serialization import sizeof_record, sizeof_text_line
+from ..simulation import Event
+from .blocks import Block, DFSFile, Split
+
+__all__ = ["DFS", "DEFAULT_BLOCK_SIZE"]
+
+#: 64 MB, the paper's Hadoop block size (§4.1).
+DEFAULT_BLOCK_SIZE = 64 * 1024 * 1024
+
+
+class DFS:
+    """Namespace, block placement and byte-accounted I/O."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        block_size: int = DEFAULT_BLOCK_SIZE,
+        replication: int = 3,
+    ):
+        if block_size <= 0:
+            raise DFSError(f"block size must be positive, got {block_size}")
+        if replication < 1:
+            raise DFSError(f"replication must be >= 1, got {replication}")
+        self.cluster = cluster
+        self.engine = cluster.engine
+        self.block_size = block_size
+        self.replication = min(replication, len(cluster))
+        self._files: dict[str, DFSFile] = {}
+
+    # -- namespace -----------------------------------------------------------
+    def exists(self, path: str) -> bool:
+        return path in self._files
+
+    def list_files(self) -> list[str]:
+        return sorted(self._files)
+
+    def file_info(self, path: str) -> DFSFile:
+        try:
+            return self._files[path]
+        except KeyError:
+            raise FileNotFoundInDFS(path) from None
+
+    def delete(self, path: str) -> None:
+        file = self._files.pop(path, None)
+        if file is None:
+            raise FileNotFoundInDFS(path)
+        for block in file.blocks:
+            for name in block.replicas:
+                self.cluster[name].disk_delete(block.nbytes)
+
+    def total_bytes(self) -> int:
+        """Logical bytes (one copy) across all files."""
+        return sum(f.nbytes for f in self._files.values())
+
+    # -- layout --------------------------------------------------------------
+    def _layout(
+        self,
+        path: str,
+        records: list[tuple[Any, Any]],
+        text_format: bool,
+        preferred: str | None,
+    ) -> DFSFile:
+        sizeof = sizeof_text_line if text_format else sizeof_record
+        blocks: list[Block] = []
+        start = 0
+        acc = 0
+        for i, (k, v) in enumerate(records):
+            acc += sizeof(k, v)
+            if acc >= self.block_size:
+                blocks.append(Block(len(blocks), start, i + 1, acc))
+                start, acc = i + 1, 0
+        if acc > 0 or not blocks:
+            blocks.append(Block(len(blocks), start, len(records), acc))
+        self._place(path, blocks, preferred)
+        return DFSFile(path, records, blocks, text_format)
+
+    def _place(self, path: str, blocks: list[Block], preferred: str | None) -> None:
+        """Deterministic replica placement.
+
+        First replica on the writer's machine when it is part of the
+        cluster (HDFS behaviour), remaining replicas round-robin from a
+        path-hash offset so placement is stable across runs.
+        """
+        names = [m.name for m in self.cluster.alive_workers()]
+        if not names:
+            raise DFSError("no alive machines to place blocks on")
+        offset = stable_hash(path) % len(names)
+        for block in blocks:
+            targets: list[str] = []
+            if preferred is not None and preferred in names:
+                targets.append(preferred)
+            cursor = (offset + block.index) % len(names)
+            while len(targets) < self.replication and len(targets) < len(names):
+                candidate = names[cursor]
+                cursor = (cursor + 1) % len(names)
+                if candidate not in targets:
+                    targets.append(candidate)
+            block.replicas = targets
+
+    # -- writes --------------------------------------------------------------
+    def ingest(
+        self,
+        path: str,
+        records: Iterable[tuple[Any, Any]],
+        *,
+        text_format: bool = False,
+        overwrite: bool = False,
+    ) -> DFSFile:
+        """Place a file with no simulated cost (experiment setup)."""
+        if self.exists(path) and not overwrite:
+            raise FileAlreadyExists(path)
+        if self.exists(path):
+            self.delete(path)
+        file = self._layout(path, list(records), text_format, preferred=None)
+        self._files[path] = file
+        for block in file.blocks:
+            for name in block.replicas:
+                self.cluster[name].local_bytes += block.nbytes
+        return file
+
+    def write(
+        self,
+        path: str,
+        records: Iterable[tuple[Any, Any]],
+        writer: Machine | str,
+        *,
+        text_format: bool = False,
+        overwrite: bool = False,
+    ) -> Generator[Event, Any, DFSFile]:
+        """Simulated-process helper: write with replica-chain cost.
+
+        Bytes travel writer → replica₁ → replica₂ → … (each hop moves the
+        whole block, as in HDFS pipelining) and land on each replica's
+        disk.  Returns the created :class:`DFSFile`.
+        """
+        writer_machine = self.cluster[writer] if isinstance(writer, str) else writer
+        if self.exists(path) and not overwrite:
+            raise FileAlreadyExists(path)
+        if self.exists(path):
+            self.delete(path)
+        file = self._layout(path, list(records), text_format, preferred=writer_machine.name)
+        for block in file.blocks:
+            holder = writer_machine
+            for name in block.replicas:
+                replica = self.cluster[name]
+                yield from self.cluster.transfer(holder, replica, block.nbytes)
+                yield from replica.disk_write(block.nbytes)
+                holder = replica
+        # Publish only after all replicas are durable (atomic rename).
+        self._files[path] = file
+        return file
+
+    # -- reads ---------------------------------------------------------------
+    def _pick_replica(self, block: Block, reader: Machine) -> Machine:
+        alive = [name for name in block.replicas if not self.cluster[name].failed]
+        if not alive:
+            raise DFSError(
+                f"all replicas of block {block.index} lost (replicas={block.replicas})"
+            )
+        if reader.name in alive:
+            return reader
+        # Closest == any alive replica; pick deterministically.
+        return self.cluster[alive[0]]
+
+    def read_block(
+        self, path: str, block_index: int, reader: Machine | str
+    ) -> Generator[Event, Any, list[tuple[Any, Any]]]:
+        """Read one block to ``reader``; returns its records."""
+        reader_machine = self.cluster[reader] if isinstance(reader, str) else reader
+        file = self.file_info(path)
+        try:
+            block = file.blocks[block_index]
+        except IndexError:
+            raise DFSError(f"{path}: no block {block_index}") from None
+        source = self._pick_replica(block, reader_machine)
+        yield from source.disk_read(block.nbytes)
+        if source is not reader_machine:
+            yield from self.cluster.transfer(source, reader_machine, block.nbytes)
+        return file.block_records(block_index)
+
+    def read_all(
+        self, path: str, reader: Machine | str
+    ) -> Generator[Event, Any, list[tuple[Any, Any]]]:
+        """Read a whole file to ``reader``; returns all records."""
+        file = self.file_info(path)
+        records: list[tuple[Any, Any]] = []
+        for block in file.blocks:
+            chunk = yield from self.read_block(path, block.index, reader)
+            records.extend(chunk)
+        return records
+
+    # -- scheduling view -----------------------------------------------------
+    def splits(self, path: str) -> list[Split]:
+        file = self.file_info(path)
+        return [
+            Split(
+                path=path,
+                block_index=block.index,
+                start=block.start,
+                end=block.end,
+                nbytes=block.nbytes,
+                locations=tuple(block.replicas),
+            )
+            for block in file.blocks
+        ]

@@ -1,0 +1,14 @@
+"""Experiment harness: workload runner and per-figure reproductions."""
+
+from .figures import ALL_FIGURES, FigureResult
+from .workloads import RunSpec, active_cost_model, execute, make_cluster, set_cost_model
+
+__all__ = [
+    "ALL_FIGURES",
+    "FigureResult",
+    "RunSpec",
+    "active_cost_model",
+    "execute",
+    "make_cluster",
+    "set_cost_model",
+]

@@ -1,0 +1,29 @@
+"""Graph substrate: compact digraphs, log-normal generators, text I/O."""
+
+from .digraph import Digraph
+from .generators import (
+    lognormal_graph,
+    lognormal_out_degrees,
+    mu_for_mean_degree,
+    pagerank_graph,
+    sssp_graph,
+)
+from .io import (
+    format_adjacency_lines,
+    graph_to_records,
+    parse_adjacency_lines,
+    records_to_graph,
+)
+
+__all__ = [
+    "Digraph",
+    "lognormal_graph",
+    "lognormal_out_degrees",
+    "mu_for_mean_degree",
+    "pagerank_graph",
+    "sssp_graph",
+    "format_adjacency_lines",
+    "graph_to_records",
+    "parse_adjacency_lines",
+    "records_to_graph",
+]

@@ -1,0 +1,161 @@
+"""Synthetic graph generators following the paper's recipe (§4.1.2).
+
+The paper generates its synthetic evaluation graphs by fitting log-normal
+distributions to real graphs and sampling:
+
+* SSSP graphs — out-degree log-normal (σ=1.0, μ=1.5), link weights
+  log-normal (σ=1.2, μ=0.4);
+* PageRank graphs — out-degree log-normal (σ=2.0, μ=−0.5), unweighted.
+
+We use the same generative model.  For the real-graph *stand-ins* (DBLP,
+Facebook, Google web, Berkeley–Stanford) we keep the paper's σ and solve
+μ so the expected mean degree matches the published edge/node ratio —
+``mu = ln(mean_degree) - sigma**2 / 2`` for a log-normal.
+
+Targets are sampled uniformly, excluding self-loops, without duplicate
+edges per node (simple directed graphs, like the paper's web/social
+graphs).  Generation is seeded and fully deterministic.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from .digraph import Digraph
+
+__all__ = [
+    "lognormal_out_degrees",
+    "lognormal_graph",
+    "sssp_graph",
+    "pagerank_graph",
+    "mu_for_mean_degree",
+]
+
+#: Paper §4.1.2 parameters.
+SSSP_DEGREE_SIGMA = 1.0
+SSSP_DEGREE_MU = 1.5
+SSSP_WEIGHT_SIGMA = 1.2
+SSSP_WEIGHT_MU = 0.4
+PAGERANK_DEGREE_SIGMA = 2.0
+PAGERANK_DEGREE_MU = -0.5
+
+
+def mu_for_mean_degree(mean_degree: float, sigma: float) -> float:
+    """Log-normal location parameter giving the requested mean."""
+    if mean_degree <= 0:
+        raise ValueError("mean degree must be positive")
+    return math.log(mean_degree) - sigma * sigma / 2.0
+
+
+def lognormal_out_degrees(
+    num_nodes: int,
+    mu: float,
+    sigma: float,
+    rng: np.random.Generator,
+    min_degree: int = 1,
+) -> np.ndarray:
+    """Sample integer out-degrees, clipped to ``[min_degree, n-1]``.
+
+    ``min_degree=1`` avoids dangling nodes by default (the paper's
+    PageRank update, Eq. 1, leaks rank at dangling nodes; keeping one
+    outgoing edge per node makes convergence behaviour comparable across
+    graph sizes).
+    """
+    raw = rng.lognormal(mean=mu, sigma=sigma, size=num_nodes)
+    degrees = np.maximum(np.rint(raw).astype(np.int64), min_degree)
+    return np.minimum(degrees, max(num_nodes - 1, min_degree))
+
+
+def _sample_targets(num_nodes: int, degrees: np.ndarray, rng: np.random.Generator) -> tuple[np.ndarray, np.ndarray]:
+    """Pick each node's distinct non-self targets; returns (indptr, targets)."""
+    indptr = np.concatenate(([0], np.cumsum(degrees)))
+    targets = np.empty(indptr[-1], dtype=np.int64)
+    n = num_nodes
+    for u in range(n):
+        deg = degrees[u]
+        if deg == 0:
+            continue
+        lo, hi = indptr[u], indptr[u + 1]
+        if deg >= n - 1:
+            # Saturated: connect to everyone else.
+            chosen = np.arange(n - 1, dtype=np.int64)
+        elif deg > (n - 1) // 4:
+            # Dense node: exact sampling without replacement.
+            chosen = rng.choice(n - 1, size=deg, replace=False)
+        else:
+            # Sparse node: rejection via unique, top-up as needed.
+            chosen = np.unique(rng.integers(0, n - 1, size=deg))
+            while len(chosen) < deg:
+                extra = rng.integers(0, n - 1, size=deg - len(chosen))
+                chosen = np.unique(np.concatenate([chosen, extra]))
+            chosen = chosen[:deg]
+        # Map [0, n-2] onto node ids skipping u (no self-loops).
+        mapped = np.where(chosen >= u, chosen + 1, chosen)
+        targets[lo:hi] = mapped
+    return indptr, targets
+
+
+def lognormal_graph(
+    num_nodes: int,
+    *,
+    degree_mu: float,
+    degree_sigma: float,
+    weight_mu: float | None = None,
+    weight_sigma: float | None = None,
+    seed: int = 0,
+    min_degree: int = 1,
+) -> Digraph:
+    """Generate a simple directed graph with log-normal out-degrees.
+
+    If weight parameters are given, edge weights are sampled log-normally
+    (the SSSP datasets); otherwise the graph is unweighted (PageRank).
+    """
+    if num_nodes < 2:
+        raise ValueError("need at least 2 nodes")
+    rng = np.random.default_rng(seed)
+    degrees = lognormal_out_degrees(num_nodes, degree_mu, degree_sigma, rng, min_degree)
+    indptr, targets = _sample_targets(num_nodes, degrees, rng)
+    weights = None
+    if weight_mu is not None or weight_sigma is not None:
+        if weight_mu is None or weight_sigma is None:
+            raise ValueError("weight_mu and weight_sigma must be given together")
+        weights = rng.lognormal(mean=weight_mu, sigma=weight_sigma, size=len(targets))
+    return Digraph(indptr, targets, weights)
+
+
+def sssp_graph(num_nodes: int, *, mean_degree: float | None = None, seed: int = 0) -> Digraph:
+    """A weighted SSSP evaluation graph with the paper's parameters.
+
+    ``mean_degree`` overrides μ (used for the real-graph stand-ins whose
+    published edge/node ratios differ from the synthetic family's).
+    """
+    mu = (
+        SSSP_DEGREE_MU
+        if mean_degree is None
+        else mu_for_mean_degree(mean_degree, SSSP_DEGREE_SIGMA)
+    )
+    return lognormal_graph(
+        num_nodes,
+        degree_mu=mu,
+        degree_sigma=SSSP_DEGREE_SIGMA,
+        weight_mu=SSSP_WEIGHT_MU,
+        weight_sigma=SSSP_WEIGHT_SIGMA,
+        seed=seed,
+    )
+
+
+def pagerank_graph(num_nodes: int, *, mean_degree: float | None = None, seed: int = 0) -> Digraph:
+    """An unweighted PageRank evaluation graph with the paper's parameters."""
+    mu = (
+        PAGERANK_DEGREE_MU
+        if mean_degree is None
+        else mu_for_mean_degree(mean_degree, PAGERANK_DEGREE_SIGMA)
+    )
+    return lognormal_graph(
+        num_nodes,
+        degree_mu=mu,
+        degree_sigma=PAGERANK_DEGREE_SIGMA,
+        seed=seed,
+    )

@@ -1,0 +1,122 @@
+"""Text formats for graphs — the framework's supported input formats.
+
+The paper (§3.5): "iMapReduce supports automatically graph partitioning
+and graph loading for a few particular formatted graphs (including
+weighted and unweighted graphs)".  We support the two formats its example
+jobs use, one adjacency line per node:
+
+* unweighted:  ``<node>\\t<nbr> <nbr> ...``
+* weighted:    ``<node>\\t<nbr>:<weight> <nbr>:<weight> ...``
+
+These functions convert between :class:`~repro.graph.digraph.Digraph`,
+text lines, and the per-node records the DFS stores.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from .digraph import Digraph
+
+__all__ = [
+    "format_adjacency_lines",
+    "parse_adjacency_lines",
+    "graph_to_records",
+    "records_to_graph",
+]
+
+
+def format_adjacency_lines(graph: Digraph) -> list[str]:
+    """Render a graph in the framework's text format."""
+    lines: list[str] = []
+    for u, adjacency in graph.static_records():
+        if graph.weighted:
+            body = " ".join(f"{v}:{w:.4f}" for v, w in adjacency)
+        else:
+            body = " ".join(str(v) for v in adjacency)
+        lines.append(f"{u}\t{body}")
+    return lines
+
+
+def parse_adjacency_lines(lines: Iterable[str]) -> Digraph:
+    """Parse the text format back into a graph.
+
+    Node ids must be a contiguous ``0..n-1`` range (every node has a
+    line, possibly with an empty adjacency).
+    """
+    adjacency: dict[int, list[tuple[int, float] | int]] = {}
+    weighted: bool | None = None
+    for raw in lines:
+        line = raw.rstrip("\n")
+        if not line.strip():
+            continue
+        node_part, _, body = line.partition("\t")
+        u = int(node_part)
+        entries: list = []
+        for token in body.split():
+            if ":" in token:
+                if weighted is False:
+                    raise ValueError("mixed weighted/unweighted lines")
+                weighted = True
+                v, w = token.split(":", 1)
+                entries.append((int(v), float(w)))
+            else:
+                if weighted is True:
+                    raise ValueError("mixed weighted/unweighted lines")
+                weighted = False
+                entries.append(int(token))
+        if u in adjacency:
+            raise ValueError(f"duplicate adjacency line for node {u}")
+        adjacency[u] = entries
+    if not adjacency:
+        raise ValueError("no adjacency lines")
+    n = max(adjacency) + 1
+    if set(adjacency) != set(range(n)):
+        raise ValueError("node ids must cover 0..n-1")
+    edges: list[tuple[int, int]] = []
+    weights: list[float] = []
+    for u in range(n):
+        for entry in adjacency[u]:
+            if weighted:
+                v, w = entry
+                edges.append((u, v))
+                weights.append(w)
+            else:
+                edges.append((u, entry))
+    if not edges:
+        return Digraph(np.zeros(n + 1, dtype=np.int64), np.empty(0, dtype=np.int64))
+    return Digraph.from_edges(n, edges, weights if weighted else None)
+
+
+def graph_to_records(graph: Digraph) -> list[tuple[int, tuple]]:
+    """Per-node adjacency records — what gets ingested as static data."""
+    return list(graph.static_records())
+
+
+def records_to_graph(records: Iterable[tuple[int, tuple]]) -> Digraph:
+    """Rebuild a graph from static-data records (inverse of the above)."""
+    records = list(records)
+    if not records:
+        raise ValueError("no records")
+    n = max(u for u, _ in records) + 1
+    edges: list[tuple[int, int]] = []
+    weights: list[float] = []
+    weighted: bool | None = None
+    for u, adjacency in records:
+        for entry in adjacency:
+            if isinstance(entry, tuple):
+                if weighted is False:
+                    raise ValueError("mixed record kinds")
+                weighted = True
+                edges.append((u, entry[0]))
+                weights.append(entry[1])
+            else:
+                if weighted is True:
+                    raise ValueError("mixed record kinds")
+                weighted = False
+                edges.append((u, int(entry)))
+    if not edges:
+        return Digraph(np.zeros(n + 1, dtype=np.int64), np.empty(0, dtype=np.int64))
+    return Digraph.from_edges(n, edges, weights if weighted else None)

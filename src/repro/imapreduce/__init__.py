@@ -1,0 +1,20 @@
+"""The iMapReduce engine — the paper's contribution."""
+
+from .channels import IterationMailbox, StopIteration_
+from .job import AuxPhase, IterativeJob, IterativeRunResult, Phase
+from .localrun import LocalRunResult, run_local
+from .runtime import AuxContext, IMapReduceRuntime, LoadBalanceConfig
+
+__all__ = [
+    "IterationMailbox",
+    "StopIteration_",
+    "AuxPhase",
+    "IterativeJob",
+    "IterativeRunResult",
+    "Phase",
+    "LocalRunResult",
+    "run_local",
+    "AuxContext",
+    "IMapReduceRuntime",
+    "LoadBalanceConfig",
+]

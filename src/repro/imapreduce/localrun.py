@@ -1,0 +1,201 @@
+"""Serial reference executor for :class:`IterativeJob`.
+
+Runs the exact same job semantics as the distributed engine — same
+partitioning, same join, same phase chaining, same termination rules —
+but in plain Python with no cluster, no virtual time and no persistence.
+Its uses:
+
+* a correctness oracle: the distributed engine's final state must equal
+  this executor's, record for record (tests assert it);
+* a zero-setup way for library users to run an iterative job on small
+  data (the quickstart example).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+from ..common.records import group_by_key
+from ..mapreduce.api import Context
+from .job import IterativeJob
+from .runtime import AuxContext
+
+__all__ = ["LocalRunResult", "run_local"]
+
+
+@dataclass
+class LocalRunResult:
+    """Outcome of a serial run."""
+
+    state: list[tuple[Any, Any]]
+    iterations_run: int
+    converged: bool
+    terminated_by: str
+    distances: list[float | None] = field(default_factory=list)
+    #: State snapshots per iteration (only if ``keep_history=True``).
+    history: list[list[tuple[Any, Any]]] = field(default_factory=list)
+
+    def state_dict(self) -> dict:
+        return dict(self.state)
+
+
+def _order_key(key: Any):
+    return (type(key).__name__, key)
+
+
+def run_local(
+    job: IterativeJob,
+    state_records: Iterable[tuple[Any, Any]],
+    static_records: dict[str, Iterable[tuple[Any, Any]]] | None = None,
+    *,
+    num_pairs: int = 4,
+    keep_history: bool = False,
+) -> LocalRunResult:
+    """Execute ``job`` serially.
+
+    ``state_records`` is the initial state; ``static_records`` maps each
+    phase's ``static_path`` to its records (the DFS is not involved).
+    """
+    static_by_path = {k: dict(v) for k, v in (static_records or {}).items()}
+    phases = job.phases
+    partitioner = job.partitioner
+
+    def partition(records):
+        parts: list[list] = [[] for _ in range(num_pairs)]
+        for rec in records:
+            parts[partitioner(rec[0], num_pairs)].append(rec)
+        return parts
+
+    state_parts = partition(state_records)
+    static_parts: list[list[dict]] = []  # [phase][pair] -> key->static
+    for phase in phases:
+        table = static_by_path.get(phase.static_path or "", {})
+        per_pair: list[dict] = [{} for _ in range(num_pairs)]
+        for key, value in table.items():
+            per_pair[partitioner(key, num_pairs)][key] = value
+        static_parts.append(per_pair)
+
+    prev_state = {k: v for part in state_parts for k, v in part}
+    aux_map_state: list[dict] = [{} for _ in range((job.aux.num_tasks if job.aux else 0))]
+    aux_reduce_state: list[dict] = [
+        {} for _ in range((job.aux.num_tasks if job.aux else 0))
+    ]
+
+    distances: list[float | None] = []
+    history: list[list[tuple[Any, Any]]] = []
+    iterations_run = 0
+    terminated_by = ""
+    aux_stop = False
+    max_iterations = job.max_iterations if job.max_iterations is not None else 10**9
+
+    for iteration in range(max_iterations):
+        current = state_parts
+        for phase_index, phase in enumerate(phases):
+            one2all = phase.mapping == "one2all"
+            broadcast = (
+                sorted(
+                    (rec for part in current for rec in part),
+                    key=lambda kv: _order_key(kv[0]),
+                )
+                if one2all
+                else None
+            )
+            # ---- map ----
+            shuffled: list[list] = [[] for _ in range(num_pairs)]
+            for p in range(num_pairs):
+                ctx = Context()
+                static = static_parts[phase_index][p]
+                if one2all:
+                    for key, static_value in sorted(
+                        static.items(), key=lambda kv: _order_key(kv[0])
+                    ):
+                        phase.map_fn(key, broadcast, static_value, ctx)
+                else:
+                    for key, state_value in current[p]:
+                        phase.map_fn(key, state_value, static.get(key), ctx)
+                emitted = ctx.take()
+                if phase.combiner is not None:
+                    parts: dict[int, list] = defaultdict(list)
+                    for rec in emitted:
+                        parts[partitioner(rec[0], num_pairs)].append(rec)
+                    emitted = []
+                    for part_recs in parts.values():
+                        cctx = Context()
+                        for key, values in group_by_key(part_recs):
+                            phase.combiner(key, values, cctx)
+                        emitted.extend(cctx.take())
+                for rec in emitted:
+                    shuffled[partitioner(rec[0], num_pairs)].append(rec)
+            # ---- reduce ----
+            new_parts: list[list] = [[] for _ in range(num_pairs)]
+            for q in range(num_pairs):
+                ctx = Context()
+                for key, values in group_by_key(shuffled[q]):
+                    phase.reduce_fn(key, values, ctx)
+                out = ctx.take()
+                if phase_index == len(phases) - 1:
+                    new_parts[q] = out
+                else:
+                    for rec in out:
+                        new_parts[partitioner(rec[0], num_pairs)].append(rec)
+            current = new_parts
+        state_parts = current
+        iterations_run = iteration + 1
+
+        flat = [rec for part in state_parts for rec in part]
+        if keep_history:
+            history.append(sorted(flat, key=lambda kv: _order_key(kv[0])))
+
+        # ---- distance / termination (§3.1.2) ----
+        distance: float | None = None
+        if job.distance_fn is not None:
+            distance = sum(
+                job.distance_fn(key, prev_state.get(key), value) for key, value in flat
+            )
+        distances.append(distance)
+        prev_state = dict(flat)
+
+        # ---- auxiliary phase (§5.3) ----
+        if job.aux is not None:
+            aux = job.aux
+            aux_shuffled: list[list] = [[] for _ in range(aux.num_tasks)]
+            parts: list[list] = [[] for _ in range(aux.num_tasks)]
+            for rec in flat:
+                parts[partitioner(rec[0], aux.num_tasks)].append(rec)
+            for t in range(aux.num_tasks):
+                actx = AuxContext(aux_map_state[t])
+                for key, value in parts[t]:
+                    aux.map_fn(key, value, actx)
+                for rec in actx.take():
+                    aux_shuffled[partitioner(rec[0], aux.num_tasks)].append(rec)
+            for t in range(aux.num_tasks):
+                actx = AuxContext(aux_reduce_state[t])
+                for key, values in group_by_key(aux_shuffled[t]):
+                    aux.reduce_fn(key, values, actx)
+                if actx.terminate_requested:
+                    aux_stop = True
+
+        if aux_stop:
+            terminated_by = "aux"
+            break
+        if job.threshold is not None and distance is not None and distance <= job.threshold:
+            terminated_by = "threshold"
+            break
+    else:
+        terminated_by = "maxiter"
+    if not terminated_by:
+        terminated_by = "maxiter"
+
+    final = sorted(
+        (rec for part in state_parts for rec in part), key=lambda kv: _order_key(kv[0])
+    )
+    return LocalRunResult(
+        state=final,
+        iterations_run=iterations_run,
+        converged=terminated_by == "threshold",
+        terminated_by=terminated_by,
+        distances=distances,
+        history=history,
+    )

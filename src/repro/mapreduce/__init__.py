@@ -1,0 +1,25 @@
+"""Hadoop-like baseline MapReduce engine on the simulated cluster."""
+
+from .api import Combiner, Context, Mapper, Reducer, as_mapper, as_reducer
+from .costmodel import DEFAULT_COST_MODEL, CostModel
+from .driver import IterativeDriver, IterativeResult, IterativeSpec
+from .job import Job, JobResult, JobStats
+from .runtime import MapReduceRuntime
+
+__all__ = [
+    "Combiner",
+    "Context",
+    "Mapper",
+    "Reducer",
+    "as_mapper",
+    "as_reducer",
+    "DEFAULT_COST_MODEL",
+    "CostModel",
+    "IterativeDriver",
+    "IterativeResult",
+    "IterativeSpec",
+    "Job",
+    "JobResult",
+    "JobStats",
+    "MapReduceRuntime",
+]

@@ -1,0 +1,106 @@
+"""Calibrated virtual-time cost model.
+
+Every second of virtual time the engines charge comes from here.  The
+structure (what is charged where) is what produces the paper's effects;
+the constants set the *proportions*:
+
+* ``job_setup``/``job_cleanup``/``task_launch`` — per-job and per-task
+  scheduling overhead.  The Hadoop baseline pays these every iteration;
+  iMapReduce pays them once (§3.1, "one-time initialization", measured at
+  ~10–20% of baseline running time in Figs. 4–7).
+* per-record CPU costs — map/emit/sort/reduce work per record.  Emit,
+  sort and reduce-value costs are paid per *shuffled* record, so shipping
+  the static data every iteration (the baseline) costs CPU in proportion
+  to its size, on top of wire bytes — together the "static data
+  shuffling" factor (~20–30%).
+* bytes cross the disk/NIC pipes priced by the serialization model.
+
+Provenance of the defaults: our stand-in datasets are ~20× smaller than
+the paper's (DESIGN.md §2), so per-record costs are set ~20× above
+2009-era Hadoop per-record costs (tens of microseconds); this keeps the
+*shares* of init/compute/shuffle per iteration in the bands the paper
+measured while absolute virtual times land within a small factor of the
+paper's (hundreds of seconds per multi-iteration run).  The calibration
+test (tests/experiments/test_calibration.py) pins the bands.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+__all__ = ["CostModel", "DEFAULT_COST_MODEL"]
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Virtual-time prices (seconds; per-record values are reference
+    CPU-seconds, divided by a machine's ``cpu_speed`` when charged)."""
+
+    # -- control plane -----------------------------------------------------
+    job_setup: float = 2.0  # job submission, split computation, task creation
+    job_cleanup: float = 1.0  # commit outputs, tear down tasks
+    task_launch: float = 1.0  # per-task scheduling + JVM start
+    heartbeat: float = 0.2  # master<->worker control-message latency
+    #: Latency of releasing a *synchronous* global iteration barrier: the
+    #: master learns every reduce finished and reactivates the dormant
+    #: maps through the Hadoop control plane, which acts on TaskTracker
+    #: heartbeat boundaries (3 s default in the Hadoop 0.19/0.20 the
+    #: paper builds on).  Asynchronous execution (§3.3) bypasses this
+    #: entirely — state arrives on the persistent sockets — which is the
+    #: "synchronization overhead" the paper's third factor removes.
+    sync_release_latency: float = 3.0
+
+    # -- data plane (per record) -----------------------------------------------
+    map_record_cpu: float = 0.4e-3  # run the user map on one input record
+    emit_record_cpu: float = 0.1e-3  # partition + collect one map output
+    sort_record_cpu: float = 0.005e-3  # × log2(n): sort/merge at the reducer
+    reduce_value_cpu: float = 0.2e-3  # merge + user reduce per input value
+    combine_value_cpu: float = 0.05e-3  # map-side combiner per input value
+    join_record_cpu: float = 0.1e-3  # iMapReduce state⋈static join per record
+    distance_record_cpu: float = 0.02e-3  # per-record distance() evaluation
+
+    # -- data plane (per byte) ---------------------------------------------------
+    # Serialization at the map output and deserialization/merge at the
+    # reduce input.  These carry the *size*-proportional half of shuffle
+    # cost, so fat records (adjacency lists riding the baseline's shuffle)
+    # cost more than the small state records — the effect behind the
+    # paper's "static data shuffling" factor.  Values are effective rates
+    # for the ~20×-scaled-down datasets (DESIGN.md §2): real Hadoop
+    # serialization is ~20× cheaper per byte, and our files are ~20×
+    # smaller, so the time *shares* match the paper's.
+    serialize_byte_cpu: float = 0.25e-6
+    merge_byte_cpu: float = 0.25e-6
+
+    #: Amplitude of the deterministic per-(task, iteration) service-time
+    #: variation.  Real tasks never take exactly their mean time — GC
+    #: pauses, I/O interference and OS scheduling add transient noise —
+    #: and this texture is what §3.3's asynchronous map execution absorbs
+    #: (a pair slow in one iteration starts its next map without waiting
+    #: for the global barrier).  The multiplier is a pure function of the
+    #: key, so runs stay bit-reproducible and both engines see identical
+    #: per-task noise.
+    noise_amplitude: float = 0.2
+
+    def sort_cost(self, num_records: int) -> float:
+        """n·log₂(n) comparison-sort cost for ``num_records`` records."""
+        if num_records <= 1:
+            return 0.0
+        return self.sort_record_cpu * num_records * math.log2(num_records)
+
+    def noisy(self, work: float, *key) -> float:
+        """Apply the deterministic service-time variation to ``work``."""
+        if self.noise_amplitude <= 0:
+            return work
+        from ..common.partition import stable_hash
+
+        unit = (stable_hash(tuple(key)) % 10_000) / 10_000.0  # [0, 1)
+        return work * (1.0 + self.noise_amplitude * (2.0 * unit - 1.0))
+
+    def with_overrides(self, **kwargs) -> "CostModel":
+        """A copy with selected constants replaced (ablation studies)."""
+        return replace(self, **kwargs)
+
+
+#: The calibration used by every experiment unless overridden.
+DEFAULT_COST_MODEL = CostModel()

@@ -1,0 +1,93 @@
+"""Job descriptions and results for the Hadoop-like baseline engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from ..common.config import JobConf
+from ..common.errors import ConfigError
+from ..common.partition import HashPartitioner, Partitioner
+from .api import Combiner, Mapper, Reducer, as_mapper, as_reducer
+
+__all__ = ["Job", "JobStats", "JobResult"]
+
+
+@dataclass
+class Job:
+    """One MapReduce job: what Hadoop's ``JobConf`` + ``JobClient`` carry.
+
+    ``input_paths`` name DFS files (a previous job's ``part-*`` outputs or
+    ingested input); ``output_path`` is a directory-like prefix under
+    which the job writes ``part-NNNNN`` files, one per reduce task.
+    """
+
+    name: str
+    mapper: Mapper | Callable
+    reducer: Reducer | Callable
+    input_paths: Sequence[str]
+    output_path: str
+    num_reduces: int = 4
+    combiner: Combiner | Callable | None = None
+    partitioner: Partitioner = field(default_factory=HashPartitioner)
+    conf: JobConf = field(default_factory=JobConf)
+    #: Distributed-cache style side files: every map task reads these from
+    #: the DFS before mapping and, if the mapper defines
+    #: ``configure(side_data)``, passes ``{path: records}`` to it (how
+    #: Hadoop K-means ships the centroids to every mapper).
+    side_inputs: Sequence[str] = ()
+
+    def __post_init__(self):
+        if not self.input_paths:
+            raise ConfigError(f"job {self.name!r}: no input paths")
+        if self.num_reduces < 1:
+            raise ConfigError(f"job {self.name!r}: num_reduces must be >= 1")
+        self.mapper = as_mapper(self.mapper)
+        self.reducer = as_reducer(self.reducer)
+        if self.combiner is not None:
+            self.combiner = as_reducer(self.combiner)
+
+    def part_path(self, index: int) -> str:
+        return f"{self.output_path}/part-{index:05d}"
+
+    def output_part_paths(self) -> list[str]:
+        return [self.part_path(r) for r in range(self.num_reduces)]
+
+
+@dataclass(frozen=True, slots=True)
+class JobStats:
+    """Per-job accounting the iterative driver folds into RunMetrics.
+
+    ``init_time`` follows the paper's §4.2 measurement: job submission to
+    the averaged instant map tasks begin their map operation, plus the
+    cleanup tail.
+    """
+
+    init_time: float
+    map_records: int
+    reduce_records: int
+    output_records: int
+    shuffle_records: int
+    shuffle_bytes: int
+    network_bytes: int
+    num_map_tasks: int
+    num_reduce_tasks: int
+
+
+@dataclass
+class JobResult:
+    """Outcome of one job run."""
+
+    job: Job
+    start: float
+    end: float
+    counters: dict[str, float]
+    stats: JobStats
+    output_paths: list[str]
+
+    @property
+    def elapsed(self) -> float:
+        return self.end - self.start
+
+    def counter(self, name: str, default: float = 0.0) -> float:
+        return self.counters.get(name, default)

@@ -1,0 +1,14 @@
+"""Metrics collected by both engines and consumed by the figure harness."""
+
+from .collector import IterationMetrics, RunMetrics
+from .report import compare_runs, format_run
+from .trace import TraceEvent, Tracer
+
+__all__ = [
+    "IterationMetrics",
+    "RunMetrics",
+    "compare_runs",
+    "format_run",
+    "TraceEvent",
+    "Tracer",
+]

@@ -1,0 +1,110 @@
+"""Run metrics: everything the paper's figures plot.
+
+Both engines fill one :class:`RunMetrics` per job run, with one
+:class:`IterationMetrics` per iteration.  The figure harness then derives
+the paper's curves:
+
+* time vs. iteration (Figs. 4–7) — :meth:`RunMetrics.cumulative_times`;
+* the "(ex. init.)" variant — the same curve minus accumulated
+  initialization time;
+* communication cost (Fig. 11) — network byte counters;
+* factor decomposition (Fig. 10) — init share measured directly, the
+  async/static shares measured by differencing runs (as the paper does,
+  §4.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["IterationMetrics", "RunMetrics"]
+
+
+@dataclass
+class IterationMetrics:
+    """Costs attributed to one iteration of an iterative run."""
+
+    index: int
+    start: float
+    end: float
+    #: Job/task initialization time within the iteration (per-iteration
+    #: job setup + task launches; zero in iMapReduce's steady state).
+    init_time: float = 0.0
+    #: Logical bytes shuffled map→reduce (includes local-destination data).
+    shuffle_bytes: int = 0
+    #: Logical bytes passed reduce→map (iMapReduce state channels).
+    state_bytes: int = 0
+    #: Bytes that crossed NIC uplinks during the iteration.
+    network_bytes: int = 0
+    #: Records processed, for sanity checks.
+    map_records: int = 0
+    reduce_records: int = 0
+    #: Result of the user distance() merge (None if not measured).
+    distance: float | None = None
+
+    @property
+    def elapsed(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class RunMetrics:
+    """Aggregate metrics for one run (a whole iterative computation)."""
+
+    label: str
+    start: float = 0.0
+    end: float = 0.0
+    iterations: list[IterationMetrics] = field(default_factory=list)
+    #: One-time costs outside any iteration (iMapReduce's initial data
+    #: loading, the final DFS dump).
+    setup_time: float = 0.0
+    teardown_time: float = 0.0
+    #: Total NIC bytes for the whole run.
+    network_bytes: int = 0
+    #: Free-form engine-specific detail (e.g. migrations performed).
+    extras: dict = field(default_factory=dict)
+
+    # -- derived ---------------------------------------------------------
+    @property
+    def total_time(self) -> float:
+        return self.end - self.start
+
+    @property
+    def num_iterations(self) -> int:
+        return len(self.iterations)
+
+    @property
+    def total_init_time(self) -> float:
+        return self.setup_time + sum(it.init_time for it in self.iterations)
+
+    @property
+    def total_shuffle_bytes(self) -> int:
+        return sum(it.shuffle_bytes for it in self.iterations)
+
+    @property
+    def total_state_bytes(self) -> int:
+        return sum(it.state_bytes for it in self.iterations)
+
+    def cumulative_times(self) -> list[tuple[int, float]]:
+        """``(iteration_number, elapsed_since_run_start)`` pairs — the
+        x/y series of the paper's time-vs-iterations plots."""
+        return [(it.index + 1, it.end - self.start) for it in self.iterations]
+
+    def cumulative_times_excluding_init(self) -> list[tuple[int, float]]:
+        """The paper's "(ex. init.)" curve: elapsed time with all job/task
+        initialization (including run setup) subtracted as it accrues."""
+        series = []
+        saved = self.setup_time
+        for it in self.iterations:
+            saved += it.init_time
+            series.append((it.index + 1, (it.end - self.start) - saved))
+        return series
+
+    def time_for_iterations(self, k: int) -> float:
+        """Elapsed time from run start through the end of iteration ``k``
+        (1-based); the run's total if ``k`` exceeds the iteration count."""
+        if not self.iterations:
+            return self.total_time
+        if k >= len(self.iterations):
+            return self.total_time
+        return self.iterations[k - 1].end - self.start

@@ -1,0 +1,120 @@
+"""Structured execution tracing.
+
+Pass a :class:`Tracer` to either runtime to capture a timeline of what
+the engines did — task lifecycles, iteration boundaries, checkpoints,
+migrations, recoveries.  Tracing is pure observation: it never advances
+virtual time, so traced and untraced runs are time-identical.
+
+::
+
+    tracer = Tracer()
+    runtime = IMapReduceRuntime(cluster, dfs, trace=tracer)
+    runtime.submit(job)
+    print(tracer.timeline())          # per-worker ASCII timeline
+    starts = tracer.select("map-iteration-start", pair=3)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["TraceEvent", "Tracer"]
+
+
+@dataclass(frozen=True, slots=True)
+class TraceEvent:
+    """One observed occurrence."""
+
+    time: float
+    kind: str
+    fields: dict
+
+    def __getattr__(self, name: str) -> Any:
+        try:
+            return self.fields[name]
+        except KeyError:
+            raise AttributeError(name) from None
+
+
+@dataclass
+class Tracer:
+    """Collects :class:`TraceEvent`, with simple query helpers."""
+
+    events: list[TraceEvent] = field(default_factory=list)
+
+    def emit(self, time: float, kind: str, **fields: Any) -> None:
+        self.events.append(TraceEvent(time, kind, fields))
+
+    # -- queries ----------------------------------------------------------
+    def select(self, kind: str | None = None, **field_filters: Any) -> list[TraceEvent]:
+        """Events of ``kind`` whose fields match every filter."""
+        out = []
+        for event in self.events:
+            if kind is not None and event.kind != kind:
+                continue
+            if all(event.fields.get(k) == v for k, v in field_filters.items()):
+                out.append(event)
+        return out
+
+    def kinds(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for event in self.events:
+            counts[event.kind] = counts.get(event.kind, 0) + 1
+        return counts
+
+    def clear(self) -> None:
+        self.events.clear()
+
+    # -- rendering ---------------------------------------------------------
+    def timeline(self, width: int = 72) -> str:
+        """An ASCII per-worker timeline of task activity.
+
+        Spans come from paired ``*-start``/``*-end`` events carrying a
+        ``worker`` field; each worker gets one row, with ``m``/``r``
+        marks for map/reduce activity and ``C``/``!`` overlays for
+        checkpoints and failures.
+        """
+        spans: list[tuple[str, float, float, str]] = []  # worker, t0, t1, glyph
+        open_spans: dict[tuple, float] = {}
+        marks: list[tuple[str, float, str]] = []
+        for event in self.events:
+            worker = event.fields.get("worker")
+            if worker is None:
+                continue
+            if event.kind.endswith("-start"):
+                open_spans[(event.kind[:-6], worker, event.fields.get("task"))] = event.time
+            elif event.kind.endswith("-end"):
+                key = (event.kind[:-4], worker, event.fields.get("task"))
+                start = open_spans.pop(key, None)
+                if start is not None:
+                    glyph = "r" if "reduce" in event.kind else "m"
+                    spans.append((worker, start, event.time, glyph))
+            elif event.kind == "checkpoint":
+                marks.append((worker, event.time, "C"))
+            elif event.kind in ("worker-failure", "recovery"):
+                marks.append((worker, event.time, "!"))
+        if not spans and not marks:
+            return "(no spans recorded)"
+        t0 = min([s[1] for s in spans] + [m[1] for m in marks])
+        t1 = max([s[2] for s in spans] + [m[1] for m in marks])
+        horizon = max(t1 - t0, 1e-9)
+
+        def col(t: float) -> int:
+            return min(width - 1, int((t - t0) / horizon * width))
+
+        workers = sorted({s[0] for s in spans} | {m[0] for m in marks})
+        rows = []
+        for worker in workers:
+            cells = [" "] * width
+            for w, a, b, glyph in spans:
+                if w != worker:
+                    continue
+                for c in range(col(a), col(b) + 1):
+                    cells[c] = glyph
+            for w, t, glyph in marks:
+                if w == worker:
+                    cells[col(t)] = glyph
+            rows.append(f"{worker:>10} |{''.join(cells)}|")
+        header = f"{'':>10}  t={t0:.1f}s{'':>{max(width - 18, 1)}}t={t1:.1f}s"
+        return "\n".join([header] + rows)

@@ -1,0 +1,18 @@
+"""Deterministic discrete-event simulation kernel (SimPy-like subset)."""
+
+from .core import Engine
+from .events import AllOf, AnyOf, Event, Interrupt, Timeout
+from .process import Process
+from .resources import Resource, Store
+
+__all__ = [
+    "Engine",
+    "AllOf",
+    "AnyOf",
+    "Event",
+    "Interrupt",
+    "Timeout",
+    "Process",
+    "Resource",
+    "Store",
+]

@@ -1,0 +1,205 @@
+"""Event primitives for the discrete-event kernel.
+
+An :class:`Event` is a one-shot occurrence with a value.  Simulated
+processes (generator coroutines, see :mod:`repro.simulation.process`)
+``yield`` events to wait on them.  The design follows SimPy's proven
+semantics, restricted to what the two MapReduce engines need:
+
+* ``Event`` — manually triggered via :meth:`Event.succeed` / :meth:`fail`.
+* ``Timeout`` — succeeds after a virtual-time delay.
+* ``AllOf`` / ``AnyOf`` — composite conditions.
+* ``Interrupt`` — the exception thrown into a process by
+  ``Process.interrupt`` (used for task migration and fault injection).
+
+Triggering an event does not run its callbacks synchronously; the event is
+pushed onto the engine's queue and its callbacks run when it is popped.
+This keeps the execution order a pure function of ``(time, priority,
+insertion sequence)`` — the determinism the experiments rely on.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Iterable
+
+from ..common.errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .core import Engine
+
+__all__ = ["Event", "Timeout", "AllOf", "AnyOf", "Interrupt", "URGENT", "NORMAL"]
+
+#: Queue priorities: urgent events (interrupts) preempt same-time events.
+URGENT = 0
+NORMAL = 1
+
+_PENDING = object()
+
+
+class Event:
+    """A one-shot occurrence in virtual time."""
+
+    def __init__(self, engine: "Engine"):
+        self.engine = engine
+        self.callbacks: list[Callable[["Event"], None]] | None = []
+        self._value: Any = _PENDING
+        self._ok: bool | None = None
+        #: Set when a failure was delivered to at least one waiter (or
+        #: explicitly defused); undelivered failures crash the engine run.
+        self.defused = False
+
+    # -- state -----------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once succeed()/fail() has been called."""
+        return self._value is not _PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        if self._ok is None:
+            raise SimulationError("event not yet triggered")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        if self._value is _PENDING:
+            raise SimulationError("event value not yet available")
+        return self._value
+
+    # -- triggering -------------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        if self.triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        self._ok = True
+        self._value = value
+        self.engine._push(self, NORMAL)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        if not isinstance(exception, BaseException):
+            raise SimulationError("fail() requires an exception instance")
+        if self.triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        self._ok = False
+        self._value = exception
+        self.engine._push(self, NORMAL)
+        return self
+
+    def trigger(self, other: "Event") -> None:
+        """Trigger with the same outcome as an already-triggered event."""
+        if other._ok:
+            self.succeed(other._value)
+        else:
+            self.fail(other._value)
+
+    # -- engine hook -------------------------------------------------------
+    def _process(self) -> None:
+        """Run callbacks.  Called exactly once by the engine."""
+        callbacks, self.callbacks = self.callbacks, None
+        assert callbacks is not None
+        for callback in callbacks:
+            callback(self)
+        if self._ok is False and not self.defused:
+            # A failure nobody waited on: surface it instead of losing it.
+            raise self._value
+
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        if self.callbacks is None:
+            # Already processed: run at once (matches SimPy semantics for
+            # waiting on a past event via Condition machinery).
+            callback(self)
+        else:
+            self.callbacks.append(callback)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "processed" if self.processed else ("triggered" if self.triggered else "pending")
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that succeeds ``delay`` virtual seconds after creation."""
+
+    def __init__(self, engine: "Engine", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay}")
+        super().__init__(engine)
+        self.delay = float(delay)
+        self._ok = True
+        self._value = value
+        engine._push(self, NORMAL, delay=self.delay)
+
+    def succeed(self, value: Any = None) -> "Event":  # pragma: no cover
+        raise SimulationError("Timeout cannot be re-triggered")
+
+    fail = succeed  # type: ignore[assignment]
+
+
+class _Condition(Event):
+    """Common machinery for AllOf/AnyOf."""
+
+    def __init__(self, engine: "Engine", events: Iterable[Event]):
+        super().__init__(engine)
+        self.events: tuple[Event, ...] = tuple(events)
+        self._pending = 0
+        for event in self.events:
+            if not isinstance(event, Event):
+                raise SimulationError(f"condition over non-event: {event!r}")
+            if event.engine is not engine:
+                raise SimulationError("condition mixes events from two engines")
+        if not self.events:
+            self.succeed(())
+            return
+        self._pending = len(self.events)
+        for event in self.events:
+            event.add_callback(self._on_child)
+
+    def _on_child(self, event: Event) -> None:
+        raise NotImplementedError
+
+
+class AllOf(_Condition):
+    """Succeeds (with the tuple of child values) when every child has
+    succeeded; fails fast with the first child failure."""
+
+    def _on_child(self, event: Event) -> None:
+        if self.triggered:
+            if event._ok is False:
+                event.defused = True
+            return
+        if event._ok is False:
+            event.defused = True
+            self.fail(event._value)
+            return
+        self._pending -= 1
+        if self._pending == 0:
+            self.succeed(tuple(child._value for child in self.events))
+
+
+class AnyOf(_Condition):
+    """Succeeds with ``(event, value)`` of the first child to succeed."""
+
+    def _on_child(self, event: Event) -> None:
+        if self.triggered:
+            if event._ok is False:
+                event.defused = True
+            return
+        if event._ok is False:
+            event.defused = True
+            self.fail(event._value)
+            return
+        self.succeed((event, event._value))
+
+
+class Interrupt(Exception):
+    """Thrown into a process by ``Process.interrupt(cause)``."""
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+
+    @property
+    def cause(self) -> Any:
+        return self.args[0]

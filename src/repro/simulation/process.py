@@ -1,0 +1,129 @@
+"""Simulated processes: generator coroutines driven by the engine.
+
+A process body is a generator that ``yield``\\ s :class:`Event` objects;
+the process sleeps until the yielded event triggers, then resumes with the
+event's value (or the event's exception thrown in).  A process is itself
+an event, succeeding with the generator's return value — so processes can
+wait on each other, and :class:`~repro.simulation.events.AllOf` over
+processes is the fork/join pattern both engines use for task barriers.
+
+``interrupt`` throws :class:`~repro.simulation.events.Interrupt` into the
+process at its current wait point.  It is how the iMapReduce master kills
+task pairs for migration (§3.4.2) and how fault injection kills every
+process on a failed worker (§3.4.1).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator
+
+from ..common.errors import SimulationError
+from .events import URGENT, Event, Interrupt
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .core import Engine
+
+__all__ = ["Process"]
+
+
+class Process(Event):
+    """An event wrapping a running generator."""
+
+    def __init__(self, engine: "Engine", generator: Generator[Event, Any, Any], name: str = ""):
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise SimulationError(f"process body must be a generator, got {type(generator).__name__}")
+        super().__init__(engine)
+        self.name = name or getattr(generator, "__name__", "process")
+        self._generator = generator
+        self._target: Event | None = None
+        # Kick-start on the engine queue (urgent so a process created at
+        # time t observes time t before any normal event at t fires).
+        start = Event(engine)
+        start._ok = True
+        start._value = None
+        start.add_callback(self._resume)
+        engine._push(start, URGENT)
+
+    # -- state -------------------------------------------------------------
+    @property
+    def is_alive(self) -> bool:
+        return not self.triggered
+
+    @property
+    def target(self) -> Event | None:
+        """The event this process is currently waiting on (None if running
+        or finished)."""
+        return self._target
+
+    # -- interruption --------------------------------------------------------
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at its wait point.
+
+        No-op if the process already finished.  The interrupt is delivered
+        via an urgent event so it preempts normal events scheduled for the
+        same instant.
+        """
+        if self.triggered:
+            return
+        carrier = Event(self.engine)
+        carrier._ok = False
+        carrier._value = Interrupt(cause)
+        carrier.defused = True
+        # Detach from the current target so its eventual trigger does not
+        # resume us a second time.
+        if self._target is not None and self._target.callbacks is not None:
+            try:
+                self._target.callbacks.remove(self._resume)
+            except ValueError:  # pragma: no cover - already detached
+                pass
+        self._target = None
+        carrier.add_callback(self._resume)
+        self.engine._push(carrier, URGENT)
+
+    # -- engine hook -----------------------------------------------------------
+    def _resume(self, event: Event) -> None:
+        if self.triggered:  # interrupted and finished before delivery
+            if event._ok is False:
+                event.defused = True
+            return
+        self.engine._active_process = self
+        try:
+            if event._ok:
+                next_target = self._generator.send(event._value)
+            else:
+                event.defused = True
+                next_target = self._generator.throw(event._value)
+        except StopIteration as stop:
+            self._target = None
+            self.succeed(stop.value)
+            return
+        except Interrupt as exc:
+            # An uncaught interrupt terminates the process "cleanly": the
+            # killer knew what it was doing (migration / fault injection).
+            self._target = None
+            self._ok = True
+            self._value = exc.cause
+            self.engine._push(self, URGENT)
+            return
+        except BaseException as exc:
+            self._target = None
+            self.fail(exc)
+            return
+        finally:
+            self.engine._active_process = None
+
+        if not isinstance(next_target, Event):
+            error = SimulationError(
+                f"process {self.name!r} yielded non-event {next_target!r}"
+            )
+            self._generator.close()
+            self._target = None
+            self.fail(error)
+            return
+        if next_target.engine is not self.engine:
+            raise SimulationError("process yielded an event from another engine")
+        self._target = next_target
+        next_target.add_callback(self._resume)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Process {self.name} {'alive' if self.is_alive else 'done'}>"

@@ -1,0 +1,143 @@
+"""Shared resources for simulated processes.
+
+* :class:`Resource` — ``capacity`` identical servers with a FIFO wait
+  queue.  Models CPU cores and task slots.
+* :class:`Store` — an unbounded FIFO of items with blocking ``get``.
+  Models the persistent reduce→map socket channels (§3.2.1) and the
+  master's report mailbox.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Any, Generator
+
+from ..common.errors import SimulationError
+from .events import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .core import Engine
+
+__all__ = ["Resource", "Store"]
+
+
+class Resource:
+    """``capacity`` servers, granted in strict FIFO order.
+
+    Usage from a process body::
+
+        grant = resource.request()
+        yield grant
+        try:
+            yield engine.timeout(work)
+        finally:
+            resource.release()
+    """
+
+    def __init__(self, engine: "Engine", capacity: int = 1):
+        if capacity < 1:
+            raise SimulationError(f"resource capacity must be >= 1, got {capacity}")
+        self.engine = engine
+        self.capacity = capacity
+        self._in_use = 0
+        self._waiters: deque[Event] = deque()
+
+    @property
+    def in_use(self) -> int:
+        return self._in_use
+
+    @property
+    def queued(self) -> int:
+        return len(self._waiters)
+
+    def request(self) -> Event:
+        """Return an event that succeeds when a server is granted."""
+        grant = Event(self.engine)
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            grant.succeed()
+        else:
+            self._waiters.append(grant)
+        return grant
+
+    def release(self) -> None:
+        """Release one server (caller must hold one)."""
+        if self._in_use <= 0:
+            raise SimulationError("release() without a matching request()")
+        # Hand the server straight to the next waiter, if any.
+        while self._waiters:
+            waiter = self._waiters.popleft()
+            if waiter.triggered:  # waiter was cancelled/interrupted
+                continue
+            waiter.succeed()
+            return
+        self._in_use -= 1
+
+    def cancel(self, grant: Event) -> None:
+        """Withdraw a pending request (used when a task is killed while
+        queued for a CPU)."""
+        if grant.triggered:
+            return
+        try:
+            self._waiters.remove(grant)
+        except ValueError:
+            pass
+        grant.defused = True
+        grant._ok = True  # mark resolved so release-loop skips it
+        grant._value = None
+
+    def use(self, duration: float) -> Generator[Event, Any, None]:
+        """Process helper: hold one server for ``duration`` seconds."""
+        grant = self.request()
+        try:
+            yield grant
+            yield self.engine.timeout(duration)
+        finally:
+            if grant.triggered and grant.processed:
+                self.release()
+            elif grant.triggered:
+                # Granted but the grant event was still in-queue when we
+                # were interrupted: the server was committed; release it.
+                self.release()
+            else:
+                self.cancel(grant)
+
+
+class Store:
+    """Unbounded FIFO channel.
+
+    ``put`` never blocks (buffer capacity is modelled in time by the
+    sender paying transfer cost before putting, not by back-pressure).
+    ``get`` returns an event succeeding with the oldest item.
+    """
+
+    def __init__(self, engine: "Engine"):
+        self.engine = engine
+        self._items: deque[Any] = deque()
+        self._getters: deque[Event] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> None:
+        while self._getters:
+            getter = self._getters.popleft()
+            if getter.triggered:
+                continue
+            getter.succeed(item)
+            return
+        self._items.append(item)
+
+    def get(self) -> Event:
+        event = Event(self.engine)
+        if self._items:
+            event.succeed(self._items.popleft())
+        else:
+            self._getters.append(event)
+        return event
+
+    def drain(self) -> list[Any]:
+        """Remove and return all buffered items without waiting."""
+        items = list(self._items)
+        self._items.clear()
+        return items

@@ -1,0 +1,10 @@
+"""Fixtures for algorithm tests."""
+
+import pytest
+
+from tests.algorithms.support import Rig
+
+
+@pytest.fixture
+def rig():
+    return Rig()

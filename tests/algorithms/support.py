@@ -1,0 +1,35 @@
+"""Shared fixtures for algorithm tests: a small cluster + DFS, plus
+helpers to run both engines and read results back."""
+
+
+from repro.cluster import local_cluster
+from repro.dfs import DFS
+from repro.imapreduce import IMapReduceRuntime
+from repro.mapreduce import IterativeDriver, MapReduceRuntime
+from repro.simulation import Engine
+
+
+class Rig:
+    """One simulated cluster with both engines attached."""
+
+    def __init__(self, nodes=4, block_size=256 * 1024, replication=2):
+        self.engine = Engine()
+        self.cluster = local_cluster(self.engine, nodes)
+        self.dfs = DFS(self.cluster, block_size=block_size, replication=replication)
+        self.mr = MapReduceRuntime(self.cluster, self.dfs)
+        self.driver = IterativeDriver(self.mr)
+        self.imr = IMapReduceRuntime(self.cluster, self.dfs)
+
+    def ingest(self, path, records):
+        self.dfs.ingest(path, records)
+
+    def read(self, paths, reader="node0"):
+        def body():
+            acc = []
+            for path in paths:
+                acc.extend((yield from self.dfs.read_all(path, reader)))
+            return acc
+
+        return self.engine.run(self.engine.process(body()))
+
+

@@ -1,0 +1,76 @@
+"""Connected components correctness vs scipy/networkx."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import components
+from repro.graph import Digraph, lognormal_graph
+
+from tests.algorithms.support import Rig
+
+# A sparse directed graph with several weak components.
+GRAPH = Digraph.from_edges(
+    12,
+    [(0, 1), (1, 2), (2, 0), (3, 4), (5, 4), (6, 7), (8, 9), (9, 10)],
+)
+
+
+def run_imr(rig, graph, max_iterations=None, converge=True):
+    rig.ingest("/cc/state", components.initial_state(graph))
+    rig.ingest("/cc/static", components.static_records(graph))
+    job = components.build_imr_job(
+        state_path="/cc/state",
+        static_path="/cc/static",
+        output_path="/cc/out",
+        max_iterations=max_iterations or 50,
+        converge=converge,
+    )
+    result = rig.imr.submit(job)
+    state = dict(rig.read(result.final_paths))
+    return np.array([state[u] for u in range(graph.num_nodes)]), result
+
+
+def test_matches_scipy_components(rig):
+    labels, result = run_imr(rig, GRAPH)
+    expected = components.reference_components(GRAPH)
+    np.testing.assert_array_equal(labels, expected)
+    assert result.converged
+
+
+def test_isolated_nodes_keep_own_label(rig):
+    labels, _ = run_imr(rig, GRAPH)
+    assert labels[11] == 11
+
+
+def test_matches_networkx_weak_components(rig):
+    import networkx as nx
+
+    labels, _ = run_imr(rig, GRAPH)
+    for component in nx.weakly_connected_components(GRAPH.to_networkx()):
+        members = sorted(component)
+        assert {labels[u] for u in members} == {min(members)}
+
+
+def test_fixed_iterations_match_reference(rig):
+    labels, _ = run_imr(rig, GRAPH, max_iterations=2, converge=False)
+    expected = components.reference_iterations(GRAPH, 2)
+    np.testing.assert_array_equal(labels, expected)
+
+
+def test_random_graph_converges_to_exact_components(rig):
+    graph = lognormal_graph(80, degree_mu=0.0, degree_sigma=0.8, seed=23)
+    labels, result = run_imr(rig, graph)
+    expected = components.reference_components(graph)
+    np.testing.assert_array_equal(labels, expected)
+
+
+def test_symmetrised_static_records():
+    records = dict(components.static_records(GRAPH))
+    assert 1 in records[0] and 0 in records[1]  # both directions present
+    assert records[11] == ()
+
+
+def test_change_distance_semantics():
+    assert components.change_distance(0, None, 5) == 1.0
+    assert components.change_distance(0, 5, 5) == 0.0
+    assert components.change_distance(0, 5, 3) == 1.0

@@ -1,0 +1,83 @@
+"""Tests for the input-preparation helpers."""
+
+import math
+
+import pytest
+
+from repro.algorithms import prepare_pagerank_inputs, prepare_sssp_inputs
+from repro.cluster import local_cluster
+from repro.dfs import DFS
+from repro.graph import format_adjacency_lines, pagerank_graph, sssp_graph
+from repro.simulation import Engine
+
+
+def make_dfs():
+    engine = Engine()
+    return DFS(local_cluster(engine), replication=2)
+
+
+def test_prepare_sssp_from_graph():
+    dfs = make_dfs()
+    graph = sssp_graph(30, seed=1)
+    state_path, static_path = prepare_sssp_inputs(dfs, graph, source=3)
+    state = dict(dfs.file_info(state_path).records)
+    assert state[3] == 0.0
+    assert state[0] == math.inf
+    assert dfs.file_info(static_path).num_records == 30
+
+
+def test_prepare_sssp_from_text_lines():
+    graph = sssp_graph(20, seed=2)
+    lines = format_adjacency_lines(graph)
+    dfs = make_dfs()
+    state_path, static_path = prepare_sssp_inputs(dfs, lines, source=0)
+    assert dfs.file_info(state_path).num_records == 20
+    assert dfs.file_info(static_path).num_records == 20
+
+
+def test_prepare_sssp_validates_source():
+    dfs = make_dfs()
+    with pytest.raises(ValueError, match="source"):
+        prepare_sssp_inputs(dfs, sssp_graph(10, seed=1), source=10)
+
+
+def test_prepare_pagerank():
+    dfs = make_dfs()
+    graph = pagerank_graph(25, seed=1)
+    state_path, static_path, n = prepare_pagerank_inputs(dfs, graph)
+    assert n == 25
+    state = dict(dfs.file_info(state_path).records)
+    assert state[0] == pytest.approx(1 / 25)
+    assert dfs.file_info(static_path).num_records == 25
+
+
+def test_custom_prefix_and_overwrite():
+    dfs = make_dfs()
+    graph = pagerank_graph(10, seed=1)
+    paths1 = prepare_pagerank_inputs(dfs, graph, prefix="/a")
+    assert paths1[0] == "/a/state"
+    from repro.common.errors import FileAlreadyExists
+
+    with pytest.raises(FileAlreadyExists):
+        prepare_pagerank_inputs(dfs, graph, prefix="/a")
+    prepare_pagerank_inputs(dfs, graph, prefix="/a", overwrite=True)
+
+
+def test_end_to_end_with_prepared_inputs():
+    """The helper's outputs plug straight into the job builders."""
+    from repro.algorithms import sssp
+    from repro.imapreduce import IMapReduceRuntime
+
+    engine = Engine()
+    cluster = local_cluster(engine)
+    dfs = DFS(cluster, replication=2)
+    graph = sssp_graph(30, seed=5)
+    state_path, static_path = prepare_sssp_inputs(dfs, graph, source=0)
+    job = sssp.build_imr_job(
+        state_path=state_path,
+        static_path=static_path,
+        output_path="/out",
+        max_iterations=3,
+    )
+    result = IMapReduceRuntime(cluster, dfs).submit(job)
+    assert result.iterations_run == 3

@@ -1,0 +1,78 @@
+"""Jacobi correctness: the one-to-all engine vs numpy references."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import jacobi
+from repro.imapreduce import run_local
+
+from tests.algorithms.support import Rig
+
+A, B = jacobi.make_system(60, seed=9)
+ITERS = 8
+
+
+def run_imr(rig, iterations, threshold=None):
+    rig.ingest("/j/state", jacobi.initial_state(len(B)))
+    rig.ingest("/j/static", jacobi.system_to_static_records(A, B))
+    job = jacobi.build_imr_job(
+        state_path="/j/state",
+        static_path="/j/static",
+        output_path="/j/out",
+        max_iterations=iterations,
+        threshold=threshold,
+    )
+    result = rig.imr.submit(job)
+    state = dict(rig.read(result.final_paths))
+    return np.array([state[i] for i in range(len(B))]), result
+
+
+def test_system_is_diagonally_dominant():
+    diag = np.abs(np.diag(A))
+    off = np.abs(A).sum(axis=1) - diag
+    assert (diag > off).all()
+
+
+def test_imr_matches_reference_iterations(rig):
+    x, _ = run_imr(rig, ITERS)
+    expected = jacobi.reference_iterations(A, B, ITERS)
+    np.testing.assert_allclose(x, expected, rtol=1e-10)
+
+
+def test_matches_local_reference(rig):
+    x, _ = run_imr(rig, 5)
+    local = run_local(
+        jacobi.build_imr_job(
+            state_path="/j/state",
+            static_path="/j/static",
+            output_path="/j/out",
+            max_iterations=5,
+        ),
+        jacobi.initial_state(len(B)),
+        {"/j/static": jacobi.system_to_static_records(A, B)},
+        num_pairs=4,
+    )
+    np.testing.assert_allclose(x, [v for _, v in local.state], rtol=1e-12)
+
+
+def test_converges_to_linear_system_solution(rig):
+    x, result = run_imr(rig, 200, threshold=1e-12)
+    assert result.converged
+    np.testing.assert_allclose(x, jacobi.reference_solution(A, B), atol=1e-9)
+
+
+def test_distance_decreases(rig):
+    _, result = run_imr(rig, 10, threshold=0.0)
+    distances = [it.distance for it in result.metrics.iterations]
+    assert distances[0] > distances[-1]
+    assert all(d >= 0 for d in distances)
+
+
+def test_static_records_shape():
+    records = jacobi.system_to_static_records(A, B)
+    assert len(records) == len(B)
+    i, (d_ii, b_i, off) = records[0]
+    assert i == 0
+    assert d_ii == A[0, 0]
+    assert b_i == B[0]
+    assert all(j != 0 for j, _ in off)

@@ -1,0 +1,83 @@
+"""Matrix power correctness: the two-phase job vs numpy."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import matrixpower as mp
+
+from tests.algorithms.support import Rig
+
+
+def make_matrix(n=8, seed=5):
+    rng = np.random.default_rng(seed)
+    # Keep entries small so powers stay well-conditioned.
+    return rng.uniform(-0.5, 0.5, size=(n, n))
+
+
+M = make_matrix()
+
+
+def run_imr(rig, iterations, matrix=M):
+    rig.ingest("/mp/state", mp.matrix_to_state_records(matrix))
+    rig.ingest("/mp/static", mp.matrix_to_column_records(matrix))
+    job = mp.build_imr_job(
+        state_path="/mp/state",
+        static_path="/mp/static",
+        output_path="/out/mp",
+        max_iterations=iterations,
+    )
+    result = rig.imr.submit(job)
+    records = rig.read(result.final_paths)
+    return mp.records_to_matrix(records, matrix.shape), result
+
+
+def run_mr(rig, iterations, matrix=M):
+    rig.ingest("/mp/m", mp.matrix_to_mr_records(matrix, "M"))
+    rig.ingest("/mp/n", mp.matrix_to_mr_records(matrix, "N"))
+    spec = mp.build_mr_spec(
+        m_path="/mp/m", output_prefix="/mr/mp", max_iterations=iterations
+    )
+    result = rig.driver.run(spec, ["/mp/n"])
+    records = rig.read(result.final_paths)
+    return mp.mr_records_to_matrix(records, matrix.shape), result
+
+
+@pytest.mark.parametrize("iterations", [1, 2, 3])
+def test_imr_matches_numpy_power(rig, iterations):
+    got, _ = run_imr(rig, iterations)
+    want = mp.reference_power(M, iterations + 1)  # N starts at M^1
+    np.testing.assert_allclose(got, want, rtol=1e-9, atol=1e-12)
+
+
+@pytest.mark.parametrize("iterations", [1, 2])
+def test_mr_matches_numpy_power(rig, iterations):
+    got, _ = run_mr(rig, iterations)
+    want = mp.reference_power(M, iterations + 1)
+    np.testing.assert_allclose(got, want, rtol=1e-9, atol=1e-12)
+
+
+def test_engines_agree(rig):
+    imr, _ = run_imr(rig, 2)
+    mr, _ = run_mr(Rig(), 2)
+    np.testing.assert_allclose(imr, mr, rtol=1e-9, atol=1e-12)
+
+
+def test_identity_matrix_fixed_point(rig):
+    eye = np.eye(6)
+    got, _ = run_imr(rig, 3, matrix=eye)
+    np.testing.assert_allclose(got, eye)
+
+
+def test_records_roundtrip():
+    records = mp.matrix_to_state_records(M)
+    np.testing.assert_allclose(mp.records_to_matrix(records, M.shape), M)
+    mr_records = mp.matrix_to_mr_records(M, "N")
+    np.testing.assert_allclose(mp.mr_records_to_matrix(mr_records, M.shape), M)
+
+
+def test_column_records_shape():
+    cols = mp.matrix_to_column_records(M)
+    assert len(cols) == M.shape[1]
+    j, column = cols[3]
+    assert j == 3
+    np.testing.assert_allclose([v for _i, v in column], M[:, 3])

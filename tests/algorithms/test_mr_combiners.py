@@ -1,0 +1,69 @@
+"""The baselines' map-side combiners must be exact and cut shuffle volume."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import pagerank, sssp
+from repro.graph import pagerank_graph, sssp_graph
+
+from tests.algorithms.support import Rig
+
+SSSP_GRAPH = sssp_graph(100, seed=31)
+PR_GRAPH = pagerank_graph(100, seed=31)
+ITERS = 5
+
+
+def run_sssp(combiner):
+    rig = Rig()
+    rig.ingest("/in", sssp.mr_initial_records(SSSP_GRAPH, 0))
+    spec = sssp.build_mr_spec(
+        output_prefix="/mr", max_iterations=ITERS, combiner=combiner
+    )
+    result = rig.driver.run(spec, ["/in"])
+    state = {k: v[0] for k, v in rig.read(result.final_paths)}
+    return state, result
+
+
+def run_pagerank(combiner):
+    rig = Rig()
+    rig.ingest("/in", pagerank.mr_initial_records(PR_GRAPH))
+    spec = pagerank.build_mr_spec(
+        PR_GRAPH.num_nodes,
+        output_prefix="/mr",
+        max_iterations=ITERS,
+        combiner=combiner,
+    )
+    result = rig.driver.run(spec, ["/in"])
+    state = {k: v[0] for k, v in rig.read(result.final_paths)}
+    return state, result
+
+
+def test_sssp_mr_combiner_exact():
+    plain, _ = run_sssp(False)
+    combined, _ = run_sssp(True)
+    assert plain == combined
+    expected = sssp.reference_iterations(SSSP_GRAPH, 0, ITERS)
+    got = np.array([combined[u] for u in range(SSSP_GRAPH.num_nodes)])
+    np.testing.assert_allclose(got, expected)
+
+
+def test_sssp_mr_combiner_reduces_shuffle():
+    _, plain = run_sssp(False)
+    _, combined = run_sssp(True)
+    assert combined.metrics.total_shuffle_bytes < plain.metrics.total_shuffle_bytes
+
+
+def test_pagerank_mr_combiner_exact():
+    plain, _ = run_pagerank(False)
+    combined, _ = run_pagerank(True)
+    got_p = np.array([plain[u] for u in range(PR_GRAPH.num_nodes)])
+    got_c = np.array([combined[u] for u in range(PR_GRAPH.num_nodes)])
+    np.testing.assert_allclose(got_c, got_p, rtol=1e-12)
+    expected = pagerank.reference_iterations(PR_GRAPH, ITERS)
+    np.testing.assert_allclose(got_c, expected, rtol=1e-9)
+
+
+def test_pagerank_mr_combiner_reduces_shuffle():
+    _, plain = run_pagerank(False)
+    _, combined = run_pagerank(True)
+    assert combined.metrics.total_shuffle_bytes < plain.metrics.total_shuffle_bytes

@@ -1,0 +1,119 @@
+"""PageRank correctness: both engines vs numpy/networkx references."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import pagerank
+from repro.graph import pagerank_graph
+
+from tests.algorithms.support import Rig
+
+GRAPH = pagerank_graph(150, seed=21)
+ITERS = 8
+
+
+def run_imr(rig, graph, iterations, **kw):
+    rig.ingest("/pr/state", pagerank.initial_state(graph))
+    rig.ingest("/pr/static", pagerank.static_records(graph))
+    job = pagerank.build_imr_job(
+        graph.num_nodes,
+        state_path="/pr/state",
+        static_path="/pr/static",
+        output_path="/out/pr",
+        max_iterations=iterations,
+        **kw,
+    )
+    result = rig.imr.submit(job)
+    return dict(rig.read(result.final_paths)), result
+
+
+def run_mr(rig, graph, iterations, threshold=None):
+    rig.ingest("/pr/in", pagerank.mr_initial_records(graph))
+    spec = pagerank.build_mr_spec(
+        graph.num_nodes,
+        output_prefix="/mr/pr",
+        max_iterations=iterations,
+        threshold=threshold,
+    )
+    result = rig.driver.run(spec, ["/pr/in"])
+    state = {k: v[0] for k, v in rig.read(result.final_paths)}
+    return state, result
+
+
+def as_array(state, n):
+    return np.array([state[u] for u in range(n)])
+
+
+def test_imr_matches_reference_iterations(rig):
+    state, _ = run_imr(rig, GRAPH, ITERS)
+    expected = pagerank.reference_iterations(GRAPH, ITERS)
+    np.testing.assert_allclose(as_array(state, GRAPH.num_nodes), expected, rtol=1e-12)
+
+
+def test_mr_matches_reference_iterations(rig):
+    state, _ = run_mr(rig, GRAPH, ITERS)
+    expected = pagerank.reference_iterations(GRAPH, ITERS)
+    np.testing.assert_allclose(as_array(state, GRAPH.num_nodes), expected, rtol=1e-12)
+
+
+def test_engines_agree(rig):
+    mr_state, _ = run_mr(rig, GRAPH, ITERS)
+    imr_state, _ = run_imr(Rig(), GRAPH, ITERS)
+    np.testing.assert_allclose(
+        as_array(mr_state, GRAPH.num_nodes),
+        as_array(imr_state, GRAPH.num_nodes),
+        rtol=1e-12,
+    )
+
+
+def test_converged_matches_networkx(rig):
+    state, result = run_imr(rig, GRAPH, 200, threshold=1e-10)
+    assert result.converged
+    ours = as_array(state, GRAPH.num_nodes)
+    theirs = pagerank.reference_networkx(GRAPH)
+    # networkx normalises to sum 1; our Eq. 1 fixed point also sums to ~1
+    # on dangling-free graphs.
+    np.testing.assert_allclose(ours / ours.sum(), theirs, atol=1e-6)
+
+
+def test_total_rank_conserved_without_dangling(rig):
+    state, _ = run_imr(rig, GRAPH, ITERS)
+    total = sum(state.values())
+    assert total == pytest.approx(1.0, abs=1e-9)
+
+
+def test_combiner_variant_is_exact(rig):
+    state, _ = run_imr(rig, GRAPH, ITERS, combiner=True)
+    expected = pagerank.reference_iterations(GRAPH, ITERS)
+    np.testing.assert_allclose(
+        as_array(state, GRAPH.num_nodes), expected, rtol=1e-9
+    )
+
+
+def test_ranks_positive_and_bounded(rig):
+    state, _ = run_imr(rig, GRAPH, ITERS)
+    n = GRAPH.num_nodes
+    for rank in state.values():
+        assert (1.0 - pagerank.DAMPING) / n <= rank < 1.0
+
+
+def test_distance_decreases_monotonically(rig):
+    _, result = run_imr(rig, GRAPH, 12, threshold=1e-12)
+    distances = [it.distance for it in result.metrics.iterations]
+    assert all(b < a for a, b in zip(distances[1:], distances[2:]))
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    iters=st.integers(min_value=1, max_value=5),
+)
+def test_property_imr_equals_reference_on_random_graphs(seed, iters):
+    graph = pagerank_graph(50, seed=seed)
+    state, _ = run_imr(Rig(), graph, iters)
+    expected = pagerank.reference_iterations(graph, iters)
+    np.testing.assert_allclose(
+        as_array(state, graph.num_nodes), expected, rtol=1e-9
+    )

@@ -1,0 +1,126 @@
+"""SSSP correctness: both engines vs numpy/scipy/networkx references."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import sssp
+from repro.graph import sssp_graph
+
+from tests.algorithms.support import Rig
+
+GRAPH = sssp_graph(120, seed=11)
+SOURCE = 0
+ITERS = 6
+
+
+def run_imr(rig, graph, source, iterations, **kw):
+    rig.ingest("/sssp/state", sssp.initial_state(graph, source))
+    rig.ingest("/sssp/static", sssp.static_records(graph))
+    job = sssp.build_imr_job(
+        state_path="/sssp/state",
+        static_path="/sssp/static",
+        output_path="/out/sssp",
+        max_iterations=iterations,
+        **kw,
+    )
+    result = rig.imr.submit(job)
+    return dict(rig.read(result.final_paths)), result
+
+
+def run_mr(rig, graph, source, iterations, threshold=None):
+    rig.ingest("/sssp/in", sssp.mr_initial_records(graph, source))
+    spec = sssp.build_mr_spec(
+        output_prefix="/mr/sssp", max_iterations=iterations, threshold=threshold
+    )
+    result = rig.driver.run(spec, ["/sssp/in"])
+    state = {k: v[0] for k, v in rig.read(result.final_paths)}
+    return state, result
+
+
+def as_array(state, n):
+    return np.array([state.get(u, math.inf) for u in range(n)])
+
+
+def test_imr_matches_reference_iterations(rig):
+    state, _ = run_imr(rig, GRAPH, SOURCE, ITERS)
+    expected = sssp.reference_iterations(GRAPH, SOURCE, ITERS)
+    np.testing.assert_allclose(as_array(state, GRAPH.num_nodes), expected)
+
+
+def test_mr_matches_reference_iterations(rig):
+    state, _ = run_mr(rig, GRAPH, SOURCE, ITERS)
+    expected = sssp.reference_iterations(GRAPH, SOURCE, ITERS)
+    np.testing.assert_allclose(as_array(state, GRAPH.num_nodes), expected)
+
+
+def test_both_engines_agree_exactly(rig):
+    mr_state, _ = run_mr(rig, GRAPH, SOURCE, ITERS)
+    rig2 = Rig()
+    imr_state, _ = run_imr(rig2, GRAPH, SOURCE, ITERS)
+    assert mr_state == imr_state
+
+
+def test_converged_run_matches_dijkstra(rig):
+    # Enough iterations for full convergence on a 120-node graph.
+    state, result = run_imr(rig, GRAPH, SOURCE, 40, threshold=0.0)
+    exact = sssp.reference_exact(GRAPH, SOURCE)
+    np.testing.assert_allclose(as_array(state, GRAPH.num_nodes), exact)
+    assert result.converged
+
+
+def test_converged_run_matches_networkx(rig):
+    import networkx as nx
+
+    state, _ = run_imr(rig, GRAPH, SOURCE, 40, threshold=0.0)
+    lengths = nx.single_source_dijkstra_path_length(GRAPH.to_networkx(), SOURCE)
+    for node, dist in lengths.items():
+        assert state[node] == pytest.approx(dist)
+
+
+def test_unreachable_nodes_stay_infinite(rig):
+    from repro.graph import Digraph
+
+    # 0 -> 1, and isolated node 2 (self-contained component).
+    graph = Digraph.from_edges(3, [(0, 1), (2, 1)], [1.0, 1.0])
+    state, _ = run_imr(rig, graph, 0, 4)
+    assert state[0] == 0.0
+    assert state[1] == 1.0
+    assert state[2] == math.inf
+
+
+def test_combiner_variant_is_exact(rig):
+    state, _ = run_imr(rig, GRAPH, SOURCE, ITERS, combiner=True)
+    expected = sssp.reference_iterations(GRAPH, SOURCE, ITERS)
+    np.testing.assert_allclose(as_array(state, GRAPH.num_nodes), expected)
+
+
+def test_distance_threshold_stops_after_convergence(rig):
+    _, result = run_imr(rig, GRAPH, SOURCE, 60, threshold=0.0)
+    # Must stop well before 60 iterations on a 120-node graph.
+    assert result.iterations_run < 60
+    assert result.terminated_by == "threshold"
+
+
+def test_manhattan_distance_infinity_semantics():
+    assert sssp.manhattan_distance(0, math.inf, math.inf) == 0.0
+    assert sssp.manhattan_distance(0, math.inf, 3.0) == math.inf
+    assert sssp.manhattan_distance(0, 3.0, 2.0) == 1.0
+    assert sssp.manhattan_distance(0, None, math.inf) == 0.0
+    assert sssp.manhattan_distance(0, None, 2.0) == 2.0
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    iters=st.integers(min_value=1, max_value=5),
+)
+def test_property_imr_equals_reference_on_random_graphs(seed, iters):
+    graph = sssp_graph(40, seed=seed)
+    rig = Rig()
+    state, _ = run_imr(rig, graph, 0, iters)
+    expected = sssp.reference_iterations(graph, 0, iters)
+    np.testing.assert_allclose(as_array(state, graph.num_nodes), expected)

@@ -1,0 +1,163 @@
+"""Unit tests for Machine and BandwidthPipe."""
+
+import pytest
+
+from repro.common.errors import ClusterError, WorkerFailure
+from repro.cluster import Machine
+from repro.cluster.machine import BandwidthPipe
+from repro.simulation import Engine
+
+
+def make_machine(engine, **kw):
+    defaults = dict(cores=2, cpu_speed=1.0, disk_bw=100e6, nic_bw=125e6, nic_latency=0.0)
+    defaults.update(kw)
+    return Machine(engine, "m0", **defaults)
+
+
+def test_pipe_transfer_time():
+    engine = Engine()
+    pipe = BandwidthPipe(engine, rate_bytes_per_s=100.0, latency_s=0.5)
+    assert pipe.transfer_time(200) == 0.5 + 2.0
+
+
+def test_pipe_rejects_bad_rate():
+    with pytest.raises(ClusterError):
+        BandwidthPipe(Engine(), 0.0)
+
+
+def test_pipe_serialises_concurrent_transfers():
+    engine = Engine()
+    pipe = BandwidthPipe(engine, rate_bytes_per_s=100.0)
+    done = []
+
+    def sender(i):
+        yield from pipe.use(100)
+        done.append((i, engine.now))
+
+    for i in range(3):
+        engine.process(sender(i))
+    engine.run()
+    assert done == [(0, 1.0), (1, 2.0), (2, 3.0)]
+    assert pipe.total_bytes == 300
+    assert pipe.total_transfers == 3
+
+
+def test_pipe_rejects_negative_bytes():
+    engine = Engine()
+    pipe = BandwidthPipe(engine, 100.0)
+
+    def body():
+        yield from pipe.use(-1)
+
+    with pytest.raises(ClusterError):
+        engine.run(engine.process(body()))
+
+
+def test_compute_scales_with_cpu_speed():
+    engine = Engine()
+    fast = Machine(engine, "fast", cores=1, cpu_speed=2.0)
+    slow = Machine(engine, "slow", cores=1, cpu_speed=0.5)
+    times = {}
+
+    def work(machine, tag):
+        yield from machine.compute(4.0)
+        times[tag] = engine.now
+
+    engine.process(work(fast, "fast"))
+    engine.process(work(slow, "slow"))
+    engine.run()
+    assert times["fast"] == 2.0
+    assert times["slow"] == 8.0
+
+
+def test_cores_limit_parallel_compute():
+    engine = Engine()
+    machine = make_machine(engine, cores=2)
+    done = []
+
+    def work(i):
+        yield from machine.compute(1.0)
+        done.append((i, engine.now))
+
+    for i in range(4):
+        engine.process(work(i))
+    engine.run()
+    assert done == [(0, 1.0), (1, 1.0), (2, 2.0), (3, 2.0)]
+
+
+def test_disk_write_tracks_local_bytes():
+    engine = Engine()
+    machine = make_machine(engine)
+
+    def body():
+        yield from machine.disk_write(1000)
+
+    engine.run(engine.process(body()))
+    assert machine.local_bytes == 1000
+    machine.disk_delete(400)
+    assert machine.local_bytes == 600
+    machine.disk_delete(10_000)
+    assert machine.local_bytes == 0
+
+
+def test_invalid_machine_params_rejected():
+    engine = Engine()
+    with pytest.raises(ClusterError):
+        Machine(engine, "bad", cpu_speed=0.0)
+    machine = make_machine(engine)
+
+    def body():
+        yield from machine.compute(-1.0)
+
+    with pytest.raises(ClusterError):
+        engine.run(engine.process(body()))
+
+
+def test_fail_kills_spawned_processes():
+    engine = Engine()
+    machine = make_machine(engine)
+    log = []
+
+    def long_task():
+        yield engine.timeout(100.0)
+        log.append("finished")  # must never run
+
+    proc = machine.spawn(long_task())
+
+    def injector():
+        yield engine.timeout(5.0)
+        machine.fail()
+
+    engine.process(injector())
+    engine.run()
+    assert log == []
+    assert proc.triggered
+    assert isinstance(proc.value, WorkerFailure)
+
+
+def test_failed_machine_rejects_new_work():
+    engine = Engine()
+    machine = make_machine(engine)
+    machine.fail()
+    with pytest.raises(WorkerFailure):
+        machine.spawn(iter(()))
+
+    def body():
+        yield from machine.compute(1.0)
+
+    with pytest.raises(WorkerFailure):
+        engine.run(engine.process(body()))
+
+
+def test_recover_clears_failed_state():
+    engine = Engine()
+    machine = make_machine(engine)
+
+    def seed():
+        yield from machine.disk_write(500)
+
+    engine.run(engine.process(seed()))
+    machine.fail()
+    machine.recover()
+    assert not machine.failed
+    assert machine.local_bytes == 0  # reimaged

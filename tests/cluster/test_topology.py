@@ -1,0 +1,168 @@
+"""Unit tests for Cluster, topologies and fault schedules."""
+
+import pytest
+
+from repro.common.errors import ClusterError, WorkerFailure
+from repro.cluster import (
+    Cluster,
+    FaultSchedule,
+    Machine,
+    ec2_cluster,
+    heterogeneous_cluster,
+    local_cluster,
+    single_node,
+)
+from repro.simulation import Engine
+
+
+def test_local_cluster_shape():
+    engine = Engine()
+    cluster = local_cluster(engine)
+    from repro.cluster.topology import DATA_SCALE
+
+    assert len(cluster) == 4
+    for machine in cluster.workers():
+        assert machine.cores == 2
+        assert machine.uplink.rate == 125e6 / DATA_SCALE
+
+
+def test_ec2_cluster_shape():
+    engine = Engine()
+    cluster = ec2_cluster(engine, 20)
+    assert len(cluster) == 20
+    for machine in cluster.workers():
+        assert machine.cores == 1
+        assert machine.cpu_speed < 1.0
+
+
+def test_ec2_cluster_needs_instances():
+    with pytest.raises(ClusterError):
+        ec2_cluster(Engine(), 0)
+
+
+def test_single_node():
+    assert len(single_node(Engine())) == 1
+
+
+def test_heterogeneous_cluster_speeds():
+    cluster = heterogeneous_cluster(Engine(), [1.0, 0.5, 2.0])
+    speeds = [m.cpu_speed for m in cluster.workers()]
+    assert speeds == [1.0, 0.5, 2.0]
+
+
+def test_duplicate_names_rejected():
+    engine = Engine()
+    machines = [Machine(engine, "a"), Machine(engine, "a")]
+    with pytest.raises(ClusterError):
+        Cluster(engine, machines)
+
+
+def test_empty_cluster_rejected():
+    with pytest.raises(ClusterError):
+        Cluster(Engine(), [])
+
+
+def test_getitem_unknown_machine():
+    cluster = local_cluster(Engine())
+    with pytest.raises(ClusterError):
+        cluster["nope"]
+
+
+def test_local_transfer_is_free():
+    engine = Engine()
+    cluster = local_cluster(engine)
+
+    def body():
+        yield from cluster.transfer("node0", "node0", 10**9)
+
+    engine.run(engine.process(body()))
+    assert engine.now == 0.0
+    assert cluster.network_bytes == 0
+
+
+def test_remote_transfer_charges_both_pipes():
+    engine = Engine()
+    cluster = local_cluster(engine)
+    rate = cluster["node0"].uplink.rate
+    nbytes = int(rate)  # 1 second per pipe direction
+
+    def body():
+        yield from cluster.transfer("node0", "node1", nbytes)
+
+    engine.run(engine.process(body()))
+    # uplink 1s + downlink 1s + latencies
+    assert engine.now == pytest.approx(2.0, rel=0.01)
+    assert cluster["node0"].uplink.total_bytes == nbytes
+    assert cluster["node1"].downlink.total_bytes == nbytes
+    assert cluster.network_bytes == nbytes
+
+
+def test_network_bytes_accumulates_and_resets():
+    engine = Engine()
+    cluster = local_cluster(engine)
+
+    def body():
+        yield from cluster.transfer("node0", "node1", 1000)
+        yield from cluster.transfer("node2", "node3", 2000)
+
+    engine.run(engine.process(body()))
+    assert cluster.network_bytes == 3000
+    cluster.reset_counters()
+    assert cluster.network_bytes == 0
+
+
+def test_alive_workers_excludes_failed():
+    engine = Engine()
+    cluster = local_cluster(engine)
+    cluster["node2"].fail()
+    assert len(cluster.alive_workers()) == 3
+
+
+def test_fault_schedule_fails_and_recovers():
+    engine = Engine()
+    cluster = local_cluster(engine)
+    schedule = FaultSchedule().fail_at(5.0, "node1").recover_at(10.0, "node1")
+    schedule.arm(engine, cluster)
+
+    states = []
+
+    def probe():
+        for when in (4.0, 6.0, 11.0):
+            yield engine.timeout(when - engine.now)
+            states.append((when, cluster["node1"].failed))
+
+    engine.process(probe())
+    engine.run()
+    assert states == [(4.0, False), (6.0, True), (11.0, False)]
+
+
+def test_fault_schedule_kills_processes_at_scheduled_time():
+    engine = Engine()
+    cluster = local_cluster(engine)
+    victim_machine = cluster["node0"]
+    outcome = []
+
+    def victim():
+        from repro.simulation import Interrupt
+
+        try:
+            yield engine.timeout(100.0)
+            outcome.append("survived")
+        except Interrupt as exc:
+            outcome.append(exc.cause)
+
+    victim_machine.spawn(victim())
+    FaultSchedule().fail_at(3.0, "node0").arm(engine, cluster)
+    engine.run()
+    assert len(outcome) == 1
+    assert isinstance(outcome[0], WorkerFailure)
+    assert outcome[0].when == 3.0
+
+
+def test_fault_event_validation():
+    from repro.cluster import FaultEvent
+
+    with pytest.raises(ValueError):
+        FaultEvent(-1.0, "m")
+    with pytest.raises(ValueError):
+        FaultEvent(1.0, "m", "explode")

@@ -1,0 +1,86 @@
+"""Unit tests for JobConf."""
+
+import pytest
+
+from repro.common import ConfigError, IterKeys, JobConf
+
+
+def test_set_get_roundtrip():
+    conf = JobConf()
+    conf.set(IterKeys.STATE_PATH, "/data/state")
+    assert conf.get(IterKeys.STATE_PATH) == "/data/state"
+
+
+def test_paper_api_shape():
+    """The exact calls from §3.5 of the paper must typecheck."""
+    job = JobConf()
+    job.set("mapred.iterjob.statepath", "/pr/state")
+    job.set("mapred.iterjob.staticpath", "/pr/static")
+    job.set_int("mapred.iterjob.maxiter", 20)
+    job.set_float("mapred.iterjob.disthresh", 0.01)
+    job.set("mapred.iterjob.mapping", "one2all")
+    job.set_boolean("mapred.iterjob.sync", True)
+    assert job.get_int(IterKeys.MAX_ITER) == 20
+    assert job.get_float(IterKeys.DIST_THRESH) == 0.01
+    assert job.get_boolean(IterKeys.SYNC) is True
+
+
+def test_get_with_default():
+    assert JobConf().get("missing", "fallback") == "fallback"
+    assert JobConf().get_int("missing", 3) == 3
+    assert JobConf().get_float("missing") is None
+    assert JobConf().get_boolean("missing", True) is True
+
+
+def test_get_required_raises_when_absent():
+    with pytest.raises(ConfigError, match="statepath"):
+        JobConf().get_required(IterKeys.STATE_PATH)
+
+
+def test_typed_setter_validation():
+    conf = JobConf()
+    with pytest.raises(ConfigError):
+        conf.set_int("k", "not an int")
+    with pytest.raises(ConfigError):
+        conf.set_int("k", True)  # bools are not ints here
+    with pytest.raises(ConfigError):
+        conf.set_float("k", "nope")
+    with pytest.raises(ConfigError):
+        conf.set_boolean("k", 1)
+
+
+def test_typed_getter_validation():
+    conf = JobConf({"k": "string"})
+    with pytest.raises(ConfigError):
+        conf.get_int("k")
+    with pytest.raises(ConfigError):
+        conf.get_float("k")
+    with pytest.raises(ConfigError):
+        conf.get_boolean("k")
+
+
+def test_int_accepted_as_float():
+    conf = JobConf()
+    conf.set_float("k", 2)
+    assert conf.get_float("k") == 2.0
+    assert isinstance(conf.get_float("k"), float)
+
+
+def test_empty_key_rejected():
+    with pytest.raises(ConfigError):
+        JobConf().set("", 1)
+
+
+def test_copy_is_independent():
+    conf = JobConf({"a": 1})
+    clone = conf.copy()
+    clone.set("a", 2)
+    assert conf.get("a") == 1
+
+
+def test_mapping_protocol():
+    conf = JobConf({"a": 1, "b": 2})
+    assert "a" in conf
+    assert len(conf) == 2
+    assert sorted(conf) == ["a", "b"]
+    assert dict(conf.items()) == {"a": 1, "b": 2}

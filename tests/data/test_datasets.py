@@ -1,0 +1,83 @@
+"""Unit tests for the dataset registry."""
+
+import pytest
+
+from repro.data import (
+    PAGERANK_DATASETS,
+    SSSP_DATASETS,
+    dataset_table,
+    load_graph,
+)
+
+
+def test_registry_has_all_paper_rows():
+    assert set(SSSP_DATASETS) == {"dblp", "facebook", "sssp-s", "sssp-m", "sssp-l"}
+    assert set(PAGERANK_DATASETS) == {
+        "google",
+        "berk-stan",
+        "pagerank-s",
+        "pagerank-m",
+        "pagerank-l",
+    }
+
+
+def test_paper_statistics_recorded():
+    dblp = SSSP_DATASETS["dblp"]
+    assert dblp.paper_nodes == 310_556
+    assert dblp.paper_edges == 1_518_617
+    assert dblp.paper_file_size == "16 MB"
+
+
+def test_sssp_graphs_weighted_pagerank_not():
+    assert load_graph("dblp").weighted
+    assert not load_graph("google").weighted
+
+
+def test_stand_in_scale():
+    g = load_graph("dblp")
+    assert g.num_nodes == 310_556 // 20
+
+
+def test_mean_degree_tracks_paper():
+    g = load_graph("dblp")
+    paper_ratio = 1_518_617 / 310_556
+    assert g.num_edges / g.num_nodes == pytest.approx(paper_ratio, rel=0.2)
+
+
+def test_synthetic_ladder_ordering():
+    sizes = [load_graph(f"sssp-{t}").num_nodes for t in "sml"]
+    assert sizes[0] < sizes[1] < sizes[2]
+
+
+def test_load_graph_caches():
+    assert load_graph("dblp") is load_graph("dblp")
+
+
+def test_load_graph_node_override():
+    g = load_graph("sssp-s", nodes=500)
+    assert g.num_nodes == 500
+
+
+def test_unknown_dataset():
+    with pytest.raises(KeyError, match="unknown dataset"):
+        load_graph("imaginary")
+
+
+def test_dataset_table_sssp_shape():
+    rows = dataset_table("sssp")
+    assert [r["graph"] for r in rows] == ["dblp", "facebook", "sssp-s", "sssp-m", "sssp-l"]
+    for row in rows:
+        assert row["nodes"] > 0
+        assert row["edges"] > 0
+        assert row["file_size_bytes"] > 0
+        # Degree of the stand-in should be in the ballpark of the paper's.
+        assert row["mean_degree"] == pytest.approx(row["paper_mean_degree"], rel=0.35)
+
+
+def test_dataset_table_file_sizes_increase_with_tier():
+    rows = {r["graph"]: r for r in dataset_table("pagerank")}
+    assert (
+        rows["pagerank-s"]["file_size_bytes"]
+        < rows["pagerank-m"]["file_size_bytes"]
+        < rows["pagerank-l"]["file_size_bytes"]
+    )

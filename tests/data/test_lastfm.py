@@ -1,0 +1,73 @@
+"""Unit tests for the Last.fm stand-in generator."""
+
+import numpy as np
+import pytest
+
+from repro.data import MEAN_ARTISTS_PER_USER, load_lastfm
+
+
+def small():
+    return load_lastfm(num_users=300, num_artists=100, num_tastes=5, seed=1)
+
+
+def test_shapes():
+    data = small()
+    assert data.num_users == 300
+    assert len(data.records) == 300
+    assert data.taste.shape == (300,)
+
+
+def test_mean_artists_matches_paper_statistic():
+    data = load_lastfm(num_users=2000, num_artists=500, num_tastes=10, seed=3)
+    assert data.mean_artists_per_user == pytest.approx(MEAN_ARTISTS_PER_USER, rel=0.05)
+
+
+def test_records_are_sparse_and_sorted():
+    data = small()
+    for ids, counts in data.records:
+        assert len(ids) == len(counts)
+        assert (np.diff(ids) > 0).all()  # strictly increasing -> unique
+        assert (counts > 0).all()
+        assert ids.max() < data.num_artists
+
+
+def test_user_records_keys():
+    data = small()
+    records = data.user_records()
+    assert [k for k, _ in records] == list(range(300))
+
+
+def test_dense_matrix_consistent_with_records():
+    data = small()
+    mat = data.dense_matrix()
+    ids, counts = data.records[0]
+    assert np.allclose(mat[0, ids], counts)
+    assert mat[0].sum() == pytest.approx(counts.sum())
+
+
+def test_taste_groups_are_separable():
+    """Users of one taste should overlap more with their own group's
+    artists than with another group's — the clusters must be learnable."""
+    data = load_lastfm(num_users=1000, num_artists=200, num_tastes=4, seed=5)
+    mat = data.dense_matrix()
+    centroids = np.stack([
+        mat[data.taste == t].mean(axis=0) for t in range(data.num_tastes)
+    ])
+    own = cross = 0
+    for u in range(data.num_users):
+        dists = np.linalg.norm(centroids - mat[u], axis=1)
+        if np.argmin(dists) == data.taste[u]:
+            own += 1
+        else:
+            cross += 1
+    assert own / (own + cross) > 0.8
+
+
+def test_deterministic_and_cached():
+    a = load_lastfm(num_users=300, num_artists=100, num_tastes=5, seed=1)
+    assert a is small()
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        load_lastfm(num_users=2, num_artists=10, num_tastes=5, seed=0)

@@ -1,0 +1,87 @@
+"""Property-based tests for the DFS: any data, any layout → exact
+read-back with correct replication and locality accounting."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import local_cluster
+from repro.dfs import DFS
+from repro.simulation import Engine
+
+
+records_strategy = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=10**6),
+        st.one_of(
+            st.floats(allow_nan=False, allow_infinity=False),
+            st.text(max_size=30),
+            st.tuples(st.integers(), st.integers()),
+        ),
+    ),
+    max_size=60,
+)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    records=records_strategy,
+    block_size=st.sampled_from([64, 300, 5000]),
+    replication=st.integers(min_value=1, max_value=4),
+    reader=st.integers(min_value=0, max_value=3),
+)
+def test_roundtrip_any_layout(records, block_size, replication, reader):
+    engine = Engine()
+    cluster = local_cluster(engine)
+    dfs = DFS(cluster, block_size=block_size, replication=replication)
+    dfs.ingest("/p", records)
+
+    def body():
+        return (yield from dfs.read_all("/p", f"node{reader}"))
+
+    assert engine.run(engine.process(body())) == records
+
+
+@settings(max_examples=25, deadline=None)
+@given(records=records_strategy, block_size=st.sampled_from([64, 300, 5000]))
+def test_blocks_partition_records(records, block_size):
+    engine = Engine()
+    dfs = DFS(local_cluster(engine), block_size=block_size, replication=2)
+    file = dfs.ingest("/p", records)
+    covered = []
+    for block in file.blocks:
+        assert block.start == len(covered)
+        covered.extend(range(block.start, block.end))
+    assert covered == list(range(len(records)))
+    assert sum(b.nbytes for b in file.blocks) == file.nbytes
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    records=records_strategy,
+    replication=st.integers(min_value=1, max_value=4),
+)
+def test_replica_placement_invariants(records, replication):
+    engine = Engine()
+    cluster = local_cluster(engine)
+    dfs = DFS(cluster, block_size=400, replication=replication)
+    file = dfs.ingest("/p", records)
+    for block in file.blocks:
+        assert len(block.replicas) == min(replication, 4)
+        assert len(set(block.replicas)) == len(block.replicas)
+        for name in block.replicas:
+            assert name in cluster.machines
+
+
+@settings(max_examples=15, deadline=None)
+@given(records=records_strategy)
+def test_write_then_read_through_simulation(records):
+    engine = Engine()
+    cluster = local_cluster(engine)
+    dfs = DFS(cluster, block_size=400, replication=2)
+
+    def body():
+        yield from dfs.write("/w", records, "node1")
+        return (yield from dfs.read_all("/w", "node2"))
+
+    assert engine.run(engine.process(body())) == records

@@ -1,0 +1,212 @@
+"""Unit tests for the simulated DFS."""
+
+import pytest
+
+from repro.cluster import local_cluster
+from repro.common.errors import DFSError, FileAlreadyExists, FileNotFoundInDFS
+from repro.dfs import DFS
+from repro.simulation import Engine
+
+
+def make_dfs(block_size=1000, replication=2, nodes=4):
+    engine = Engine()
+    cluster = local_cluster(engine, nodes)
+    return engine, cluster, DFS(cluster, block_size=block_size, replication=replication)
+
+
+def run(engine, gen):
+    return engine.run(engine.process(gen))
+
+
+RECORDS = [(i, float(i)) for i in range(100)]
+
+
+def test_ingest_and_read_back_roundtrip():
+    engine, _cluster, dfs = make_dfs()
+    dfs.ingest("/data/in", RECORDS)
+    got = run(engine, dfs.read_all("/data/in", "node0"))
+    assert got == RECORDS
+
+
+def test_ingest_costs_no_time():
+    engine, _cluster, dfs = make_dfs()
+    dfs.ingest("/data/in", RECORDS)
+    assert engine.now == 0.0
+
+
+def test_blocks_respect_block_size():
+    _engine, _cluster, dfs = make_dfs(block_size=300)
+    file = dfs.ingest("/data/in", RECORDS)
+    assert len(file.blocks) > 1
+    # every block except possibly the last stays under ~block size + 1 record
+    for block in file.blocks:
+        assert block.nbytes <= 300 + 26
+
+
+def test_blocks_partition_records_exactly():
+    _engine, _cluster, dfs = make_dfs(block_size=250)
+    file = dfs.ingest("/data/in", RECORDS)
+    reassembled = []
+    for block in file.blocks:
+        assert block.start == len(reassembled)
+        reassembled.extend(file.block_records(block.index))
+    assert reassembled == RECORDS
+
+
+def test_empty_file_has_one_empty_block():
+    _engine, _cluster, dfs = make_dfs()
+    file = dfs.ingest("/data/empty", [])
+    assert len(file.blocks) == 1
+    assert file.nbytes == 0
+
+
+def test_replication_count():
+    _engine, _cluster, dfs = make_dfs(replication=3)
+    file = dfs.ingest("/data/in", RECORDS)
+    for block in file.blocks:
+        assert len(block.replicas) == 3
+        assert len(set(block.replicas)) == 3
+
+
+def test_replication_capped_at_cluster_size():
+    _engine, _cluster, dfs = make_dfs(replication=10, nodes=3)
+    assert dfs.replication == 3
+
+
+def test_double_ingest_rejected_without_overwrite():
+    _engine, _cluster, dfs = make_dfs()
+    dfs.ingest("/data/in", RECORDS)
+    with pytest.raises(FileAlreadyExists):
+        dfs.ingest("/data/in", RECORDS)
+    dfs.ingest("/data/in", RECORDS[:10], overwrite=True)
+    assert dfs.file_info("/data/in").num_records == 10
+
+
+def test_read_missing_file():
+    engine, _cluster, dfs = make_dfs()
+    with pytest.raises(FileNotFoundInDFS):
+        run(engine, dfs.read_all("/nope", "node0"))
+
+
+def test_delete_frees_space_and_namespace():
+    _engine, cluster, dfs = make_dfs()
+    dfs.ingest("/data/in", RECORDS)
+    held = sum(m.local_bytes for m in cluster.workers())
+    assert held > 0
+    dfs.delete("/data/in")
+    assert not dfs.exists("/data/in")
+    assert sum(m.local_bytes for m in cluster.workers()) == 0
+    with pytest.raises(FileNotFoundInDFS):
+        dfs.delete("/data/in")
+
+
+def test_local_read_uses_no_network():
+    engine, cluster, dfs = make_dfs(replication=4)  # replica everywhere
+    dfs.ingest("/data/in", RECORDS)
+    run(engine, dfs.read_all("/data/in", "node1"))
+    assert cluster.network_bytes == 0
+    assert engine.now > 0.0  # disk time was charged
+
+
+def test_remote_read_charges_network():
+    engine, cluster, dfs = make_dfs(replication=1)
+    file = dfs.ingest("/data/in", RECORDS)
+    holder = file.blocks[0].replicas[0]
+    reader = next(n for n in cluster.names() if n != holder)
+    run(engine, dfs.read_all("/data/in", reader))
+    remote_bytes = sum(b.nbytes for b in file.blocks if reader not in b.replicas)
+    assert remote_bytes > 0
+    assert cluster.network_bytes == remote_bytes
+
+
+def test_write_charges_time_and_read_back():
+    engine, cluster, dfs = make_dfs(replication=2)
+
+    def body():
+        yield from dfs.write("/out", RECORDS, "node0")
+        return (yield from dfs.read_all("/out", "node3"))
+
+    got = run(engine, body())
+    assert got == RECORDS
+    assert engine.now > 0.0
+
+
+def test_write_places_first_replica_on_writer():
+    engine, _cluster, dfs = make_dfs(replication=2)
+
+    def body():
+        return (yield from dfs.write("/out", RECORDS, "node2"))
+
+    file = run(engine, body())
+    for block in file.blocks:
+        assert block.replicas[0] == "node2"
+
+
+def test_write_existing_path_rejected():
+    engine, _cluster, dfs = make_dfs()
+    dfs.ingest("/out", RECORDS)
+
+    def body():
+        yield from dfs.write("/out", RECORDS, "node0")
+
+    with pytest.raises(FileAlreadyExists):
+        run(engine, body())
+
+
+def test_read_survives_single_replica_failure():
+    engine, cluster, dfs = make_dfs(replication=2)
+    file = dfs.ingest("/data/in", RECORDS)
+    cluster[file.blocks[0].replicas[0]].fail()
+    reader = file.blocks[0].replicas[1]
+    got = run(engine, dfs.read_all("/data/in", reader))
+    assert got == RECORDS
+
+
+def test_read_fails_when_all_replicas_lost():
+    engine, cluster, dfs = make_dfs(replication=1)
+    file = dfs.ingest("/data/in", RECORDS)
+    cluster[file.blocks[0].replicas[0]].fail()
+    survivor = next(n for n in cluster.names() if not cluster[n].failed)
+    with pytest.raises(DFSError, match="replicas"):
+        run(engine, dfs.read_all("/data/in", survivor))
+
+
+def test_splits_cover_file_with_locations():
+    _engine, _cluster, dfs = make_dfs(block_size=300)
+    file = dfs.ingest("/data/in", RECORDS)
+    splits = dfs.splits("/data/in")
+    assert len(splits) == len(file.blocks)
+    assert sum(s.record_count() for s in splits) == len(RECORDS)
+    for split in splits:
+        assert split.locations
+
+
+def test_placement_is_deterministic():
+    def placement():
+        _e, _c, dfs = make_dfs(block_size=300)
+        file = dfs.ingest("/data/in", RECORDS)
+        return [tuple(b.replicas) for b in file.blocks]
+
+    assert placement() == placement()
+
+
+def test_total_bytes_counts_one_copy():
+    _engine, _cluster, dfs = make_dfs(replication=3)
+    file = dfs.ingest("/a", RECORDS)
+    assert dfs.total_bytes() == file.nbytes
+
+
+def test_text_format_changes_file_size():
+    _e, _c, dfs = make_dfs()
+    binary = dfs.ingest("/bin", RECORDS)
+    text = dfs.ingest("/txt", RECORDS, text_format=True)
+    assert binary.nbytes != text.nbytes
+
+
+def test_parameter_validation():
+    engine = Engine()
+    cluster = local_cluster(engine)
+    with pytest.raises(DFSError):
+        DFS(cluster, block_size=0)
+    with pytest.raises(DFSError):
+        DFS(cluster, replication=0)

@@ -1,0 +1,124 @@
+"""Unit and property tests for the log-normal graph generators."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import (
+    lognormal_graph,
+    lognormal_out_degrees,
+    mu_for_mean_degree,
+    pagerank_graph,
+    sssp_graph,
+)
+
+
+def test_mu_for_mean_degree_inverts_lognormal_mean():
+    sigma = 1.0
+    mu = mu_for_mean_degree(7.39, sigma)
+    assert math.exp(mu + sigma**2 / 2) == pytest.approx(7.39)
+
+
+def test_mu_for_mean_degree_rejects_nonpositive():
+    with pytest.raises(ValueError):
+        mu_for_mean_degree(0.0, 1.0)
+
+
+def test_degree_sampling_respects_bounds():
+    rng = np.random.default_rng(0)
+    degrees = lognormal_out_degrees(500, mu=1.5, sigma=1.0, rng=rng, min_degree=1)
+    assert degrees.min() >= 1
+    assert degrees.max() <= 499
+
+
+def test_sssp_graph_is_weighted_with_positive_weights():
+    g = sssp_graph(200, seed=1)
+    assert g.weighted
+    assert (g.weights > 0).all()
+
+
+def test_pagerank_graph_is_unweighted():
+    assert not pagerank_graph(200, seed=1).weighted
+
+
+def test_generation_is_deterministic():
+    a = sssp_graph(300, seed=42)
+    b = sssp_graph(300, seed=42)
+    assert np.array_equal(a.indptr, b.indptr)
+    assert np.array_equal(a.targets, b.targets)
+    assert np.array_equal(a.weights, b.weights)
+
+
+def test_different_seeds_differ():
+    a = sssp_graph(300, seed=1)
+    b = sssp_graph(300, seed=2)
+    assert not (
+        np.array_equal(a.indptr, b.indptr) and np.array_equal(a.targets, b.targets)
+    )
+
+
+def test_mean_degree_override_hits_target():
+    g = sssp_graph(5000, mean_degree=4.9, seed=7)
+    observed = g.num_edges / g.num_nodes
+    assert observed == pytest.approx(4.9, rel=0.15)
+
+
+def test_paper_default_mean_degree():
+    """σ=1.0, μ=1.5 gives E[deg] = e^2 ≈ 7.39 (paper's SSSP family)."""
+    g = sssp_graph(5000, seed=3)
+    assert g.num_edges / g.num_nodes == pytest.approx(math.exp(2.0), rel=0.15)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=300),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+def test_no_self_loops(n, seed):
+    g = lognormal_graph(n, degree_mu=1.0, degree_sigma=1.0, seed=seed)
+    for u in range(n):
+        assert u not in g.out_neighbors(u)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=300),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+def test_no_duplicate_edges(n, seed):
+    g = lognormal_graph(n, degree_mu=1.5, degree_sigma=1.0, seed=seed)
+    for u in range(n):
+        neighbors = g.out_neighbors(u)
+        assert len(np.unique(neighbors)) == len(neighbors)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=200),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+def test_min_degree_respected(n, seed):
+    g = lognormal_graph(n, degree_mu=0.0, degree_sigma=0.5, seed=seed, min_degree=1)
+    assert (g.out_degree() >= 1).all()
+
+
+def test_small_graph_rejected():
+    with pytest.raises(ValueError):
+        lognormal_graph(1, degree_mu=1.0, degree_sigma=1.0)
+
+
+def test_weight_params_must_come_together():
+    with pytest.raises(ValueError):
+        lognormal_graph(10, degree_mu=1.0, degree_sigma=1.0, weight_mu=0.4)
+
+
+def test_saturated_degrees_connect_to_everyone():
+    g = lognormal_graph(5, degree_mu=5.0, degree_sigma=0.1, seed=0)
+    for u in range(5):
+        if g.out_degree(u) == 4:
+            assert sorted(g.out_neighbors(u).tolist()) == sorted(
+                v for v in range(5) if v != u
+            )

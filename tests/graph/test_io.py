@@ -1,0 +1,93 @@
+"""Unit tests for graph text I/O and record conversion."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import (
+    Digraph,
+    format_adjacency_lines,
+    graph_to_records,
+    lognormal_graph,
+    parse_adjacency_lines,
+    records_to_graph,
+    sssp_graph,
+)
+
+
+def test_format_unweighted():
+    g = Digraph.from_edges(3, [(0, 1), (0, 2)])
+    lines = format_adjacency_lines(g)
+    assert lines == ["0\t1 2", "1\t", "2\t"]
+
+
+def test_format_weighted():
+    g = Digraph.from_edges(2, [(0, 1)], [2.5])
+    assert format_adjacency_lines(g) == ["0\t1:2.5000", "1\t"]
+
+
+def test_text_roundtrip_unweighted():
+    g = lognormal_graph(50, degree_mu=1.0, degree_sigma=1.0, seed=5)
+    back = parse_adjacency_lines(format_adjacency_lines(g))
+    assert np.array_equal(back.indptr, g.indptr)
+    assert sorted(back.edge_list()) == sorted(g.edge_list())
+
+
+def test_text_roundtrip_weighted():
+    g = sssp_graph(50, seed=5)
+    back = parse_adjacency_lines(format_adjacency_lines(g))
+    assert back.weighted
+    assert back.num_edges == g.num_edges
+    assert np.allclose(np.sort(back.weights), np.sort(np.round(g.weights, 4)))
+
+
+def test_parse_rejects_mixed_formats():
+    with pytest.raises(ValueError, match="mixed"):
+        parse_adjacency_lines(["0\t1:1.0", "1\t0"])
+
+
+def test_parse_rejects_duplicate_nodes():
+    with pytest.raises(ValueError, match="duplicate"):
+        parse_adjacency_lines(["0\t1", "0\t1", "1\t"])
+
+
+def test_parse_rejects_gaps_in_ids():
+    with pytest.raises(ValueError, match="cover"):
+        parse_adjacency_lines(["0\t1", "2\t"])
+
+
+def test_parse_rejects_empty_input():
+    with pytest.raises(ValueError):
+        parse_adjacency_lines([])
+
+
+def test_parse_skips_blank_lines():
+    g = parse_adjacency_lines(["0\t1", "", "1\t"])
+    assert g.num_nodes == 2
+
+
+def test_records_roundtrip_weighted():
+    g = sssp_graph(40, seed=9)
+    back = records_to_graph(graph_to_records(g))
+    assert back.num_edges == g.num_edges
+    assert np.array_equal(back.indptr, g.indptr)
+    assert np.allclose(back.weights, g.weights)
+
+
+def test_records_roundtrip_unweighted():
+    g = lognormal_graph(40, degree_mu=1.0, degree_sigma=1.0, seed=9)
+    back = records_to_graph(graph_to_records(g))
+    assert sorted(back.edge_list()) == sorted(g.edge_list())
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=100),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+def test_property_text_roundtrip_preserves_structure(n, seed):
+    g = lognormal_graph(n, degree_mu=1.0, degree_sigma=0.8, seed=seed)
+    back = parse_adjacency_lines(format_adjacency_lines(g))
+    assert back.num_nodes == g.num_nodes
+    assert sorted(back.edge_list()) == sorted(g.edge_list())

@@ -1,0 +1,75 @@
+"""Stop-sentinel semantics: the final-iteration handshake."""
+
+import pytest
+
+from repro.imapreduce import IterationMailbox, StopIteration_
+from repro.simulation import Engine
+
+
+def run(engine, gen):
+    return engine.run(engine.process(gen))
+
+
+def test_stop_carries_final_iteration():
+    engine = Engine()
+    box = IterationMailbox(engine)
+    box.stop(7)
+
+    def consumer():
+        try:
+            yield from box.gather_map_outputs(8, 1)
+        except StopIteration_ as exc:
+            return exc.final_iteration
+
+    assert run(engine, consumer()) == 7
+
+
+def test_stop_without_final_iteration_is_none():
+    engine = Engine()
+    box = IterationMailbox(engine)
+    box.stop()
+
+    def consumer():
+        try:
+            yield from box.gather_map_outputs(0, 1)
+        except StopIteration_ as exc:
+            return ("none", exc.final_iteration)
+
+    assert run(engine, consumer()) == ("none", None)
+
+
+def test_final_iteration_sticky_across_gathers():
+    engine = Engine()
+    box = IterationMailbox(engine)
+    box.stop(3)
+
+    def consumer():
+        results = []
+        for _ in range(2):
+            try:
+                yield from box.gather_state_chunks(0, 1)
+            except StopIteration_ as exc:
+                results.append(exc.final_iteration)
+        return results
+
+    assert run(engine, consumer()) == [3, 3]
+
+
+def test_data_before_stop_still_consumed():
+    """Messages queued ahead of the sentinel are delivered first."""
+    engine = Engine()
+    box = IterationMailbox(engine)
+    box.put(("mapout", 0, 0, [(1, "x")]))
+    box.put(("mapdone", 0, 0))
+    box.stop(0)
+
+    def consumer():
+        data = yield from box.gather_map_outputs(0, 1)
+        try:
+            yield from box.gather_map_outputs(1, 1)
+        except StopIteration_ as exc:
+            return data, exc.final_iteration
+
+    data, final = run(engine, consumer())
+    assert data == [(1, "x")]
+    assert final == 0

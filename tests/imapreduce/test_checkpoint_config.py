@@ -1,0 +1,61 @@
+"""Checkpoint configuration behaviour."""
+
+import pytest
+
+from repro.cluster import local_cluster
+from repro.common import IterKeys, JobConf
+from repro.dfs import DFS
+from repro.imapreduce import IMapReduceRuntime, IterativeJob
+from repro.simulation import Engine
+
+
+def noop_map(key, state, static, ctx):
+    ctx.emit(key, state)
+
+
+def noop_reduce(key, values, ctx):
+    ctx.emit(key, values[0])
+
+
+def run_with_interval(interval):
+    engine = Engine()
+    cluster = local_cluster(engine)
+    dfs = DFS(cluster, replication=2)
+    dfs.ingest("/c/state", [(i, 1.0) for i in range(8)])
+    conf = JobConf({IterKeys.STATE_PATH: "/c/state", IterKeys.MAX_ITER: 6})
+    conf.set_int(IterKeys.CHECKPOINT_INTERVAL, interval)
+    job = IterativeJob.single_phase(
+        "ckpt", noop_map, noop_reduce, conf=conf, output_path="/c/out"
+    )
+    IMapReduceRuntime(cluster, dfs).submit(job)
+    return [f for f in dfs.list_files() if "/state-" in f]
+
+
+def test_interval_zero_disables_checkpoints():
+    files = run_with_interval(0)
+    # Only the initial load's state-00000 remains — no later checkpoints.
+    assert files
+    assert all("state-00000" in f for f in files)
+
+
+def test_interval_two_writes_later_checkpoints():
+    files = run_with_interval(2)
+    assert any("state-00000" not in f for f in files)
+
+
+def test_smaller_interval_checkpoints_more_often():
+    """More frequent checkpoints cost (slightly) more time."""
+
+    def total_time(interval):
+        engine = Engine()
+        cluster = local_cluster(engine)
+        dfs = DFS(cluster, replication=2)
+        dfs.ingest("/c/state", [(i, 1.0) for i in range(512)])
+        conf = JobConf({IterKeys.STATE_PATH: "/c/state", IterKeys.MAX_ITER: 8})
+        conf.set_int(IterKeys.CHECKPOINT_INTERVAL, interval)
+        job = IterativeJob.single_phase(
+            "ckpt", noop_map, noop_reduce, conf=conf, output_path="/c/out"
+        )
+        return IMapReduceRuntime(cluster, dfs).submit(job).metrics.total_time
+
+    assert total_time(1) >= total_time(0)

@@ -1,0 +1,139 @@
+"""Fault-tolerance tests: checkpoint + rollback recovery (§3.4.1)."""
+
+import pytest
+
+from repro.cluster import FaultSchedule, local_cluster
+from repro.common import IterKeys, JobConf
+from repro.dfs import DFS
+from repro.imapreduce import IMapReduceRuntime, IterativeJob
+from repro.simulation import Engine
+
+N_KEYS = 12
+
+
+def decay_map(key, state, static, ctx):
+    ctx.emit(key, state * static)
+
+
+def identity_reduce(key, values, ctx):
+    ctx.emit(key, values[0])
+
+
+def make_job(max_iter, checkpoint_interval=2):
+    conf = JobConf()
+    conf.set(IterKeys.STATE_PATH, "/in/state")
+    conf.set(IterKeys.STATIC_PATH, "/in/static")
+    conf.set_int(IterKeys.MAX_ITER, max_iter)
+    conf.set_int(IterKeys.CHECKPOINT_INTERVAL, checkpoint_interval)
+    return IterativeJob.single_phase(
+        "decay",
+        decay_map,
+        identity_reduce,
+        conf=conf,
+        output_path="/out/decay",
+    )
+
+
+def setup(fail_at=None, fail_node="node1", nodes=4):
+    engine = Engine()
+    cluster = local_cluster(engine, nodes)
+    dfs = DFS(cluster, block_size=4096, replication=2)
+    dfs.ingest("/in/state", [(i, 1024.0) for i in range(N_KEYS)])
+    dfs.ingest("/in/static", [(i, 0.5) for i in range(N_KEYS)])
+    if fail_at is not None:
+        FaultSchedule().fail_at(fail_at, fail_node).arm(engine, cluster)
+    return engine, cluster, dfs, IMapReduceRuntime(cluster, dfs)
+
+
+def clean_run_timing(max_iter=6):
+    """Failure-free timings used to aim the fault injections."""
+    _e, _c, _d, rt = setup()
+    metrics = rt.submit(make_job(max_iter)).metrics
+    mid = (metrics.iterations[0].end + metrics.end) / 2.0
+    return mid, metrics.total_time
+
+
+MID_RUN, CLEAN_TOTAL = (None, None)
+
+
+def mid_run_time():
+    global MID_RUN, CLEAN_TOTAL
+    if MID_RUN is None:
+        MID_RUN, CLEAN_TOTAL = clean_run_timing()
+    return MID_RUN
+
+
+def read_final(engine, dfs, paths, reader="node0"):
+    def body():
+        acc = []
+        for path in paths:
+            acc.extend((yield from dfs.read_all(path, reader)))
+        return acc
+
+    return engine.run(engine.process(body()))
+
+
+def expected_state(iters):
+    return {i: 1024.0 * (0.5**iters) for i in range(N_KEYS)}
+
+
+def test_failure_free_baseline():
+    engine, _c, dfs, runtime = setup()
+    result = runtime.submit(make_job(6))
+    assert result.recoveries == 0
+    assert dict(read_final(engine, dfs, result.final_paths)) == expected_state(6)
+
+
+def test_worker_failure_mid_run_recovers_exact_result():
+    baseline_engine, _c, baseline_dfs, baseline_rt = setup()
+    baseline = baseline_rt.submit(make_job(6))
+    baseline_state = dict(
+        read_final(baseline_engine, baseline_dfs, baseline.final_paths)
+    )
+
+    # Fail a worker mid-computation (after setup, during the iterations).
+    engine, cluster, dfs, runtime = setup(fail_at=mid_run_time())
+    result = runtime.submit(make_job(6))
+    assert result.recoveries >= 1
+    state = dict(read_final(engine, dfs, result.final_paths, reader="node0"))
+    assert state == baseline_state == expected_state(6)
+
+
+def test_recovery_takes_longer_than_failure_free():
+    _e1, _c1, _d1, rt1 = setup()
+    clean = rt1.submit(make_job(6))
+    _e2, _c2, _d2, rt2 = setup(fail_at=mid_run_time())
+    failed = rt2.submit(make_job(6))
+    assert failed.metrics.total_time > clean.metrics.total_time
+
+
+def test_failed_workers_pairs_are_reassigned():
+    engine, cluster, dfs, runtime = setup(fail_at=mid_run_time())
+    result = runtime.submit(make_job(6))
+    # The final output exists and is complete despite the dead worker.
+    assert dict(read_final(engine, dfs, result.final_paths)) == expected_state(6)
+    assert cluster["node1"].failed
+
+
+def test_checkpoint_files_pruned_to_latest():
+    _e, _c, dfs, runtime = setup()
+    runtime.submit(make_job(6, checkpoint_interval=2))
+    state_dirs = {
+        f.rsplit("/", 1)[0] for f in dfs.list_files() if "/state-" in f
+    }
+    # Only the newest complete checkpoint (and possibly the final one) remain.
+    assert len(state_dirs) <= 2
+
+
+def test_early_failure_during_first_iterations():
+    engine, _c, dfs, runtime = setup(fail_at=mid_run_time() * 0.7)
+    result = runtime.submit(make_job(4))
+    assert dict(read_final(engine, dfs, result.final_paths)) == expected_state(4)
+
+
+def test_two_failures_sequential():
+    engine, cluster, dfs, runtime = setup(fail_at=mid_run_time())
+    FaultSchedule().fail_at(mid_run_time() * 1.6, "node2").arm(engine, cluster)
+    result = runtime.submit(make_job(6))
+    assert result.recoveries >= 1
+    assert dict(read_final(engine, dfs, result.final_paths)) == expected_state(6)

@@ -1,0 +1,133 @@
+"""Validation tests for IterativeJob / Phase configuration."""
+
+import pytest
+
+from repro.common import IterKeys, JobConf
+from repro.common.errors import ConfigError
+from repro.imapreduce import IterativeJob, Phase
+
+
+def noop_map(key, state, static, ctx):
+    ctx.emit(key, state)
+
+
+def noop_reduce(key, values, ctx):
+    ctx.emit(key, values[0])
+
+
+def conf(**kw):
+    c = JobConf({IterKeys.STATE_PATH: "/s"})
+    for k, v in kw.items():
+        c.set(k, v)
+    return c
+
+
+def test_phase_rejects_unknown_mapping():
+    with pytest.raises(ConfigError, match="mapping"):
+        Phase(map_fn=noop_map, reduce_fn=noop_reduce, mapping="one2many")
+
+
+def test_job_needs_phases():
+    with pytest.raises(ConfigError, match="phase"):
+        IterativeJob(name="x", phases=[], output_path="/o", conf=conf())
+
+
+def test_job_needs_termination_condition():
+    with pytest.raises(ConfigError, match="terminate"):
+        IterativeJob(
+            name="x",
+            phases=[Phase(map_fn=noop_map, reduce_fn=noop_reduce)],
+            output_path="/o",
+            conf=conf(),
+        )
+
+
+def test_threshold_requires_distance_fn():
+    c = conf()
+    c.set_float(IterKeys.DIST_THRESH, 0.1)
+    with pytest.raises(ConfigError, match="distance"):
+        IterativeJob(
+            name="x",
+            phases=[Phase(map_fn=noop_map, reduce_fn=noop_reduce)],
+            output_path="/o",
+            conf=c,
+        )
+
+
+def test_num_pairs_must_be_positive():
+    c = conf()
+    c.set_int(IterKeys.MAX_ITER, 1)
+    with pytest.raises(ConfigError, match="num_pairs"):
+        IterativeJob(
+            name="x",
+            phases=[Phase(map_fn=noop_map, reduce_fn=noop_reduce)],
+            output_path="/o",
+            conf=c,
+            num_pairs=0,
+        )
+
+
+def test_single_phase_builder_reads_conf():
+    c = conf()
+    c.set(IterKeys.STATIC_PATH, "/static")
+    c.set(IterKeys.MAPPING, "one2all")
+    c.set_int(IterKeys.MAX_ITER, 7)
+    job = IterativeJob.single_phase(
+        "j", noop_map, noop_reduce, conf=c, output_path="/o"
+    )
+    assert job.phases[0].static_path == "/static"
+    assert job.phases[0].mapping == "one2all"
+    assert job.max_iterations == 7
+    assert job.synchronous  # one2all forces sync
+    assert job.state_path == "/s"
+
+
+def test_sync_flag_respected():
+    c = conf()
+    c.set_int(IterKeys.MAX_ITER, 1)
+    c.set_boolean(IterKeys.SYNC, True)
+    job = IterativeJob.single_phase("j", noop_map, noop_reduce, conf=c, output_path="/o")
+    assert job.synchronous
+
+
+def test_defaults():
+    c = conf()
+    c.set_int(IterKeys.MAX_ITER, 1)
+    job = IterativeJob.single_phase("j", noop_map, noop_reduce, conf=c, output_path="/o")
+    assert not job.synchronous
+    assert job.checkpoint_interval == 3
+    assert job.buffer_records == 2048
+    assert job.threshold is None
+    assert job.part_path(2) == "/o/part-00002"
+
+
+def test_missing_state_path_raises_on_access():
+    job = IterativeJob.single_phase(
+        "j", noop_map, noop_reduce,
+        conf=JobConf({IterKeys.MAX_ITER: 1}),
+        output_path="/o",
+    )
+    with pytest.raises(ConfigError):
+        _ = job.state_path
+
+
+def test_add_successor_appends_phase():
+    c = conf()
+    c.set_int(IterKeys.MAX_ITER, 1)
+    job = IterativeJob.single_phase("j", noop_map, noop_reduce, conf=c, output_path="/o")
+    job.add_successor(Phase(map_fn=noop_map, reduce_fn=noop_reduce, name="second"))
+    assert len(job.phases) == 2
+    assert job.phases[1].name == "second"
+
+
+def test_add_auxiliary_once():
+    from repro.imapreduce import AuxPhase
+
+    c = conf()
+    c.set_int(IterKeys.MAX_ITER, 1)
+    job = IterativeJob.single_phase("j", noop_map, noop_reduce, conf=c, output_path="/o")
+    aux = AuxPhase(map_fn=lambda k, v, ctx: None, reduce_fn=lambda k, v, ctx: None)
+    job.add_auxiliary(aux)
+    assert job.aux is aux
+    with pytest.raises(ConfigError, match="auxiliary"):
+        job.add_auxiliary(aux)

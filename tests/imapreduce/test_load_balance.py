@@ -1,0 +1,115 @@
+"""Load-balancing tests: migration away from slow workers (§3.4.2)."""
+
+import pytest
+
+from repro.cluster import heterogeneous_cluster
+from repro.common import IterKeys, JobConf
+from repro.dfs import DFS
+from repro.imapreduce import IMapReduceRuntime, IterativeJob, LoadBalanceConfig
+from repro.simulation import Engine
+
+N_KEYS = 32
+ITERS = 12
+
+
+def busy_map(key, state, static, ctx):
+    ctx.emit(key, state * static)
+
+
+def identity_reduce(key, values, ctx):
+    ctx.emit(key, values[0])
+
+
+def make_job():
+    conf = JobConf()
+    conf.set(IterKeys.STATE_PATH, "/lb/state")
+    conf.set(IterKeys.STATIC_PATH, "/lb/static")
+    conf.set_int(IterKeys.MAX_ITER, ITERS)
+    conf.set_int(IterKeys.CHECKPOINT_INTERVAL, 1)
+    return IterativeJob.single_phase(
+        "lb",
+        busy_map,
+        identity_reduce,
+        conf=conf,
+        output_path="/out/lb",
+        num_pairs=8,
+    )
+
+
+def run_once(lb_enabled):
+    engine = Engine()
+    # One straggler at 0.25x speed among healthy 1.0x workers.
+    cluster = heterogeneous_cluster(engine, [1.0, 1.0, 1.0, 0.25], cores=2)
+    dfs = DFS(cluster, block_size=4096, replication=2)
+    dfs.ingest("/lb/state", [(i, 1.0) for i in range(N_KEYS)])
+    dfs.ingest("/lb/static", [(i, 0.9) for i in range(N_KEYS)])
+    runtime = IMapReduceRuntime(
+        cluster,
+        dfs,
+        load_balance=LoadBalanceConfig(
+            enabled=lb_enabled, deviation_threshold=0.4, cooldown_iterations=2
+        ),
+    )
+    result = runtime.submit(make_job())
+
+    def read():
+        acc = []
+        for path in result.final_paths:
+            acc.extend((yield from dfs.read_all(path, "hnode0")))
+        return acc
+
+    state = dict(engine.run(engine.process(read())))
+    return result, state
+
+
+def test_migration_triggered_on_heterogeneous_cluster():
+    result, _state = run_once(lb_enabled=True)
+    assert len(result.migrations) >= 1
+    move = result.migrations[0]
+    assert move["from"] == "hnode3"  # the straggler
+    assert move["to"] != "hnode3"
+    assert move["deviation"] > 0.4
+
+
+def test_migration_preserves_exact_results():
+    balanced, state_balanced = run_once(lb_enabled=True)
+    plain, state_plain = run_once(lb_enabled=False)
+    expected = {i: 1.0 * (0.9**ITERS) for i in range(N_KEYS)}
+    assert state_balanced == pytest.approx(expected)
+    assert state_plain == pytest.approx(expected)
+
+
+def test_no_migration_when_disabled():
+    plain, _ = run_once(lb_enabled=False)
+    assert plain.migrations == []
+
+
+def test_migration_respects_cooldown():
+    result, _ = run_once(lb_enabled=True)
+    iters = [m.get("at_state", 0) for m in result.migrations]
+    # at most one migration per cooldown window of redone iterations
+    assert len(result.migrations) <= ITERS
+
+
+def test_steady_state_iterations_faster_after_migration():
+    """Post-migration iterations should beat the straggler-bound ones."""
+    result, _ = run_once(lb_enabled=True)
+    durations = [it.elapsed for it in result.metrics.iterations]
+    first_phase = durations[1]  # straggler-bound steady state
+    last_phase = durations[-1]  # after migration(s)
+    assert last_phase < first_phase
+
+
+def test_homogeneous_cluster_never_migrates():
+    engine = Engine()
+    cluster = heterogeneous_cluster(engine, [1.0, 1.0, 1.0, 1.0], cores=2)
+    dfs = DFS(cluster, block_size=4096, replication=2)
+    dfs.ingest("/lb/state", [(i, 1.0) for i in range(N_KEYS)])
+    dfs.ingest("/lb/static", [(i, 0.9) for i in range(N_KEYS)])
+    runtime = IMapReduceRuntime(
+        cluster,
+        dfs,
+        load_balance=LoadBalanceConfig(enabled=True, deviation_threshold=0.4),
+    )
+    result = runtime.submit(make_job())
+    assert result.migrations == []

@@ -1,0 +1,158 @@
+"""Tests for the serial local runtime (the correctness oracle)."""
+
+import pytest
+
+from repro.common import IterKeys, JobConf
+from repro.imapreduce import AuxPhase, IterativeJob, Phase, run_local
+
+
+def double_map(key, state, static, ctx):
+    ctx.emit(key, state * 2.0)
+
+
+def identity_reduce(key, values, ctx):
+    ctx.emit(key, values[0])
+
+
+def manhattan(key, prev, curr):
+    return abs((prev or 0.0) - curr)
+
+
+def make_job(max_iter=None, thresh=None, aux=None, phases=None):
+    conf = JobConf()
+    conf.set(IterKeys.STATE_PATH, "/state")
+    if max_iter is not None:
+        conf.set_int(IterKeys.MAX_ITER, max_iter)
+    if thresh is not None:
+        conf.set_float(IterKeys.DIST_THRESH, thresh)
+    if phases:
+        return IterativeJob(
+            name="local", phases=phases, output_path="/out", conf=conf,
+            distance_fn=manhattan if thresh is not None else None, aux=aux,
+        )
+    return IterativeJob.single_phase(
+        "local",
+        double_map,
+        identity_reduce,
+        conf=conf,
+        output_path="/out",
+        distance_fn=manhattan if thresh is not None else None,
+        aux=aux,
+    )
+
+
+STATE = [(i, 1.0) for i in range(8)]
+
+
+def test_fixed_iterations():
+    result = run_local(make_job(max_iter=3), STATE)
+    assert result.iterations_run == 3
+    assert result.terminated_by == "maxiter"
+    assert result.state_dict() == {i: 8.0 for i in range(8)}
+
+
+def test_history_kept_on_request():
+    result = run_local(make_job(max_iter=3), STATE, keep_history=True)
+    assert len(result.history) == 3
+    assert dict(result.history[0]) == {i: 2.0 for i in range(8)}
+    assert dict(result.history[2]) == result.state_dict()
+
+
+def test_no_history_by_default():
+    assert run_local(make_job(max_iter=2), STATE).history == []
+
+
+def test_threshold_termination():
+    def decay_map(key, state, static, ctx):
+        ctx.emit(key, state * 0.5)
+
+    job = IterativeJob.single_phase(
+        "decay",
+        decay_map,
+        identity_reduce,
+        conf=JobConf({IterKeys.STATE_PATH: "/state", IterKeys.MAX_ITER: 99,
+                      IterKeys.DIST_THRESH: 1.1}),
+        output_path="/out",
+        distance_fn=manhattan,
+    )
+    result = run_local(job, STATE)
+    # distance after k iters = 8 * 2^-k ; <= 1.1 at k=3 (1.0).
+    assert result.converged
+    assert result.iterations_run == 3
+    assert result.distances[-1] == pytest.approx(1.0)
+
+
+def test_distances_recorded_each_iteration():
+    job = make_job(max_iter=3, thresh=0.0)
+    result = run_local(job, STATE)
+    assert len(result.distances) == result.iterations_run
+    assert all(d is not None for d in result.distances)
+
+
+def test_static_join():
+    def mul_map(key, state, static, ctx):
+        ctx.emit(key, state * static)
+
+    job = IterativeJob.single_phase(
+        "mul",
+        mul_map,
+        identity_reduce,
+        conf=JobConf({IterKeys.STATE_PATH: "/s", IterKeys.STATIC_PATH: "/t",
+                      IterKeys.MAX_ITER: 2}),
+        output_path="/out",
+    )
+    result = run_local(job, STATE, {"/t": [(i, float(i)) for i in range(8)]})
+    assert result.state_dict() == {i: float(i) ** 2 for i in range(8)}
+
+
+def test_multiphase():
+    phases = [
+        Phase(map_fn=double_map, reduce_fn=identity_reduce),
+        Phase(map_fn=lambda k, s, st, c: c.emit(k, s + 1.0), reduce_fn=identity_reduce),
+    ]
+    result = run_local(make_job(max_iter=2, phases=phases), STATE)
+    # x -> 2x + 1 applied twice: 1 -> 3 -> 7
+    assert result.state_dict() == {i: 7.0 for i in range(8)}
+
+
+def test_aux_termination():
+    def aux_map(key, value, ctx):
+        ctx.emit(0, value)
+
+    def aux_reduce(key, values, ctx):
+        if max(values) >= 16.0:
+            ctx.signal_terminate()
+
+    result = run_local(
+        make_job(max_iter=50, aux=AuxPhase(aux_map, aux_reduce)), STATE
+    )
+    assert result.terminated_by == "aux"
+    assert result.iterations_run == 4  # 1 -> 2 -> 4 -> 8 -> 16
+
+
+def test_aux_task_state_persists():
+    seen = []
+
+    def aux_map(key, value, ctx):
+        ctx.task_state["n"] = ctx.task_state.get("n", 0) + 1
+        seen.append(ctx.task_state["n"])
+        ctx.emit(0, 0.0)
+
+    run_local(make_job(max_iter=3, aux=AuxPhase(aux_map, lambda k, v, c: None)), STATE)
+    assert max(seen) > 1
+
+
+def test_one2all_broadcast_state():
+    received = []
+
+    def bc_map(key, state_list, static, ctx):
+        received.append(len(state_list))
+        ctx.emit(key % 2, 1.0)
+
+    phase = Phase(map_fn=bc_map, reduce_fn=identity_reduce, mapping="one2all",
+                  static_path="/pts")
+    conf = JobConf({IterKeys.STATE_PATH: "/s", IterKeys.MAX_ITER: 1})
+    job = IterativeJob(name="bc", phases=[phase], output_path="/o", conf=conf)
+    run_local(job, [(0, 5.0), (1, 6.0)], {"/pts": [(i, float(i)) for i in range(6)]})
+    # every map call saw the full 2-record state
+    assert received and all(n == 2 for n in received)

@@ -1,0 +1,89 @@
+"""Property test: for randomly composed iterative jobs, the distributed
+engine and the serial reference executor produce identical results.
+
+The job family: the map applies a random arithmetic transform to the
+state and scatters a share to a neighbouring key (so the shuffle is
+non-trivial); the reduce folds with a random associative operation.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import local_cluster
+from repro.common import IterKeys, JobConf, ModPartitioner
+from repro.dfs import DFS
+from repro.imapreduce import IMapReduceRuntime, IterativeJob, run_local
+from repro.simulation import Engine
+
+TRANSFORMS = {
+    "scale": lambda x, c: x * c,
+    "shift": lambda x, c: x + c,
+    "cap": lambda x, c: min(x, c),
+}
+FOLDS = {
+    "sum": lambda values: sum(values),
+    "min": lambda values: min(values),
+    "max": lambda values: max(values),
+}
+
+
+def make_job(n_keys, transform, const, fold, scatter, iterations):
+    f = TRANSFORMS[transform]
+    fold_fn = FOLDS[fold]
+
+    def map_fn(key, state, static, ctx):
+        value = f(state, const)
+        ctx.emit(key, value)
+        if scatter:
+            ctx.emit((key + 1) % n_keys, value / 2.0)
+
+    def reduce_fn(key, values, ctx):
+        ctx.emit(key, fold_fn(values))
+
+    conf = JobConf({IterKeys.STATE_PATH: "/r/state"})
+    conf.set_int(IterKeys.MAX_ITER, iterations)
+    return IterativeJob.single_phase(
+        "random",
+        map_fn,
+        reduce_fn,
+        conf=conf,
+        output_path="/r/out",
+        partitioner=ModPartitioner(),
+    )
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    n_keys=st.integers(min_value=4, max_value=12),
+    transform=st.sampled_from(sorted(TRANSFORMS)),
+    const=st.floats(min_value=-2.0, max_value=2.0, allow_nan=False),
+    fold=st.sampled_from(sorted(FOLDS)),
+    scatter=st.booleans(),
+    iterations=st.integers(min_value=1, max_value=3),
+    seed_values=st.lists(
+        st.floats(min_value=-100, max_value=100, allow_nan=False),
+        min_size=12, max_size=12,
+    ),
+)
+def test_engine_matches_serial_reference(
+    n_keys, transform, const, fold, scatter, iterations, seed_values
+):
+    state = [(k, seed_values[k]) for k in range(n_keys)]
+    job = make_job(n_keys, transform, const, fold, scatter, iterations)
+
+    engine = Engine()
+    cluster = local_cluster(engine)
+    dfs = DFS(cluster, replication=2)
+    dfs.ingest("/r/state", state)
+    result = IMapReduceRuntime(cluster, dfs).submit(job)
+
+    def read():
+        acc = []
+        for path in result.final_paths:
+            acc.extend((yield from dfs.read_all(path, "node0")))
+        return acc
+
+    distributed = sorted(engine.run(engine.process(read())))
+    serial = run_local(job, state, num_pairs=4).state
+    assert distributed == serial

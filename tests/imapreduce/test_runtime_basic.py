@@ -1,0 +1,179 @@
+"""Core engine tests with a simple synthetic iterative computation.
+
+The workload: every key's state halves each iteration (static data holds
+a per-key multiplier), so results and distances are exactly predictable.
+"""
+
+import pytest
+
+from repro.cluster import local_cluster
+from repro.common import IterKeys, JobConf
+from repro.common.errors import SchedulingError
+from repro.dfs import DFS
+from repro.imapreduce import IMapReduceRuntime, IterativeJob, run_local
+from repro.simulation import Engine
+
+
+N_KEYS = 16
+
+
+def halving_map(key, state, static, ctx):
+    ctx.emit(key, state * static)
+
+
+def identity_reduce(key, values, ctx):
+    ctx.emit(key, values[0])
+
+
+def manhattan(key, prev, curr):
+    if prev is None:
+        return abs(curr)
+    return abs(prev - curr)
+
+
+def make_conf(max_iter=None, thresh=None, **extra):
+    conf = JobConf()
+    conf.set(IterKeys.STATE_PATH, "/in/state")
+    conf.set(IterKeys.STATIC_PATH, "/in/static")
+    if max_iter is not None:
+        conf.set_int(IterKeys.MAX_ITER, max_iter)
+    if thresh is not None:
+        conf.set_float(IterKeys.DIST_THRESH, thresh)
+    for key, value in extra.items():
+        conf.set(key, value)
+    return conf
+
+
+def make_job(max_iter=None, thresh=None, num_pairs=None, **extra):
+    return IterativeJob.single_phase(
+        "halve",
+        halving_map,
+        identity_reduce,
+        conf=make_conf(max_iter, thresh, **extra),
+        output_path="/out/halve",
+        distance_fn=manhattan if thresh is not None else None,
+        num_pairs=num_pairs,
+    )
+
+
+def setup(nodes=4):
+    engine = Engine()
+    cluster = local_cluster(engine, nodes)
+    dfs = DFS(cluster, block_size=4096, replication=2)
+    dfs.ingest("/in/state", [(i, 64.0) for i in range(N_KEYS)])
+    dfs.ingest("/in/static", [(i, 0.5) for i in range(N_KEYS)])
+    return engine, cluster, dfs, IMapReduceRuntime(cluster, dfs)
+
+
+def read_final(engine, dfs, paths):
+    def body():
+        acc = []
+        for path in paths:
+            acc.extend((yield from dfs.read_all(path, "node0")))
+        return acc
+
+    return engine.run(engine.process(body()))
+
+
+def test_fixed_iterations_produce_exact_state():
+    engine, _c, dfs, runtime = setup()
+    result = runtime.submit(make_job(max_iter=3))
+    assert result.iterations_run == 3
+    assert result.terminated_by == "maxiter"
+    state = dict(read_final(engine, dfs, result.final_paths))
+    assert state == {i: 8.0 for i in range(N_KEYS)}
+
+
+def test_threshold_termination():
+    engine, _c, dfs, runtime = setup()
+    # distance after iteration k (1-based) = N_KEYS * 64 * 2^-k
+    result = runtime.submit(make_job(max_iter=50, thresh=100.0))
+    assert result.terminated_by == "threshold"
+    assert result.converged
+    # 16*64/2^k <= 100 first at k = 4 (64).
+    assert result.iterations_run == 4
+    assert result.final_distance == pytest.approx(64.0)
+    state = dict(read_final(engine, dfs, result.final_paths))
+    assert state == {i: 4.0 for i in range(N_KEYS)}
+
+
+def test_distance_series_recorded():
+    _e, _c, _d, runtime = setup()
+    result = runtime.submit(make_job(max_iter=3, thresh=0.0001))
+    distances = [it.distance for it in result.metrics.iterations]
+    assert distances == pytest.approx([512.0, 256.0, 128.0])
+
+
+def test_matches_local_reference():
+    engine, _c, dfs, runtime = setup()
+    result = runtime.submit(make_job(max_iter=5))
+    distributed = sorted(read_final(engine, dfs, result.final_paths))
+    local = run_local(
+        make_job(max_iter=5),
+        [(i, 64.0) for i in range(N_KEYS)],
+        {"/in/static": [(i, 0.5) for i in range(N_KEYS)]},
+        num_pairs=4,
+    )
+    assert distributed == local.state
+
+
+def test_sync_mode_same_result_slower_or_equal():
+    def run(sync):
+        engine, _c, dfs, runtime = setup()
+        extra = {IterKeys.SYNC: True} if sync else {}
+        result = runtime.submit(make_job(max_iter=4, **extra))
+        return dict(read_final(engine, dfs, result.final_paths)), result.metrics.total_time
+
+    state_async, t_async = run(False)
+    state_sync, t_sync = run(True)
+    assert state_async == state_sync
+    assert t_async <= t_sync
+
+
+def test_setup_time_counted_once():
+    _e, _c, _d, runtime = setup()
+    result = runtime.submit(make_job(max_iter=4))
+    metrics = result.metrics
+    assert metrics.setup_time > 0
+    assert all(it.init_time == 0.0 for it in metrics.iterations)
+    assert metrics.total_init_time == metrics.setup_time
+
+
+def test_iteration_metrics_monotone():
+    _e, _c, _d, runtime = setup()
+    result = runtime.submit(make_job(max_iter=4))
+    series = result.metrics.cumulative_times()
+    assert [k for k, _ in series] == [1, 2, 3, 4]
+    assert all(b > a for (_, a), (_, b) in zip(series, series[1:]))
+
+
+def test_too_many_pairs_rejected():
+    _e, _c, _d, runtime = setup(nodes=2)
+    with pytest.raises(SchedulingError, match="slots"):
+        runtime.submit(make_job(max_iter=2, num_pairs=5))
+
+
+def test_num_pairs_defaults_to_worker_count():
+    _e, _c, _d, runtime = setup(nodes=3)
+    result = runtime.submit(make_job(max_iter=2))
+    assert result.metrics.extras["num_pairs"] == 3
+    assert len(result.final_paths) == 3
+
+
+def test_deterministic_virtual_time():
+    def run():
+        _e, _c, _d, runtime = setup()
+        result = runtime.submit(make_job(max_iter=4))
+        return result.metrics.total_time, result.metrics.network_bytes
+
+    assert run() == run()
+
+
+def test_shuffle_and_state_bytes_accounted():
+    _e, _c, _d, runtime = setup()
+    result = runtime.submit(make_job(max_iter=3))
+    for it in result.metrics.iterations:
+        assert it.shuffle_bytes > 0
+        assert it.state_bytes > 0
+        assert it.map_records == N_KEYS
+        assert it.reduce_records == N_KEYS

@@ -1,0 +1,147 @@
+"""Tests for the iterative job-chain driver (the Hadoop baseline loop)."""
+
+import pytest
+
+from repro.cluster import local_cluster
+from repro.common.errors import ConfigError
+from repro.dfs import DFS
+from repro.mapreduce import IterativeDriver, IterativeSpec, Job, MapReduceRuntime
+from repro.simulation import Engine
+
+
+def setup():
+    engine = Engine()
+    cluster = local_cluster(engine)
+    dfs = DFS(cluster, block_size=600, replication=2)
+    runtime = MapReduceRuntime(cluster, dfs)
+    return engine, cluster, dfs, runtime
+
+
+def halving_mapper(key, value, ctx):
+    ctx.emit(key, value / 2.0)
+
+
+def identity_reducer(key, values, ctx):
+    ctx.emit(key, values[0])
+
+
+def make_halving_spec(max_iterations, threshold=None):
+    """Each iteration halves every value; distance = sum |prev - curr|."""
+
+    def job_factory(iteration, input_paths):
+        return Job(
+            name=f"halve-{iteration}",
+            mapper=halving_mapper,
+            reducer=identity_reducer,
+            input_paths=input_paths,
+            output_path=f"/iter/{iteration}",
+            num_reduces=2,
+        )
+
+    def convergence_factory(iteration, prev_paths, curr_paths):
+        def tag_mapper(key, value, ctx):
+            ctx.emit(key, value)
+
+        def diff_reducer(key, values, ctx):
+            ctx.increment("distance", abs(values[0] - values[-1]))
+
+        return Job(
+            name=f"check-{iteration}",
+            mapper=tag_mapper,
+            reducer=diff_reducer,
+            input_paths=list(prev_paths) + list(curr_paths),
+            output_path=f"/check/{iteration}",
+            num_reduces=2,
+        )
+
+    return IterativeSpec(
+        name="halving",
+        job_factory=job_factory,
+        max_iterations=max_iterations,
+        threshold=threshold,
+        convergence_factory=convergence_factory if threshold is not None else None,
+    )
+
+
+def read_all(engine, dfs, paths):
+    def body():
+        acc = []
+        for p in paths:
+            acc.extend((yield from dfs.read_all(p, "node0")))
+        return acc
+
+    return engine.run(engine.process(body()))
+
+
+def test_fixed_iterations_run_to_max():
+    engine, _c, dfs, runtime = setup()
+    dfs.ingest("/in", [(i, 64.0) for i in range(8)])
+    result = IterativeDriver(runtime).run(make_halving_spec(3), ["/in"])
+    assert result.iterations_run == 3
+    assert not result.converged
+    values = dict(read_all(engine, dfs, result.final_paths))
+    assert values == {i: 8.0 for i in range(8)}
+
+
+def test_threshold_stops_early():
+    engine, _c, dfs, runtime = setup()
+    dfs.ingest("/in", [(i, 1.0) for i in range(4)])
+    # Distance after iteration k is sum over keys of |v_{k-1} - v_k|
+    # = 4 * 2^-k; threshold 0.6 is crossed at iteration 3 (0.5).
+    result = IterativeDriver(runtime).run(make_halving_spec(20, threshold=0.6), ["/in"])
+    assert result.converged
+    assert result.iterations_run == 3
+    distances = [it.distance for it in result.metrics.iterations]
+    assert distances == pytest.approx([2.0, 1.0, 0.5])
+
+
+def test_metrics_per_iteration():
+    _e, _c, dfs, runtime = setup()
+    dfs.ingest("/in", [(i, 64.0) for i in range(8)])
+    result = IterativeDriver(runtime).run(make_halving_spec(4), ["/in"])
+    metrics = result.metrics
+    assert metrics.num_iterations == 4
+    assert metrics.total_time > 0
+    for it in metrics.iterations:
+        assert it.init_time > 0
+        assert it.elapsed >= it.init_time
+    # Cumulative series is monotone.
+    series = metrics.cumulative_times()
+    assert [i for i, _ in series] == [1, 2, 3, 4]
+    assert all(b[1] > a[1] for a, b in zip(series, series[1:]))
+
+
+def test_ex_init_curve_is_below_total():
+    _e, _c, dfs, runtime = setup()
+    dfs.ingest("/in", [(i, 64.0) for i in range(8)])
+    result = IterativeDriver(runtime).run(make_halving_spec(4), ["/in"])
+    total = dict(result.metrics.cumulative_times())
+    ex_init = dict(result.metrics.cumulative_times_excluding_init())
+    for k in total:
+        assert ex_init[k] < total[k]
+
+
+def test_intermediate_outputs_cleaned_up():
+    _e, _c, dfs, runtime = setup()
+    dfs.ingest("/in", [(i, 64.0) for i in range(8)])
+    result = IterativeDriver(runtime).run(make_halving_spec(5), ["/in"])
+    files = dfs.list_files()
+    assert "/in" in files  # user input retained
+    # Only the final iteration's parts remain.
+    part_files = [f for f in files if f.startswith("/iter/")]
+    assert part_files == sorted(result.final_paths)
+
+
+def test_convergence_requires_factory():
+    with pytest.raises(ConfigError):
+        IterativeSpec(
+            name="bad",
+            job_factory=lambda i, p: None,
+            max_iterations=5,
+            threshold=0.1,
+        )
+
+
+def test_zero_iterations_rejected():
+    with pytest.raises(ConfigError):
+        IterativeSpec(name="bad", job_factory=lambda i, p: None, max_iterations=0)

@@ -1,0 +1,280 @@
+"""Integration-level tests for the baseline MapReduce engine."""
+
+import pytest
+
+from repro.cluster import FaultSchedule, local_cluster
+from repro.common.errors import TaskFailure
+from repro.dfs import DFS
+from repro.mapreduce import Job, MapReduceRuntime
+from repro.simulation import Engine
+
+
+def setup_runtime(block_size=600, nodes=4, **kw):
+    engine = Engine()
+    cluster = local_cluster(engine, nodes)
+    dfs = DFS(cluster, block_size=block_size, replication=2)
+    return engine, cluster, dfs, MapReduceRuntime(cluster, dfs, **kw)
+
+
+def word_mapper(key, value, ctx):
+    for word in value.split():
+        ctx.emit(word, 1)
+
+
+def sum_reducer(key, values, ctx):
+    ctx.emit(key, sum(values))
+
+
+def ingest_text(dfs):
+    lines = [
+        (0, "the quick brown fox"),
+        (1, "the lazy dog"),
+        (2, "the quick dog"),
+        (3, "fox and dog and fox"),
+    ]
+    dfs.ingest("/in/text", lines)
+    return lines
+
+
+def read_output(engine, dfs, paths):
+    out = []
+
+    def body():
+        acc = []
+        for path in paths:
+            acc.extend((yield from dfs.read_all(path, "node0")))
+        return acc
+
+    return engine.run(engine.process(body()))
+
+
+def test_wordcount_end_to_end():
+    engine, _cluster, dfs, runtime = setup_runtime()
+    ingest_text(dfs)
+    job = Job(
+        name="wordcount",
+        mapper=word_mapper,
+        reducer=sum_reducer,
+        input_paths=["/in/text"],
+        output_path="/out/wc",
+        num_reduces=3,
+    )
+    result = runtime.submit(job)
+    counts = dict(read_output(engine, dfs, result.output_paths))
+    assert counts == {
+        "the": 3,
+        "quick": 2,
+        "brown": 1,
+        "fox": 3,
+        "lazy": 1,
+        "dog": 3,
+        "and": 2,
+    }
+
+
+def test_job_takes_virtual_time():
+    engine, _cluster, dfs, runtime = setup_runtime()
+    ingest_text(dfs)
+    job = Job(
+        name="wc",
+        mapper=word_mapper,
+        reducer=sum_reducer,
+        input_paths=["/in/text"],
+        output_path="/out/wc",
+    )
+    result = runtime.submit(job)
+    assert result.elapsed > runtime.cost.job_setup + runtime.cost.job_cleanup
+    assert engine.now == result.end
+
+
+def test_each_reduce_writes_one_part_file():
+    _engine, _cluster, dfs, runtime = setup_runtime()
+    ingest_text(dfs)
+    job = Job(
+        name="wc",
+        mapper=word_mapper,
+        reducer=sum_reducer,
+        input_paths=["/in/text"],
+        output_path="/out/wc",
+        num_reduces=3,
+    )
+    result = runtime.submit(job)
+    assert result.output_paths == [
+        "/out/wc/part-00000",
+        "/out/wc/part-00001",
+        "/out/wc/part-00002",
+    ]
+    for path in result.output_paths:
+        assert dfs.exists(path)
+
+
+def test_partitioning_respected():
+    """Each key must appear in exactly the partition its hash selects."""
+    engine, _cluster, dfs, runtime = setup_runtime()
+    ingest_text(dfs)
+    job = Job(
+        name="wc",
+        mapper=word_mapper,
+        reducer=sum_reducer,
+        input_paths=["/in/text"],
+        output_path="/out/wc",
+        num_reduces=4,
+    )
+    result = runtime.submit(job)
+    for r, path in enumerate(result.output_paths):
+        for key, _ in read_output(engine, dfs, [path]):
+            assert job.partitioner(key, 4) == r
+
+
+def test_counters_aggregate_across_reduces():
+    _engine, _cluster, dfs, runtime = setup_runtime()
+    ingest_text(dfs)
+
+    def counting_reducer(key, values, ctx):
+        ctx.increment("keys_seen")
+        ctx.emit(key, sum(values))
+
+    job = Job(
+        name="wc",
+        mapper=word_mapper,
+        reducer=counting_reducer,
+        input_paths=["/in/text"],
+        output_path="/out/wc",
+        num_reduces=3,
+    )
+    result = runtime.submit(job)
+    assert result.counter("keys_seen") == 7
+
+
+def test_combiner_reduces_shuffle_volume():
+    def run(with_combiner):
+        _e, _c, dfs, runtime = setup_runtime()
+        dfs.ingest("/in/text", [(i, "word word word word") for i in range(40)])
+        job = Job(
+            name="wc",
+            mapper=word_mapper,
+            reducer=sum_reducer,
+            combiner=sum_reducer if with_combiner else None,
+            input_paths=["/in/text"],
+            output_path="/out/wc",
+        )
+        result = runtime.submit(job)
+        counts = dict(read_output(_e, dfs, result.output_paths))
+        return result, counts
+
+    plain, counts_plain = run(False)
+    combined, counts_combined = run(True)
+    assert counts_plain == counts_combined == {"word": 160}
+    assert combined.stats.shuffle_records < plain.stats.shuffle_records
+    assert combined.stats.shuffle_bytes < plain.stats.shuffle_bytes
+
+
+def test_stats_record_counts():
+    _engine, _cluster, dfs, runtime = setup_runtime()
+    lines = ingest_text(dfs)
+    job = Job(
+        name="wc",
+        mapper=word_mapper,
+        reducer=sum_reducer,
+        input_paths=["/in/text"],
+        output_path="/out/wc",
+    )
+    result = runtime.submit(job)
+    total_words = sum(len(v.split()) for _, v in lines)
+    assert result.stats.map_records == len(lines)
+    assert result.stats.shuffle_records == total_words
+    assert result.stats.output_records == 7
+    assert result.stats.init_time > 0
+
+
+def test_multiple_blocks_make_multiple_map_tasks():
+    _engine, _cluster, dfs, runtime = setup_runtime(block_size=60)
+    ingest_text(dfs)
+    job = Job(
+        name="wc",
+        mapper=word_mapper,
+        reducer=sum_reducer,
+        input_paths=["/in/text"],
+        output_path="/out/wc",
+    )
+    result = runtime.submit(job)
+    assert result.stats.num_map_tasks > 1
+
+
+def test_user_exception_surfaces_as_task_failure():
+    _engine, _cluster, dfs, runtime = setup_runtime()
+    ingest_text(dfs)
+
+    def broken_mapper(key, value, ctx):
+        raise ValueError("user bug")
+
+    job = Job(
+        name="broken",
+        mapper=broken_mapper,
+        reducer=sum_reducer,
+        input_paths=["/in/text"],
+        output_path="/out/x",
+    )
+    with pytest.raises(TaskFailure, match="user bug"):
+        runtime.submit(job)
+
+
+def test_worker_failure_mid_job_recovers():
+    engine, cluster, dfs, runtime = setup_runtime(block_size=120)
+    ingest_text(dfs)
+    # Kill a worker shortly after the job starts; tasks reschedule.
+    FaultSchedule().fail_at(runtime.cost.job_setup + 0.5, "node1").arm(engine, cluster)
+    job = Job(
+        name="wc",
+        mapper=word_mapper,
+        reducer=sum_reducer,
+        input_paths=["/in/text"],
+        output_path="/out/wc",
+        num_reduces=2,
+    )
+    result = runtime.submit(job)
+    counts = dict(read_output(engine, dfs, result.output_paths))
+    assert counts["the"] == 3
+    assert counts["fox"] == 3
+
+
+def test_determinism_of_job_timing():
+    def run_once():
+        _e, _c, dfs, runtime = setup_runtime()
+        ingest_text(dfs)
+        job = Job(
+            name="wc",
+            mapper=word_mapper,
+            reducer=sum_reducer,
+            input_paths=["/in/text"],
+            output_path="/out/wc",
+        )
+        result = runtime.submit(job)
+        return result.elapsed, result.stats
+
+    first = run_once()
+    second = run_once()
+    assert first == second
+
+
+def test_sequential_jobs_accumulate_time():
+    engine, _cluster, dfs, runtime = setup_runtime()
+    ingest_text(dfs)
+    job1 = Job(
+        name="a",
+        mapper=word_mapper,
+        reducer=sum_reducer,
+        input_paths=["/in/text"],
+        output_path="/out/a",
+    )
+    r1 = runtime.submit(job1)
+    job2 = Job(
+        name="b",
+        mapper=lambda k, v, ctx: ctx.emit(k, v),
+        reducer=lambda k, vs, ctx: ctx.emit(k, vs[0]),
+        input_paths=r1.output_paths,
+        output_path="/out/b",
+    )
+    r2 = runtime.submit(job2)
+    assert r2.start >= r1.end
+    assert engine.now == r2.end

@@ -1,0 +1,108 @@
+"""Property-based tests: the shuffle contract.
+
+Whatever the input, block layout or reduce count, every emitted pair
+must reach exactly one reducer — the one its key hashes to — exactly
+once, and reducers must see values grouped per key.
+"""
+
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import local_cluster
+from repro.dfs import DFS
+from repro.mapreduce import Job, MapReduceRuntime
+from repro.simulation import Engine
+
+
+def tag_mapper(key, value, ctx):
+    # Deterministic fan-out: each record emits `value` pairs.
+    for i in range(value):
+        ctx.emit((key + i) % 10, (key, i))
+
+
+def collect_reducer(key, values, ctx):
+    ctx.emit(key, tuple(sorted(values)))
+
+
+def run_job(records, num_reduces, block_size):
+    engine = Engine()
+    cluster = local_cluster(engine)
+    dfs = DFS(cluster, block_size=block_size, replication=2)
+    dfs.ingest("/in", records)
+    runtime = MapReduceRuntime(cluster, dfs)
+    job = Job(
+        name="prop",
+        mapper=tag_mapper,
+        reducer=collect_reducer,
+        input_paths=["/in"],
+        output_path="/out",
+        num_reduces=num_reduces,
+    )
+    result = runtime.submit(job)
+
+    def read():
+        acc = []
+        for path in result.output_paths:
+            acc.extend((yield from dfs.read_all(path, "node0")))
+        return acc
+
+    return dict(engine.run(engine.process(read()))), job
+
+
+def expected_groups(records):
+    groups = {}
+    for key, value in records:
+        for i in range(value):
+            groups.setdefault((key + i) % 10, []).append((key, i))
+    return {k: tuple(sorted(v)) for k, v in groups.items()}
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    records=st.lists(
+        st.tuples(st.integers(min_value=0, max_value=50),
+                  st.integers(min_value=0, max_value=5)),
+        min_size=1, max_size=25, unique_by=lambda kv: kv[0],
+    ),
+    num_reduces=st.integers(min_value=1, max_value=6),
+    block_size=st.sampled_from([64, 256, 4096]),
+)
+def test_every_pair_delivered_exactly_once(records, num_reduces, block_size):
+    got, job = run_job(records, num_reduces, block_size)
+    assert got == expected_groups(records)
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    records=st.lists(
+        st.tuples(st.integers(min_value=0, max_value=50),
+                  st.integers(min_value=1, max_value=4)),
+        min_size=1, max_size=15, unique_by=lambda kv: kv[0],
+    ),
+    num_reduces=st.integers(min_value=2, max_value=5),
+)
+def test_keys_land_on_their_hash_partition(records, num_reduces):
+    engine = Engine()
+    cluster = local_cluster(engine)
+    dfs = DFS(cluster, block_size=512, replication=2)
+    dfs.ingest("/in", records)
+    runtime = MapReduceRuntime(cluster, dfs)
+    job = Job(
+        name="partcheck",
+        mapper=tag_mapper,
+        reducer=collect_reducer,
+        input_paths=["/in"],
+        output_path="/out",
+        num_reduces=num_reduces,
+    )
+    result = runtime.submit(job)
+
+    for r, path in enumerate(result.output_paths):
+        def read(path=path):
+            return (yield from dfs.read_all(path, "node0"))
+
+        for key, _ in engine.run(engine.process(read())):
+            assert job.partitioner(key, num_reduces) == r

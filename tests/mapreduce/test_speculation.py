@@ -1,0 +1,102 @@
+"""Speculative execution (Hadoop-style backup tasks, paper §3.4.1 [40])."""
+
+import pytest
+
+from repro.cluster import Cluster, Machine, heterogeneous_cluster
+from repro.dfs import DFS
+from repro.mapreduce import Job, MapReduceRuntime
+from repro.simulation import Engine
+
+
+def word_mapper(key, value, ctx):
+    for word in value.split():
+        ctx.emit(word, 1)
+
+
+def sum_reducer(key, values, ctx):
+    ctx.emit(key, sum(values))
+
+
+def run_job(speculative, straggler_speed=0.1):
+    engine = Engine()
+    cluster = heterogeneous_cluster(
+        engine, [1.0, 1.0, 1.0, straggler_speed], cores=2
+    )
+    dfs = DFS(cluster, block_size=600, replication=2)
+    dfs.ingest("/in", [(i, "alpha beta gamma delta " * 4) for i in range(64)])
+    # Compute-bound tasks so the straggler actually straggles (launch
+    # overhead is wall time, not CPU, and does not scale with speed).
+    from repro.mapreduce import CostModel
+
+    cost = CostModel(task_launch=0.2, map_record_cpu=50e-3, noise_amplitude=0.0)
+    runtime = MapReduceRuntime(
+        cluster, dfs, cost=cost, speculative_execution=speculative
+    )
+    job = Job(
+        name="wc",
+        mapper=word_mapper,
+        reducer=sum_reducer,
+        input_paths=["/in"],
+        output_path="/out",
+        num_reduces=4,
+    )
+    result = runtime.submit(job)
+
+    def read():
+        acc = []
+        for path in result.output_paths:
+            acc.extend((yield from dfs.read_all(path, "hnode0")))
+        return acc
+
+    return result, dict(engine.run(engine.process(read())))
+
+
+def test_speculation_produces_identical_results():
+    _, plain = run_job(False)
+    _, spec = run_job(True)
+    assert plain == spec
+    assert plain["alpha"] == 256
+
+
+def test_speculation_beats_straggler():
+    slow, _ = run_job(False)
+    fast, _ = run_job(True)
+    assert fast.elapsed < slow.elapsed
+
+
+def test_speculation_harmless_on_homogeneous_cluster():
+    plain, r1 = run_job(False, straggler_speed=1.0)
+    spec, r2 = run_job(True, straggler_speed=1.0)
+    assert r1 == r2
+    # At worst a whisker slower (extra backup attempts burn no critical path).
+    assert spec.elapsed <= plain.elapsed * 1.10
+
+
+def test_speculation_with_worker_failure():
+    """Backups + failures interact: the job still completes correctly."""
+    from repro.cluster import FaultSchedule
+
+    engine = Engine()
+    cluster = heterogeneous_cluster(engine, [1.0, 1.0, 1.0, 0.1], cores=2)
+    dfs = DFS(cluster, block_size=600, replication=2)
+    dfs.ingest("/in", [(i, "x y z " * 4) for i in range(48)])
+    FaultSchedule().fail_at(6.0, "hnode1").arm(engine, cluster)
+    runtime = MapReduceRuntime(cluster, dfs, speculative_execution=True)
+    job = Job(
+        name="wc",
+        mapper=word_mapper,
+        reducer=sum_reducer,
+        input_paths=["/in"],
+        output_path="/out",
+        num_reduces=3,
+    )
+    result = runtime.submit(job)
+
+    def read():
+        acc = []
+        for path in result.output_paths:
+            acc.extend((yield from dfs.read_all(path, "hnode0")))
+        return acc
+
+    counts = dict(engine.run(engine.process(read())))
+    assert counts == {"x": 192, "y": 192, "z": 192}

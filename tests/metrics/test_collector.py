@@ -1,0 +1,70 @@
+"""Tests for RunMetrics / IterationMetrics derivations."""
+
+import pytest
+
+from repro.metrics import IterationMetrics, RunMetrics
+
+
+def make_metrics():
+    m = RunMetrics(label="test", start=10.0, end=70.0, setup_time=5.0)
+    m.iterations = [
+        IterationMetrics(index=0, start=15.0, end=30.0, init_time=3.0,
+                         shuffle_bytes=100, state_bytes=10, distance=4.0),
+        IterationMetrics(index=1, start=30.0, end=50.0, init_time=3.0,
+                         shuffle_bytes=200, state_bytes=20, distance=2.0),
+        IterationMetrics(index=2, start=50.0, end=70.0, init_time=3.0,
+                         shuffle_bytes=300, state_bytes=30, distance=1.0),
+    ]
+    return m
+
+
+def test_totals():
+    m = make_metrics()
+    assert m.total_time == 60.0
+    assert m.num_iterations == 3
+    assert m.total_init_time == 5.0 + 9.0
+    assert m.total_shuffle_bytes == 600
+    assert m.total_state_bytes == 60
+
+
+def test_iteration_elapsed():
+    m = make_metrics()
+    assert m.iterations[0].elapsed == 15.0
+    assert m.iterations[2].elapsed == 20.0
+
+
+def test_cumulative_times():
+    m = make_metrics()
+    assert m.cumulative_times() == [(1, 20.0), (2, 40.0), (3, 60.0)]
+
+
+def test_cumulative_excluding_init_subtracts_accrued_init():
+    m = make_metrics()
+    series = m.cumulative_times_excluding_init()
+    # setup (5) + per-iteration init (3 each) accrue progressively.
+    assert series == [(1, 20.0 - 8.0), (2, 40.0 - 11.0), (3, 60.0 - 14.0)]
+
+
+def test_ex_init_below_total_everywhere():
+    m = make_metrics()
+    total = dict(m.cumulative_times())
+    ex = dict(m.cumulative_times_excluding_init())
+    assert all(ex[k] < total[k] for k in total)
+
+
+def test_time_for_iterations():
+    m = make_metrics()
+    assert m.time_for_iterations(1) == 20.0
+    assert m.time_for_iterations(2) == 40.0
+    assert m.time_for_iterations(99) == m.total_time
+
+
+def test_time_for_iterations_empty():
+    m = RunMetrics(label="empty", start=0.0, end=7.0)
+    assert m.time_for_iterations(1) == 7.0
+
+
+def test_extras_are_free_form():
+    m = make_metrics()
+    m.extras["migrations"] = [{"pair": 1}]
+    assert m.extras["migrations"][0]["pair"] == 1

@@ -1,0 +1,115 @@
+"""Tests for the tracing subsystem (and that tracing is time-neutral)."""
+
+import pytest
+
+from repro.cluster import local_cluster
+from repro.common import IterKeys, JobConf
+from repro.dfs import DFS
+from repro.imapreduce import IMapReduceRuntime, IterativeJob
+from repro.metrics.trace import TraceEvent, Tracer
+from repro.simulation import Engine
+
+
+def test_emit_and_select():
+    tracer = Tracer()
+    tracer.emit(1.0, "map-iteration-start", worker="node0", pair=1)
+    tracer.emit(2.0, "map-iteration-start", worker="node1", pair=2)
+    tracer.emit(3.0, "checkpoint", worker="node0", state_index=2)
+    assert len(tracer.select("map-iteration-start")) == 2
+    assert len(tracer.select("map-iteration-start", pair=2)) == 1
+    assert tracer.kinds() == {"map-iteration-start": 2, "checkpoint": 1}
+
+
+def test_event_field_access():
+    event = TraceEvent(1.0, "x", {"pair": 7})
+    assert event.pair == 7
+    with pytest.raises(AttributeError):
+        _ = event.missing
+
+
+def test_clear():
+    tracer = Tracer()
+    tracer.emit(0.0, "x")
+    tracer.clear()
+    assert tracer.events == []
+
+
+def test_timeline_renders_spans_and_marks():
+    tracer = Tracer()
+    tracer.emit(0.0, "map-iteration-start", worker="node0", task="m0")
+    tracer.emit(5.0, "map-iteration-end", worker="node0", task="m0")
+    tracer.emit(5.0, "reduce-iteration-start", worker="node1", task="r0")
+    tracer.emit(10.0, "reduce-iteration-end", worker="node1", task="r0")
+    tracer.emit(7.0, "checkpoint", worker="node1")
+    text = tracer.timeline(width=40)
+    assert "node0" in text and "node1" in text
+    assert "m" in text and "r" in text and "C" in text
+
+
+def test_timeline_empty():
+    assert Tracer().timeline() == "(no spans recorded)"
+
+
+# ---- integration: tracing a real run --------------------------------------
+
+
+def run_traced(trace):
+    engine = Engine()
+    cluster = local_cluster(engine)
+    dfs = DFS(cluster, replication=2)
+    dfs.ingest("/t/state", [(i, 1.0) for i in range(16)])
+    conf = JobConf({IterKeys.STATE_PATH: "/t/state", IterKeys.MAX_ITER: 3})
+    conf.set_int(IterKeys.CHECKPOINT_INTERVAL, 1)
+    job = IterativeJob.single_phase(
+        "traced",
+        lambda k, s, st, ctx: ctx.emit(k, s * 0.5),
+        lambda k, vs, ctx: ctx.emit(k, vs[0]),
+        conf=conf,
+        output_path="/t/out",
+    )
+    runtime = IMapReduceRuntime(cluster, dfs, trace=trace)
+    return runtime.submit(job)
+
+
+def test_traced_run_captures_lifecycle():
+    tracer = Tracer()
+    result = run_traced(tracer)
+    kinds = tracer.kinds()
+    assert kinds["iteration-complete"] == 3
+    assert kinds["terminate"] == 1
+    assert kinds["checkpoint"] >= 3  # per pair per interval
+    # 4 pairs x 3 iterations of map/reduce activity (asynchronous tasks
+    # may start a 4th, abandoned iteration).
+    assert kinds["map-iteration-start"] >= 12
+    assert kinds["reduce-iteration-start"] >= 12
+    # Ends never exceed starts.
+    assert kinds["reduce-iteration-end"] <= kinds["reduce-iteration-start"]
+    # The timeline renders with every worker present.
+    text = tracer.timeline()
+    for name in ("node0", "node1", "node2", "node3"):
+        assert name in text
+
+
+def test_tracing_is_time_neutral():
+    traced = run_traced(Tracer())
+    untraced = run_traced(None)
+    assert traced.metrics.total_time == untraced.metrics.total_time
+
+
+def test_timeline_clamps_columns():
+    """Marks at the extreme right edge must not overflow the row."""
+    tracer = Tracer()
+    tracer.emit(0.0, "map-iteration-start", worker="w", task="m")
+    tracer.emit(100.0, "map-iteration-end", worker="w", task="m")
+    tracer.emit(100.0, "checkpoint", worker="w")
+    text = tracer.timeline(width=20)
+    for line in text.splitlines()[1:]:
+        assert len(line) == len(text.splitlines()[1])
+
+
+def test_unmatched_start_is_ignored():
+    tracer = Tracer()
+    tracer.emit(0.0, "map-iteration-start", worker="w", task="m")
+    tracer.emit(1.0, "checkpoint", worker="w")
+    text = tracer.timeline(width=10)
+    assert "C" in text

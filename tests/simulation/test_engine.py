@@ -1,0 +1,136 @@
+"""Unit tests for the discrete-event engine core."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.simulation import Engine
+
+
+def test_clock_starts_at_zero():
+    assert Engine().now == 0.0
+
+
+def test_timeout_advances_clock():
+    engine = Engine()
+    t = engine.timeout(5.0)
+    engine.run(t)
+    assert engine.now == 5.0
+
+
+def test_timeout_value_passthrough():
+    engine = Engine()
+    t = engine.timeout(1.0, value="hello")
+    assert engine.run(t) == "hello"
+
+
+def test_negative_timeout_rejected():
+    engine = Engine()
+    with pytest.raises(SimulationError):
+        engine.timeout(-1.0)
+
+
+def test_run_until_time_sets_clock():
+    engine = Engine()
+    engine.timeout(3.0)
+    engine.run(until=10.0)
+    assert engine.now == 10.0
+
+
+def test_run_until_past_time_rejected():
+    engine = Engine()
+    engine.timeout(5.0)
+    engine.run(until=5.0)
+    with pytest.raises(SimulationError):
+        engine.run(until=1.0)
+
+
+def test_events_processed_in_time_order():
+    engine = Engine()
+    order = []
+    for delay in (3.0, 1.0, 2.0):
+        def body(d=delay):
+            yield engine.timeout(d)
+            order.append(d)
+        engine.process(body())
+    engine.run()
+    assert order == [1.0, 2.0, 3.0]
+
+
+def test_ties_broken_by_insertion_order():
+    engine = Engine()
+    order = []
+    for tag in ("a", "b", "c"):
+        def body(t=tag):
+            yield engine.timeout(1.0)
+            order.append(t)
+        engine.process(body())
+    engine.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_step_on_empty_queue_raises():
+    with pytest.raises(SimulationError):
+        Engine().step()
+
+
+def test_run_until_untriggered_event_deadlock_detected():
+    engine = Engine()
+    ev = engine.event()
+    with pytest.raises(SimulationError, match="deadlock"):
+        engine.run(ev)
+
+
+def test_manual_event_succeed():
+    engine = Engine()
+    ev = engine.event()
+
+    def trigger():
+        yield engine.timeout(2.0)
+        ev.succeed(42)
+
+    engine.process(trigger())
+    assert engine.run(ev) == 42
+    assert engine.now == 2.0
+
+
+def test_event_double_trigger_rejected():
+    engine = Engine()
+    ev = engine.event()
+    ev.succeed(1)
+    with pytest.raises(SimulationError):
+        ev.succeed(2)
+
+
+def test_failed_event_reraised_by_run():
+    engine = Engine()
+    ev = engine.event()
+    ev.fail(ValueError("boom"))
+    with pytest.raises(ValueError, match="boom"):
+        engine.run(ev)
+
+
+def test_unwaited_failure_surfaces():
+    engine = Engine()
+    ev = engine.event()
+    ev.fail(RuntimeError("lost failure"))
+    with pytest.raises(RuntimeError, match="lost failure"):
+        engine.run()
+
+
+def test_determinism_two_identical_runs():
+    def build():
+        engine = Engine()
+        trace = []
+
+        def worker(i):
+            yield engine.timeout(i * 0.5)
+            trace.append((engine.now, i))
+            yield engine.timeout(1.0)
+            trace.append((engine.now, -i))
+
+        for i in range(5):
+            engine.process(worker(i))
+        engine.run()
+        return trace
+
+    assert build() == build()

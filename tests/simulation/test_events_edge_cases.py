@@ -1,0 +1,138 @@
+"""Edge-case tests for events, conditions and the engine's introspection."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.simulation import AllOf, AnyOf, Engine
+
+
+def test_peek_returns_next_event_time():
+    engine = Engine()
+    engine.timeout(5.0)
+    engine.timeout(2.0)
+    assert engine.peek() == 2.0
+
+
+def test_peek_empty_queue_is_infinite():
+    assert Engine().peek() == float("inf")
+
+
+def test_all_of_empty_succeeds_immediately():
+    engine = Engine()
+    cond = engine.all_of([])
+    assert cond.triggered
+    assert cond.value == ()
+
+
+def test_all_of_fails_fast_on_child_failure():
+    engine = Engine()
+
+    def good():
+        yield engine.timeout(10.0)
+        return "late"
+
+    def bad():
+        yield engine.timeout(1.0)
+        raise ValueError("child failed")
+
+    def parent():
+        try:
+            yield engine.all_of([engine.process(good()), engine.process(bad())])
+        except ValueError as exc:
+            return ("caught", str(exc), engine.now)
+
+    proc = engine.process(parent())
+    engine.run()
+    assert proc.value == ("caught", "child failed", 1.0)
+
+
+def test_all_of_value_order_matches_input_order():
+    engine = Engine()
+
+    def child(delay, tag):
+        yield engine.timeout(delay)
+        return tag
+
+    def parent():
+        return (
+            yield engine.all_of(
+                [engine.process(child(3, "a")), engine.process(child(1, "b"))]
+            )
+        )
+
+    proc = engine.process(parent())
+    engine.run()
+    assert proc.value == ("a", "b")
+
+
+def test_any_of_failure_propagates():
+    engine = Engine()
+
+    def bad():
+        yield engine.timeout(1.0)
+        raise RuntimeError("first failure")
+
+    def parent():
+        try:
+            yield engine.any_of([engine.process(bad()), engine.timeout(5.0)])
+        except RuntimeError:
+            return "caught"
+
+    proc = engine.process(parent())
+    engine.run()
+    assert proc.value == "caught"
+
+
+def test_condition_rejects_foreign_engine_events():
+    a, b = Engine(), Engine()
+    with pytest.raises(SimulationError, match="two engines"):
+        AllOf(a, [a.timeout(1.0), b.timeout(1.0)])
+
+
+def test_condition_rejects_non_events():
+    engine = Engine()
+    with pytest.raises(SimulationError, match="non-event"):
+        AnyOf(engine, [42])
+
+
+def test_event_value_before_trigger_raises():
+    engine = Engine()
+    ev = engine.event()
+    with pytest.raises(SimulationError):
+        _ = ev.value
+    with pytest.raises(SimulationError):
+        _ = ev.ok
+
+
+def test_trigger_copies_outcome():
+    engine = Engine()
+    src = engine.event()
+    dst = engine.event()
+    src.succeed("payload")
+    dst.trigger(src)
+    engine.run()
+    assert dst.ok and dst.value == "payload"
+
+
+def test_callbacks_on_processed_event_fire_immediately():
+    engine = Engine()
+    ev = engine.event()
+    ev.succeed(7)
+    engine.run()
+    seen = []
+    ev.add_callback(lambda e: seen.append(e.value))
+    assert seen == [7]
+
+
+def test_active_process_visible_during_resume():
+    engine = Engine()
+    observed = []
+
+    def body():
+        observed.append(engine.active_process)
+        yield engine.timeout(1.0)
+
+    proc = engine.process(body())
+    engine.run()
+    assert observed == [proc]
+    assert engine.active_process is None

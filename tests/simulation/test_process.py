@@ -1,0 +1,197 @@
+"""Unit tests for simulated processes: return values, failures, interrupts."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.simulation import Engine, Interrupt
+
+
+def test_process_return_value():
+    engine = Engine()
+
+    def body():
+        yield engine.timeout(1.0)
+        return "done"
+
+    proc = engine.process(body())
+    assert engine.run(proc) == "done"
+
+
+def test_process_is_waitable_event():
+    engine = Engine()
+
+    def child():
+        yield engine.timeout(2.0)
+        return 7
+
+    def parent():
+        value = yield engine.process(child())
+        return value + 1
+
+    assert engine.run(engine.process(parent())) == 8
+    assert engine.now == 2.0
+
+
+def test_fork_join_with_all_of():
+    engine = Engine()
+    done = []
+
+    def child(i):
+        yield engine.timeout(float(i))
+        done.append(i)
+        return i * 10
+
+    def parent():
+        children = [engine.process(child(i)) for i in (3, 1, 2)]
+        values = yield engine.all_of(children)
+        return values
+
+    assert engine.run(engine.process(parent())) == (30, 10, 20)
+    assert done == [1, 2, 3]
+    assert engine.now == 3.0
+
+
+def test_any_of_returns_first():
+    engine = Engine()
+
+    def child(i):
+        yield engine.timeout(float(i))
+        return i
+
+    def parent():
+        procs = [engine.process(child(i)) for i in (5, 2, 8)]
+        _event, value = yield engine.any_of(procs)
+        return value
+
+    proc = engine.process(parent())
+    # Run everything so the slower children finish too.
+    engine.run()
+    assert proc.value == 2
+
+
+def test_exception_in_process_propagates_to_waiter():
+    engine = Engine()
+
+    def child():
+        yield engine.timeout(1.0)
+        raise ValueError("child broke")
+
+    def parent():
+        try:
+            yield engine.process(child())
+        except ValueError as exc:
+            return f"caught: {exc}"
+
+    assert engine.run(engine.process(parent())) == "caught: child broke"
+
+
+def test_uncaught_process_exception_raises_in_run():
+    engine = Engine()
+
+    def body():
+        yield engine.timeout(1.0)
+        raise RuntimeError("unhandled")
+
+    proc = engine.process(body())
+    with pytest.raises(RuntimeError, match="unhandled"):
+        engine.run(proc)
+
+
+def test_yield_non_event_fails_process():
+    engine = Engine()
+
+    def body():
+        yield 42
+
+    proc = engine.process(body())
+    with pytest.raises(SimulationError, match="non-event"):
+        engine.run(proc)
+
+
+def test_interrupt_delivers_cause():
+    engine = Engine()
+    seen = []
+
+    def victim():
+        try:
+            yield engine.timeout(100.0)
+        except Interrupt as exc:
+            seen.append((engine.now, exc.cause))
+
+    def killer(proc):
+        yield engine.timeout(5.0)
+        proc.interrupt("migrate")
+
+    proc = engine.process(victim())
+    engine.process(killer(proc))
+    engine.run()
+    assert seen == [(5.0, "migrate")]
+
+
+def test_interrupted_wait_does_not_resume_twice():
+    engine = Engine()
+    resumes = []
+
+    def victim():
+        try:
+            yield engine.timeout(10.0)
+            resumes.append("timeout")
+            yield engine.timeout(20.0)
+            resumes.append("after")
+        except Interrupt:
+            resumes.append("interrupt")
+
+    def killer(proc):
+        yield engine.timeout(10.0)  # same instant as the victim's timeout
+        proc.interrupt(None)
+
+    proc = engine.process(victim())
+    engine.process(killer(proc))
+    engine.run()
+    # The victim's own timeout was inserted first, so it resumes once with
+    # "timeout"; the interrupt then lands in the *next* wait.  Each wait
+    # point resumes exactly once.
+    assert resumes == ["timeout", "interrupt"]
+    assert proc.triggered
+
+
+def test_uncaught_interrupt_terminates_process_cleanly():
+    engine = Engine()
+
+    def victim():
+        yield engine.timeout(100.0)
+        return "never"
+
+    def killer(proc):
+        yield engine.timeout(1.0)
+        proc.interrupt("killed")
+
+    proc = engine.process(victim())
+    engine.process(killer(proc))
+    engine.run()
+    assert proc.triggered and proc.ok
+    assert proc.value == "killed"
+
+
+def test_interrupt_finished_process_is_noop():
+    engine = Engine()
+
+    def body():
+        yield engine.timeout(1.0)
+
+    proc = engine.process(body())
+    engine.run()
+    proc.interrupt("late")  # must not raise
+    engine.run()
+
+
+def test_process_alive_flag():
+    engine = Engine()
+
+    def body():
+        yield engine.timeout(2.0)
+
+    proc = engine.process(body())
+    assert proc.is_alive
+    engine.run()
+    assert not proc.is_alive

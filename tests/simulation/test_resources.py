@@ -1,0 +1,163 @@
+"""Unit tests for Resource and Store."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.simulation import Engine, Interrupt, Resource, Store
+
+
+def test_resource_capacity_validation():
+    with pytest.raises(SimulationError):
+        Resource(Engine(), capacity=0)
+
+
+def test_resource_serialises_users_beyond_capacity():
+    engine = Engine()
+    cpu = Resource(engine, capacity=1)
+    finish_times = []
+
+    def worker(i):
+        yield from cpu.use(2.0)
+        finish_times.append((i, engine.now))
+
+    for i in range(3):
+        engine.process(worker(i))
+    engine.run()
+    assert finish_times == [(0, 2.0), (1, 4.0), (2, 6.0)]
+
+
+def test_resource_parallel_within_capacity():
+    engine = Engine()
+    cpu = Resource(engine, capacity=2)
+    finish_times = []
+
+    def worker(i):
+        yield from cpu.use(2.0)
+        finish_times.append((i, engine.now))
+
+    for i in range(4):
+        engine.process(worker(i))
+    engine.run()
+    assert finish_times == [(0, 2.0), (1, 2.0), (2, 4.0), (3, 4.0)]
+
+
+def test_release_without_request_raises():
+    with pytest.raises(SimulationError):
+        Resource(Engine()).release()
+
+
+def test_fifo_grant_order():
+    engine = Engine()
+    res = Resource(engine, capacity=1)
+    order = []
+
+    def worker(i):
+        yield engine.timeout(i * 0.1)  # stagger arrival
+        grant = res.request()
+        yield grant
+        order.append(i)
+        yield engine.timeout(1.0)
+        res.release()
+
+    for i in range(4):
+        engine.process(worker(i))
+    engine.run()
+    assert order == [0, 1, 2, 3]
+
+
+def test_interrupted_waiter_does_not_leak_capacity():
+    engine = Engine()
+    res = Resource(engine, capacity=1)
+    completed = []
+
+    def holder():
+        yield from res.use(5.0)
+        completed.append("holder")
+
+    def waiter():
+        yield from res.use(5.0)
+        completed.append("waiter")
+
+    def late():
+        yield engine.timeout(20.0)
+        yield from res.use(1.0)
+        completed.append("late")
+
+    engine.process(holder())
+    victim = engine.process(waiter())
+
+    def killer():
+        yield engine.timeout(1.0)
+        victim.interrupt("die")
+
+    engine.process(killer())
+    engine.process(late())
+    engine.run()
+    assert completed == ["holder", "late"]
+    assert res.in_use == 0
+
+
+def test_store_put_then_get():
+    engine = Engine()
+    store = Store(engine)
+    store.put("a")
+    store.put("b")
+    got = []
+
+    def consumer():
+        got.append((yield store.get()))
+        got.append((yield store.get()))
+
+    engine.process(consumer())
+    engine.run()
+    assert got == ["a", "b"]
+
+
+def test_store_get_blocks_until_put():
+    engine = Engine()
+    store = Store(engine)
+    got = []
+
+    def consumer():
+        item = yield store.get()
+        got.append((item, engine.now))
+
+    def producer():
+        yield engine.timeout(3.0)
+        store.put("x")
+
+    engine.process(consumer())
+    engine.process(producer())
+    engine.run()
+    assert got == [("x", 3.0)]
+
+
+def test_store_multiple_getters_fifo():
+    engine = Engine()
+    store = Store(engine)
+    got = []
+
+    def consumer(i):
+        item = yield store.get()
+        got.append((i, item))
+
+    for i in range(3):
+        engine.process(consumer(i))
+
+    def producer():
+        yield engine.timeout(1.0)
+        for item in "abc":
+            store.put(item)
+
+    engine.process(producer())
+    engine.run()
+    assert got == [(0, "a"), (1, "b"), (2, "c")]
+
+
+def test_store_drain():
+    engine = Engine()
+    store = Store(engine)
+    for i in range(5):
+        store.put(i)
+    assert store.drain() == [0, 1, 2, 3, 4]
+    assert len(store) == 0
