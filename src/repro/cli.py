@@ -21,6 +21,13 @@ Commands
 ``report``
     Write EXPERIMENTS.md (optionally reusing ``--results-dir`` output
     saved by a benchmark run).
+
+``chaos``
+    Run a battery of seeded random chaos campaigns against the runtime
+    and judge each with the differential/invariant oracles.  Options:
+    ``--seed``, ``--campaigns``, ``--campaign-seed`` (replay one),
+    ``--spec`` (replay a shrunk JSON spec), ``--workloads``,
+    ``--no-shrink``, ``--inject-bug`` (harness self-test), ``--verbose``.
 """
 
 from __future__ import annotations
@@ -56,11 +63,34 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--combiner", action="store_true")
     p_run.add_argument("--measure-distance", action="store_true",
                        help="arm per-iteration convergence measurement")
+    p_run.add_argument("--seed", type=int, default=0,
+                       help="seed for all stochastic run choices (0 = historical defaults)")
 
     p_rep = sub.add_parser("report", help="write EXPERIMENTS.md")
     p_rep.add_argument("--output", default="EXPERIMENTS.md")
     p_rep.add_argument("--results-dir", default=None,
                        help="reuse figure text saved by a benchmark run")
+
+    p_chaos = sub.add_parser(
+        "chaos", help="run seeded chaos campaigns with differential oracles"
+    )
+    p_chaos.add_argument("--seed", type=int, default=0,
+                         help="master seed for the campaign battery")
+    p_chaos.add_argument("--campaigns", type=int, default=20,
+                         help="number of campaigns to run")
+    p_chaos.add_argument("--campaign-seed", type=int, default=None,
+                         help="replay one campaign by its seed")
+    p_chaos.add_argument("--spec", default=None, metavar="JSON",
+                         help="replay an exact campaign spec (JSON)")
+    p_chaos.add_argument("--workloads", default=None,
+                         help="comma-separated subset, e.g. sssp,pagerank")
+    p_chaos.add_argument("--no-shrink", action="store_true",
+                         help="skip shrinking failing campaigns")
+    p_chaos.add_argument("--inject-bug", default=None,
+                         choices=("skip-ckpt-write", "stale-ckpt"),
+                         help="deliberately break the runtime (self-test)")
+    p_chaos.add_argument("--verbose", action="store_true",
+                         help="log every campaign, not just failures")
     return parser
 
 
@@ -125,6 +155,7 @@ def _cmd_run(args) -> int:
         sync=args.sync,
         combiner=args.combiner,
         measure_distance=args.measure_distance,
+        seed=args.seed,
     )
     metrics = execute(spec)
     print(format_run(metrics))
@@ -138,12 +169,92 @@ def _cmd_report(args) -> int:
     return 0
 
 
+_BUG_KNOBS = {
+    "skip-ckpt-write": "skip_checkpoint_write",
+    "stale-ckpt": "stale_checkpoint_content",
+}
+
+
+def _cmd_chaos(args) -> int:
+    from .imapreduce import ChaosKnobs
+    from .testing import (
+        WORKLOADS,
+        CampaignSpec,
+        generate_campaign,
+        run_campaign,
+        run_chaos,
+    )
+
+    knobs = None
+    if args.inject_bug:
+        knobs = ChaosKnobs(**{_BUG_KNOBS[args.inject_bug]: True})
+
+    # Single-campaign replay modes.
+    if args.spec is not None or args.campaign_seed is not None:
+        try:
+            if args.spec is not None:
+                spec = CampaignSpec.from_json(args.spec)
+                spec.validate()
+            else:
+                spec = generate_campaign(args.campaign_seed)
+        except (ValueError, TypeError) as exc:
+            print(f"bad campaign spec: {exc}", file=sys.stderr)
+            return 2
+        print(f"replaying: {spec.describe()}")
+        outcome = run_campaign(spec, knobs)
+        if outcome.ok:
+            print(f"all oracles passed ({outcome.wall_seconds:.2f}s)")
+            return 0
+        for violation in outcome.violations:
+            print(f"  {violation}")
+        return 1
+
+    workloads = WORKLOADS
+    if args.workloads:
+        workloads = tuple(w.strip() for w in args.workloads.split(",") if w.strip())
+        unknown = [w for w in workloads if w not in WORKLOADS]
+        if unknown:
+            print(f"unknown workload(s): {', '.join(unknown)}", file=sys.stderr)
+            print(f"known: {', '.join(WORKLOADS)}", file=sys.stderr)
+            return 2
+
+    log = print if args.verbose else None
+    report = run_chaos(
+        args.seed,
+        args.campaigns,
+        workloads=workloads,
+        knobs=knobs,
+        shrink_failures=not args.no_shrink,
+        log=log,
+    )
+    print(
+        f"chaos: seed={report.master_seed} campaigns={report.campaigns} "
+        f"passed={report.passed} failed={len(report.failures)} "
+        f"({report.wall_seconds:.1f}s)"
+    )
+    for failure in report.failures:
+        print(f"\ncampaign seed {failure.campaign_seed} FAILED:")
+        print(f"  spec: {failure.spec.describe()}")
+        for violation in failure.violations:
+            print(f"  {violation}")
+        if failure.shrunk is not None and failure.shrunk != failure.spec:
+            print(
+                f"  shrunk ({failure.shrink_attempts} attempts): "
+                f"{failure.shrunk.describe()}"
+            )
+        print("  replay with:")
+        for line in failure.replay_lines(args.inject_bug):
+            print(f"    {line}")
+    return 0 if report.ok else 1
+
+
 _COMMANDS = {
     "datasets": _cmd_datasets,
     "list-figures": _cmd_list_figures,
     "figure": _cmd_figure,
     "run": _cmd_run,
     "report": _cmd_report,
+    "chaos": _cmd_chaos,
 }
 
 

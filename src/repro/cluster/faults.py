@@ -47,9 +47,53 @@ class FaultSchedule:
         self.events.append(FaultEvent(when, machine, "recover"))
         return self
 
+    def sorted_events(self) -> list[FaultEvent]:
+        """Events in firing order (time, then insertion order)."""
+        return sorted(self.events, key=lambda e: e.when)
+
+    def machines(self) -> set[str]:
+        """Every machine the schedule touches."""
+        return {event.machine for event in self.events}
+
+    def max_concurrent_failures(self) -> int:
+        """Peak number of machines down at once, assuming all start up.
+
+        Campaign generators keep this below the DFS replication factor so
+        injected faults can never lose every replica of a block — block
+        loss would be a *storage* failure, not the runtime bug the chaos
+        oracles hunt for.
+        """
+        down: set[str] = set()
+        peak = 0
+        for event in self.sorted_events():
+            if event.action == "fail":
+                down.add(event.machine)
+            else:
+                down.discard(event.machine)
+            peak = max(peak, len(down))
+        return peak
+
+    def without(self, index: int) -> "FaultSchedule":
+        """A copy with the ``index``-th event dropped (shrinking aid)."""
+        return FaultSchedule([e for i, e in enumerate(self.events) if i != index])
+
+    def describe(self) -> str:
+        """One-line human-readable form, used in chaos failure reports."""
+        if not self.events:
+            return "(no faults)"
+        return ", ".join(
+            f"{e.action} {e.machine}@{e.when:.2f}s" for e in self.sorted_events()
+        )
+
     def arm(self, engine: Engine, cluster: Cluster) -> None:
-        """Install one driver process per event on the engine."""
-        for event in sorted(self.events, key=lambda e: e.when):
+        """Install one driver process per event on the engine.
+
+        Events naming machines the cluster does not have fail fast here,
+        rather than as a mystery ``ClusterError`` mid-simulation.
+        """
+        for event in self.events:
+            cluster[event.machine]  # raises ClusterError on unknown names
+        for event in self.sorted_events():
             engine.process(self._driver(engine, cluster, event), name=f"fault@{event.when}")
 
     @staticmethod

@@ -1,6 +1,6 @@
 """Shared building blocks: records, sizes, partitioners, configuration."""
 
-from .config import IterKeys, JobConf
+from .config import IterKeys, JobConf, stable_seed
 from .errors import (
     ClusterError,
     ConfigError,
@@ -36,6 +36,7 @@ from .serialization import (
 __all__ = [
     "IterKeys",
     "JobConf",
+    "stable_seed",
     "ClusterError",
     "ConfigError",
     "DFSError",

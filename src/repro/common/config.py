@@ -18,11 +18,12 @@ an open namespace — but typed getters validate on read.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Any, Iterator, Mapping
 
 from .errors import ConfigError
 
-__all__ = ["JobConf", "IterKeys"]
+__all__ = ["JobConf", "IterKeys", "stable_seed"]
 
 
 class IterKeys:
@@ -36,9 +37,26 @@ class IterKeys:
     SYNC = "mapred.iterjob.sync"  # force synchronous map execution
     CHECKPOINT_INTERVAL = "mapred.iterjob.checkpointinterval"
     BUFFER_RECORDS = "mapred.iterjob.bufferrecords"
+    #: Master seed for every stochastic choice a run makes (service-time
+    #: noise, seeded sub-generators).  ``0`` (the default) keeps the
+    #: historical fixed constants, so existing experiments are unchanged;
+    #: any other value makes the whole run a pure function of the seed —
+    #: the replay contract the chaos harness depends on.
+    SEED = "mapred.iterjob.seed"
 
 
 _MISSING = object()
+
+
+def stable_seed(*parts: Any) -> int:
+    """A deterministic 63-bit seed derived from arbitrary parts.
+
+    Unlike ``hash()``, the result is stable across processes and Python
+    versions (no ``PYTHONHASHSEED`` dependence), which is what makes a
+    failing chaos campaign replayable from a one-line seed.
+    """
+    digest = hashlib.blake2b(repr(parts).encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big") >> 1
 
 
 class JobConf:
@@ -101,6 +119,25 @@ class JobConf:
         if not isinstance(value, bool):
             raise ConfigError(f"{key}: expected bool, got {value!r}")
         return value
+
+    # -- seed plumbing -----------------------------------------------------
+    def get_seed(self, default: int = 0) -> int:
+        """The run's master seed (:data:`IterKeys.SEED`)."""
+        return self.get_int(IterKeys.SEED, default) or default
+
+    def derive_seed(self, *salt: Any) -> int:
+        """A stable sub-seed for one named component of the run.
+
+        Different components salt with different names so they draw
+        independent streams from the one master seed.
+        """
+        return stable_seed(self.get_seed(), *salt)
+
+    def rng(self, *salt: Any):
+        """A seeded ``numpy`` generator for the salted component."""
+        import numpy as np
+
+        return np.random.default_rng(self.derive_seed(*salt))
 
     # -- mapping protocol -------------------------------------------------
     def __contains__(self, key: str) -> bool:

@@ -15,6 +15,7 @@ from functools import lru_cache
 
 from ..algorithms import kmeans, matrixpower, pagerank, sssp
 from ..cluster import Cluster, ec2_cluster, local_cluster
+from ..common import stable_seed
 from ..data import load_graph, load_lastfm
 from ..dfs import DFS
 from ..imapreduce import IMapReduceRuntime
@@ -41,6 +42,13 @@ def active_cost_model() -> CostModel:
     return _cost_model
 
 
+def _cost_for(spec: RunSpec) -> CostModel:
+    """The active cost model, noise-salted by the spec's seed (if any)."""
+    if not spec.seed:
+        return _cost_model
+    return _cost_model.with_overrides(noise_seed=spec.seed)
+
+
 @dataclass(frozen=True)
 class RunSpec:
     """One experiment run, hashable for caching."""
@@ -60,6 +68,10 @@ class RunSpec:
     #: convergence-check job and iMapReduce its built-in distance()
     #: merge, without stopping early.
     measure_distance: bool = False
+    #: Master seed for every stochastic choice in the run (cost-model
+    #: noise, centroid initialization, synthetic matrices).  0 keeps the
+    #: historical fixed seeds, so all calibrated figures are unchanged.
+    seed: int = 0
 
     def variant_label(self) -> str:
         if self.engine == "mapreduce":
@@ -128,7 +140,7 @@ def _run_sssp(spec, engine, cluster, dfs, partitions) -> RunMetrics:
         inputs = _ingest_parts(
             dfs, "/in/sssp", sssp.mr_initial_records(graph, 0), partitions
         )
-        runtime = MapReduceRuntime(cluster, dfs, cost=_cost_model)
+        runtime = MapReduceRuntime(cluster, dfs, cost=_cost_for(spec))
         driver = IterativeDriver(runtime)
         mr_spec = sssp.build_mr_spec(
             output_prefix="/mr/sssp",
@@ -149,7 +161,7 @@ def _run_sssp(spec, engine, cluster, dfs, partitions) -> RunMetrics:
         sync=spec.sync,
         combiner=spec.combiner,
     )
-    return IMapReduceRuntime(cluster, dfs, cost=_cost_model).submit(job).metrics
+    return IMapReduceRuntime(cluster, dfs, cost=_cost_for(spec)).submit(job).metrics
 
 
 # ------------------------------------------------------------- PageRank --
@@ -159,7 +171,7 @@ def _run_pagerank(spec, engine, cluster, dfs, partitions) -> RunMetrics:
         inputs = _ingest_parts(
             dfs, "/in/pr", pagerank.mr_initial_records(graph), partitions
         )
-        runtime = MapReduceRuntime(cluster, dfs, cost=_cost_model)
+        runtime = MapReduceRuntime(cluster, dfs, cost=_cost_for(spec))
         driver = IterativeDriver(runtime)
         mr_spec = pagerank.build_mr_spec(
             graph.num_nodes,
@@ -182,7 +194,7 @@ def _run_pagerank(spec, engine, cluster, dfs, partitions) -> RunMetrics:
         sync=spec.sync,
         combiner=spec.combiner,
     )
-    return IMapReduceRuntime(cluster, dfs, cost=_cost_model).submit(job).metrics
+    return IMapReduceRuntime(cluster, dfs, cost=_cost_for(spec)).submit(job).metrics
 
 
 # -------------------------------------------------------------- K-means --
@@ -196,13 +208,16 @@ KMEANS_MOVE_THRESHOLD = 40
 
 def _run_kmeans(spec, engine, cluster, dfs, partitions) -> RunMetrics:
     data = load_lastfm(num_users=KMEANS_USERS, num_artists=KMEANS_ARTISTS, num_tastes=KMEANS_K)
-    centroids = kmeans.initial_centroids(data, KMEANS_K, seed=1)
+    centroid_seed = (
+        stable_seed(spec.seed, "centroids") % (2**31) if spec.seed else 1
+    )
+    centroids = kmeans.initial_centroids(data, KMEANS_K, seed=centroid_seed)
     point_parts = _ingest_parts(dfs, "/km/points", data.user_records(), partitions)
     dfs.ingest("/km/points", data.user_records())
     dfs.ingest("/km/centroids", centroids)
     track = spec.convergence_detection
     if spec.engine == "mapreduce":
-        runtime = MapReduceRuntime(cluster, dfs, cost=_cost_model)
+        runtime = MapReduceRuntime(cluster, dfs, cost=_cost_for(spec))
         driver = IterativeDriver(runtime)
         mr_spec = kmeans.build_mr_spec(
             points_path=point_parts,
@@ -228,24 +243,24 @@ def _run_kmeans(spec, engine, cluster, dfs, partitions) -> RunMetrics:
         track_membership=track,
         aux=aux,
     )
-    return IMapReduceRuntime(cluster, dfs, cost=_cost_model).submit(job).metrics
+    return IMapReduceRuntime(cluster, dfs, cost=_cost_for(spec)).submit(job).metrics
 
 
 # --------------------------------------------------------- matrix power --
-def _matrix_for(dataset: str):
+def _matrix_for(dataset: str, seed: int = 0):
     import numpy as np
 
     size = int(dataset.removeprefix("matrix"))
-    rng = np.random.default_rng(99)
+    rng = np.random.default_rng(stable_seed(seed, "matrix") if seed else 99)
     return rng.uniform(-0.5, 0.5, size=(size, size))
 
 
 def _run_matrixpower(spec, engine, cluster, dfs, partitions) -> RunMetrics:
-    matrix = _matrix_for(spec.dataset)
+    matrix = _matrix_for(spec.dataset, spec.seed)
     if spec.engine == "mapreduce":
         dfs.ingest("/mp/m", matrixpower.matrix_to_mr_records(matrix, "M"))
         dfs.ingest("/mp/n", matrixpower.matrix_to_mr_records(matrix, "N"))
-        runtime = MapReduceRuntime(cluster, dfs, cost=_cost_model)
+        runtime = MapReduceRuntime(cluster, dfs, cost=_cost_for(spec))
         driver = IterativeDriver(runtime)
         mr_spec = matrixpower.build_mr_spec(
             m_path="/mp/m",
@@ -276,4 +291,4 @@ def _run_matrixpower(spec, engine, cluster, dfs, partitions) -> RunMetrics:
         max_iterations=spec.iterations,
         num_pairs=partitions,
     )
-    return IMapReduceRuntime(cluster, dfs, cost=_cost_model).submit(job).metrics
+    return IMapReduceRuntime(cluster, dfs, cost=_cost_for(spec)).submit(job).metrics

@@ -3,7 +3,7 @@
 from .channels import IterationMailbox, StopIteration_
 from .job import AuxPhase, IterativeJob, IterativeRunResult, Phase
 from .localrun import LocalRunResult, run_local
-from .runtime import AuxContext, IMapReduceRuntime, LoadBalanceConfig
+from .runtime import AuxContext, ChaosKnobs, IMapReduceRuntime, LoadBalanceConfig
 
 __all__ = [
     "IterationMailbox",
@@ -15,6 +15,7 @@ __all__ = [
     "LocalRunResult",
     "run_local",
     "AuxContext",
+    "ChaosKnobs",
     "IMapReduceRuntime",
     "LoadBalanceConfig",
 ]

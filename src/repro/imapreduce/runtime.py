@@ -54,7 +54,7 @@ from ..simulation import Store
 from .channels import IterationMailbox, StopIteration_
 from .job import IterativeJob, IterativeRunResult, Phase
 
-__all__ = ["LoadBalanceConfig", "IMapReduceRuntime", "AuxContext"]
+__all__ = ["LoadBalanceConfig", "ChaosKnobs", "IMapReduceRuntime", "AuxContext"]
 
 
 @dataclass(frozen=True)
@@ -68,6 +68,29 @@ class LoadBalanceConfig:
     #: Minimum iterations between migrations (avoids the paper's noted
     #: partition-thrashing pathology).
     cooldown_iterations: int = 3
+
+
+@dataclass(frozen=True)
+class ChaosKnobs:
+    """Deliberate-bug switches for the chaos harness's self-test.
+
+    The chaos campaign harness (:mod:`repro.testing`) validates itself by
+    flipping one of these on and checking that its oracles catch the
+    resulting misbehaviour.  They must all stay ``False`` in real runs.
+    """
+
+    #: Acknowledge a checkpoint to the master *without* writing the state
+    #: files — the durability contract of §3.4.1 silently broken.  A later
+    #: recovery then resumes from a checkpoint that does not exist.
+    skip_checkpoint_write: bool = False
+    #: Checkpoint the *previous* iteration's state under the current
+    #: index — an off-by-one durability bug.  Failure-free runs are
+    #: unaffected; a recovery silently resumes one iteration stale, which
+    #: only a differential oracle can see.
+    stale_checkpoint_content: bool = False
+
+    def any_active(self) -> bool:
+        return self.skip_checkpoint_write or self.stale_checkpoint_content
 
 
 class AuxContext(Context):
@@ -121,6 +144,7 @@ class IMapReduceRuntime:
         pairs_per_worker_limit: int = 2,
         load_balance: LoadBalanceConfig | None = None,
         trace: "Tracer | None" = None,
+        chaos: ChaosKnobs | None = None,
     ):
         self.cluster = cluster
         self.dfs = dfs
@@ -129,6 +153,7 @@ class IMapReduceRuntime:
         self.pairs_limit = pairs_per_worker_limit
         self.lb = load_balance or LoadBalanceConfig()
         self.trace = trace
+        self.chaos = chaos or ChaosKnobs()
 
     def _emit(self, kind: str, **fields) -> None:
         if self.trace is not None:
@@ -136,6 +161,12 @@ class IMapReduceRuntime:
 
     # ------------------------------------------------------------------ API --
     def submit(self, job: IterativeJob) -> IterativeRunResult:
+        # Seed plumbing: a job-level master seed re-salts the deterministic
+        # service-time noise, so every stochastic choice of the run is a
+        # pure function of ``mapred.iterjob.seed`` and replays exactly.
+        seed = job.conf.get_seed()
+        if seed and self.cost.noise_seed != seed:
+            self.cost = self.cost.with_overrides(noise_seed=seed)
         proc = self.engine.process(self._run_proc(job), name=f"imr-job:{job.name}")
         return self.engine.run(proc)
 
@@ -173,6 +204,15 @@ class IMapReduceRuntime:
         accounts: dict[int, _IterAccount] = defaultdict(_IterAccount)
 
         while True:
+            # Oracle hook: every (re)start of the persistent-task
+            # generation announces the state it resumes from, so the
+            # chaos harness can check that a recovery never resumes past
+            # the last durable checkpoint (§3.4.1).
+            self._emit(
+                "generation-start",
+                start_iter=checkpoint.state_index,
+                recoveries=recoveries,
+            )
             outcome = yield from self._generation(
                 job, assignment, num_pairs, checkpoint, metrics, accounts
             )
@@ -183,6 +223,11 @@ class IMapReduceRuntime:
             if outcome.kind == "recover":
                 recoveries += 1
                 self._reassign_failed(assignment, num_pairs)
+                self._emit(
+                    "recovery",
+                    worker=outcome.failed_worker,
+                    resume_state=checkpoint.state_index,
+                )
             elif outcome.kind == "migrate":
                 assert outcome.migration is not None
                 plan = outcome.migration
@@ -446,6 +491,9 @@ class IMapReduceRuntime:
                         ctx.checkpoint.state_index = state_index
                         ctx.checkpoint.path_prefix = self._state_prefix(job, state_index)
                         self._drop_state_files(job, old, num_pairs)
+                        # Oracle hook: the checkpoint is now the durable
+                        # rollback point every recovery must respect.
+                        self._emit("checkpoint-durable", state_index=state_index)
                 continue
 
             if kind == "aux-terminate":
@@ -943,8 +991,13 @@ def _reduce_task(ctx: _GenContext, phase_index: int, pair: int, worker: Machine)
                         f"/part-{pair:05d}"
                     )
 
-                    def ckpt_proc(path=path, data=list(output), s=state_index):
-                        yield from ctx.dfs.write(path, data, worker, overwrite=True)
+                    ckpt_data = list(output)
+                    if ctx.runtime.chaos.stale_checkpoint_content:
+                        ckpt_data = list(state_history.get(iteration - 1, output))
+
+                    def ckpt_proc(path=path, data=ckpt_data, s=state_index):
+                        if not ctx.runtime.chaos.skip_checkpoint_write:
+                            yield from ctx.dfs.write(path, data, worker, overwrite=True)
                         ctx.trace(
                             "checkpoint", worker=worker.name, pair=pair,
                             state_index=s,

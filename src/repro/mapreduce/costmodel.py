@@ -82,6 +82,12 @@ class CostModel:
     #: per-task noise.
     noise_amplitude: float = 0.2
 
+    #: Extra salt mixed into the noise hash.  ``0`` keeps the historical
+    #: noise texture; a job's ``mapred.iterjob.seed`` is threaded in here
+    #: (see :meth:`IMapReduceRuntime.submit`) so seeded runs explore a
+    #: different — but still fully replayable — schedule per seed.
+    noise_seed: int = 0
+
     def sort_cost(self, num_records: int) -> float:
         """n·log₂(n) comparison-sort cost for ``num_records`` records."""
         if num_records <= 1:
@@ -94,7 +100,8 @@ class CostModel:
             return work
         from ..common.partition import stable_hash
 
-        unit = (stable_hash(tuple(key)) % 10_000) / 10_000.0  # [0, 1)
+        salted = key if not self.noise_seed else (self.noise_seed, *key)
+        unit = (stable_hash(tuple(salted)) % 10_000) / 10_000.0  # [0, 1)
         return work * (1.0 + self.noise_amplitude * (2.0 * unit - 1.0))
 
     def with_overrides(self, **kwargs) -> "CostModel":

@@ -2,9 +2,10 @@
 
 from .collector import IterationMetrics, RunMetrics
 from .report import compare_runs, format_run
-from .trace import TraceEvent, Tracer
+from .trace import TraceEvent, Tracer, check_well_formed
 
 __all__ = [
+    "check_well_formed",
     "IterationMetrics",
     "RunMetrics",
     "compare_runs",

@@ -19,7 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any
 
-__all__ = ["TraceEvent", "Tracer"]
+__all__ = ["TraceEvent", "Tracer", "check_well_formed"]
 
 
 @dataclass(frozen=True, slots=True)
@@ -65,6 +65,11 @@ class Tracer:
 
     def clear(self) -> None:
         self.events.clear()
+
+    def check(self, checkpoint_interval: int | None = None) -> list[str]:
+        """Well-formedness problems in the recorded timeline (see
+        :func:`check_well_formed`)."""
+        return check_well_formed(self.events, checkpoint_interval)
 
     # -- rendering ---------------------------------------------------------
     def timeline(self, width: int = 72) -> str:
@@ -118,3 +123,83 @@ class Tracer:
             rows.append(f"{worker:>10} |{''.join(cells)}|")
         header = f"{'':>10}  t={t0:.1f}s{'':>{max(width - 18, 1)}}t={t1:.1f}s"
         return "\n".join([header] + rows)
+
+
+def check_well_formed(
+    events: list[TraceEvent], checkpoint_interval: int | None = None
+) -> list[str]:
+    """Structural invariants every execution trace must satisfy.
+
+    Returns a list of human-readable problems (empty == well-formed):
+
+    * event times never decrease (the engine's clock is monotone);
+    * within one task generation, ``iteration-complete`` indices strictly
+      increase, and no task starts the same iteration twice;
+    * an ``*-end`` span event always follows a matching ``*-start``;
+    * checkpoints carry positive state indices, aligned to the
+      checkpoint interval when one is given;
+    * at most one ``terminate`` decision is ever taken.
+
+    The chaos harness runs this as its trace oracle; it is also usable
+    directly in tests via :meth:`Tracer.check`.
+    """
+    problems: list[str] = []
+    last_time = float("-inf")
+    # Per-generation state, reset at each generation-start (recoveries
+    # and migrations legitimately replay iterations).
+    started: set[tuple] = set()
+    open_spans: set[tuple] = set()
+    last_complete: int | None = None
+    terminations = 0
+
+    for i, event in enumerate(events):
+        if event.time < last_time:
+            problems.append(
+                f"event {i} ({event.kind}) at t={event.time} before t={last_time}"
+            )
+        last_time = event.time
+
+        if event.kind == "generation-start":
+            started.clear()
+            open_spans.clear()
+            last_complete = None
+            continue
+
+        if event.kind.endswith("-start"):
+            key = (event.kind[:-6], event.fields.get("task"), event.fields.get("iteration"))
+            if key in started:
+                problems.append(
+                    f"task {key[1]!r} started iteration {key[2]} twice in one generation"
+                )
+            started.add(key)
+            open_spans.add(key)
+        elif event.kind.endswith("-end"):
+            key = (event.kind[:-4], event.fields.get("task"), event.fields.get("iteration"))
+            if key not in open_spans:
+                problems.append(
+                    f"{event.kind} for task {key[1]!r} iteration {key[2]} "
+                    "without a matching start"
+                )
+            open_spans.discard(key)
+        elif event.kind == "iteration-complete":
+            index = event.fields.get("iteration")
+            if last_complete is not None and index <= last_complete:
+                problems.append(
+                    f"iteration-complete {index} after {last_complete} "
+                    "within one generation"
+                )
+            last_complete = index
+        elif event.kind in ("checkpoint", "checkpoint-durable"):
+            state_index = event.fields.get("state_index", 0)
+            if state_index < 1:
+                problems.append(f"{event.kind} with state_index={state_index}")
+            elif checkpoint_interval and state_index % checkpoint_interval != 0:
+                problems.append(
+                    f"{event.kind} at state {state_index} not aligned to "
+                    f"interval {checkpoint_interval}"
+                )
+        elif event.kind == "terminate":
+            terminations += 1
+            if terminations > 1:
+                problems.append("more than one terminate decision")
+    return problems

@@ -1,0 +1,54 @@
+"""Chaos-campaign harness: seeded random fault injection with
+differential oracles across execution modes.
+
+The subsystem turns the runtime's hardest-to-test claims — checkpoint/
+rollback fault tolerance (§3.4.1), task-pair migration (§3.4.2) and
+asynchronous map execution (§3.3) — into a property that scales with the
+runtime instead of one hand-written test per bug:
+
+    for any seeded random campaign (workload × topology × fault schedule
+    × mode matrix), the distributed engine's result must match the serial
+    reference execution, and the path it took must satisfy the runtime's
+    own invariants.
+
+Entry points: :func:`generate_campaign` (seed → spec),
+:func:`run_campaign` (spec → judged outcome), :func:`run_chaos`
+(battery + shrinking), and the ``repro chaos`` CLI.
+"""
+
+from .campaign import WORKLOADS, CampaignSpec, generate_campaign
+from .oracles import (
+    ALL_ORACLES,
+    OracleViolation,
+    evaluate_oracles,
+    states_match,
+    values_close,
+)
+from .runner import (
+    CampaignFailure,
+    CampaignOutcome,
+    ChaosReport,
+    campaign_fails,
+    run_campaign,
+    run_chaos,
+)
+from .shrink import shrink, shrink_candidates
+
+__all__ = [
+    "WORKLOADS",
+    "CampaignSpec",
+    "generate_campaign",
+    "ALL_ORACLES",
+    "OracleViolation",
+    "evaluate_oracles",
+    "states_match",
+    "values_close",
+    "CampaignFailure",
+    "CampaignOutcome",
+    "ChaosReport",
+    "campaign_fails",
+    "run_campaign",
+    "run_chaos",
+    "shrink",
+    "shrink_candidates",
+]

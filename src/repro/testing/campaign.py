@@ -1,0 +1,215 @@
+"""Campaign generation: one seed → one fully-specified chaos scenario.
+
+A :class:`CampaignSpec` is the complete, JSON-serializable description of
+one randomized end-to-end run: the workload (SSSP / PageRank / K-means on
+a seeded random input), the cluster topology, the runtime-mode matrix
+(synchronous maps, combiner, migration, checkpoint interval, buffer
+size), and a fault schedule of fail/recover events at random virtual
+times.  :func:`generate_campaign` is a pure function of the seed, which
+is what makes every chaos failure replayable from one line
+(``repro chaos --campaign-seed N``).
+
+Safety envelope — campaigns are adversarial but never *unsatisfiable*:
+
+* machine 0 never fails (the job needs a survivor, and the harness reads
+  results through it);
+* at most ``replication - 1`` machines are down at any instant, so
+  injected faults cannot lose every replica of a DFS block (that would
+  be a storage loss, not a runtime bug);
+* the pair count always fits the surviving workers' task slots, so
+  recovery is always schedulable (§3.1.1).
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import asdict, dataclass, replace
+
+from ..cluster.faults import FaultEvent, FaultSchedule
+
+__all__ = ["WORKLOADS", "REPLICATION", "CampaignSpec", "generate_campaign"]
+
+WORKLOADS = ("sssp", "pagerank", "kmeans")
+
+#: DFS replication every campaign uses; bounds concurrent failures.
+REPLICATION = 2
+
+#: Pairs-per-worker slot limit the runtime enforces (§3.1.1).
+PAIRS_PER_WORKER = 2
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """One chaos scenario, fully determined and JSON-round-trippable."""
+
+    seed: int
+    workload: str
+    #: Graph nodes (SSSP / PageRank) or users (K-means).
+    input_size: int
+    cluster_nodes: int
+    #: Per-machine CPU speeds; ``None`` means the homogeneous local
+    #: topology, a tuple means a heterogeneous cluster (exercises §3.4.2).
+    speeds: tuple[float, ...] | None
+    num_pairs: int
+    max_iterations: int
+    sync: bool
+    combiner: bool
+    migration: bool
+    checkpoint_interval: int
+    buffer_records: int
+    faults: tuple[FaultEvent, ...] = ()
+
+    # -- derived -----------------------------------------------------------
+    def machine_names(self) -> list[str]:
+        prefix = "hnode" if self.speeds is not None else "node"
+        return [f"{prefix}{i}" for i in range(self.cluster_nodes)]
+
+    def fault_schedule(self) -> FaultSchedule:
+        return FaultSchedule(list(self.faults))
+
+    def validate(self) -> None:
+        """Reject specs outside the safety envelope (shrinker guard)."""
+        if self.workload not in WORKLOADS:
+            raise ValueError(f"unknown workload {self.workload!r}")
+        if self.cluster_nodes < 2:
+            raise ValueError("need at least 2 cluster nodes")
+        if self.speeds is not None and len(self.speeds) != self.cluster_nodes:
+            raise ValueError("speeds must match cluster_nodes")
+        if self.max_iterations < 1 or self.num_pairs < 1:
+            raise ValueError("need at least one iteration and one pair")
+        schedule = self.fault_schedule()
+        names = set(self.machine_names())
+        unknown = schedule.machines() - names
+        if unknown:
+            raise ValueError(f"faults name unknown machines {sorted(unknown)}")
+        if self.machine_names()[0] in schedule.machines():
+            raise ValueError("machine 0 must never fail")
+        if schedule.max_concurrent_failures() > REPLICATION - 1:
+            raise ValueError("too many concurrent failures for the replication")
+        worst_alive = self.cluster_nodes - max(1, schedule.max_concurrent_failures())
+        if self.faults and self.num_pairs > worst_alive * PAIRS_PER_WORKER:
+            raise ValueError("pairs would not fit the surviving workers")
+
+    # -- serialization -----------------------------------------------------
+    def to_dict(self) -> dict:
+        d = asdict(self)
+        d["faults"] = [asdict(e) for e in self.faults]
+        if self.speeds is not None:
+            d["speeds"] = list(self.speeds)
+        return d
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "CampaignSpec":
+        d = dict(d)
+        d["faults"] = tuple(FaultEvent(**e) for e in d.get("faults", ()))
+        if d.get("speeds") is not None:
+            d["speeds"] = tuple(d["speeds"])
+        return cls(**d)
+
+    @classmethod
+    def from_json(cls, text: str) -> "CampaignSpec":
+        return cls.from_dict(json.loads(text))
+
+    def but(self, **changes) -> "CampaignSpec":
+        """A modified copy (shrinking aid)."""
+        return replace(self, **changes)
+
+    def describe(self) -> str:
+        modes = []
+        modes.append("sync" if self.sync else "async")
+        if self.combiner:
+            modes.append("combiner")
+        if self.migration:
+            modes.append("migration")
+        if self.speeds is not None:
+            modes.append("hetero")
+        return (
+            f"{self.workload} n={self.input_size} on {self.cluster_nodes} nodes, "
+            f"{self.num_pairs} pairs, {self.max_iterations} iters, "
+            f"ckpt every {self.checkpoint_interval}, buffer {self.buffer_records}, "
+            f"[{' '.join(modes)}]; faults: {self.fault_schedule().describe()}"
+        )
+
+
+def _random_faults(
+    rng: random.Random, names: list[str], horizon: float
+) -> tuple[FaultEvent, ...]:
+    """A chronological fail/recover sequence within the safety envelope.
+
+    Every fail except possibly the last is followed by its recovery
+    before the next fail, so at most one machine is ever down at once
+    (= ``REPLICATION - 1``).  Machine 0 is never touched.
+    """
+    count = rng.choice((0, 1, 1, 1, 2))
+    candidates = names[1:]
+    if not candidates:
+        return ()
+    events: list[FaultEvent] = []
+    t = rng.uniform(1.0, horizon)
+    for i in range(count):
+        machine = rng.choice(candidates)
+        events.append(FaultEvent(round(t, 3), machine, "fail"))
+        last = i == count - 1
+        if not last or rng.random() < 0.5:
+            t += rng.uniform(0.5, max(1.0, horizon / 2))
+            events.append(FaultEvent(round(t, 3), machine, "recover"))
+            t += rng.uniform(0.2, max(0.5, horizon / 3))
+        else:
+            break  # an unrecovered failure must be the last event
+    return tuple(events)
+
+
+def generate_campaign(
+    seed: int, workloads: tuple[str, ...] = WORKLOADS
+) -> CampaignSpec:
+    """The pure seed → campaign function."""
+    rng = random.Random(seed)
+    # K-means campaigns are the heaviest (broadcast state, dense
+    # vectors); sample it less often than the graph workloads.
+    weighted = [w for w in workloads for _ in range(1 if w == "kmeans" else 2)]
+    workload = rng.choice(weighted)
+
+    cluster_nodes = rng.randint(3, 5)
+    speeds: tuple[float, ...] | None = None
+    if rng.random() < 0.3:
+        speeds = tuple(round(rng.uniform(0.5, 1.5), 2) for _ in range(cluster_nodes))
+
+    # Worst case one machine is down: keep pairs within surviving slots.
+    max_pairs = min(6, (cluster_nodes - 1) * PAIRS_PER_WORKER)
+    num_pairs = rng.randint(2, max_pairs)
+    max_iterations = rng.randint(2, 5)
+    sync = rng.random() < 0.5
+    combiner = rng.random() < 0.5
+    migration = rng.random() < 0.3
+    checkpoint_interval = rng.choice((1, 1, 2, 3))
+    buffer_records = rng.choice((1, 4, 64, 2048))
+    input_size = rng.randint(10, 20) if workload == "kmeans" else rng.randint(8, 28)
+
+    # Virtual-time horizon the faults should land inside: setup plus a
+    # per-iteration allowance (synchronous barriers pay the ~3 s heartbeat
+    # release, so sync runs stretch much further).
+    sync_effective = sync or workload == "kmeans"
+    horizon = 3.0 + max_iterations * (4.0 if sync_effective else 1.5)
+    faults = _random_faults(rng, [f"{'hnode' if speeds else 'node'}{i}" for i in range(cluster_nodes)], horizon)
+
+    spec = CampaignSpec(
+        seed=seed,
+        workload=workload,
+        input_size=input_size,
+        cluster_nodes=cluster_nodes,
+        speeds=speeds,
+        num_pairs=num_pairs,
+        max_iterations=max_iterations,
+        sync=sync,
+        combiner=combiner,
+        migration=migration,
+        checkpoint_interval=checkpoint_interval,
+        buffer_records=buffer_records,
+        faults=faults,
+    )
+    spec.validate()
+    return spec

@@ -1,0 +1,220 @@
+"""Differential and invariant oracles for chaos campaigns.
+
+Each oracle inspects one completed campaign run and returns a list of
+violations (empty == pass).  The headline check is *differential*: the
+distributed engine's final state must match the serial reference
+executor's (:func:`repro.imapreduce.run_local`) within a small floating
+tolerance — the same result-equivalence methodology Stratosphere and
+i2MapReduce use to validate their iterative runtimes — regardless of
+which faults, migrations or asynchronous run-ahead the campaign threw at
+the engine.  The invariant oracles then cross-check the *path* the
+engine took: it terminated cleanly, recoveries rolled back no further
+forward than the last durable checkpoint, and the trace is structurally
+well-formed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from ..metrics.trace import check_well_formed
+
+__all__ = [
+    "OracleViolation",
+    "values_close",
+    "states_match",
+    "oracle_termination",
+    "oracle_differential",
+    "oracle_checkpoint_rollback",
+    "oracle_trace_well_formed",
+    "ALL_ORACLES",
+    "evaluate_oracles",
+]
+
+#: Float tolerance for the differential comparison.  Arrival order of
+#: shuffled values can differ between the engines (reduction order of
+#: float sums), so bit-equality is too strict; measured discrepancies are
+#: ~1e-16, so 1e-6 relative leaves six orders of headroom while still
+#: catching any real divergence.
+RTOL = 1e-6
+ATOL = 1e-9
+
+
+@dataclass(frozen=True)
+class OracleViolation:
+    """One failed check: which oracle, and what it saw."""
+
+    oracle: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"[{self.oracle}] {self.detail}"
+
+
+def values_close(a: Any, b: Any, rtol: float = RTOL, atol: float = ATOL) -> bool:
+    """Tolerant structural equality over the state-value vocabulary.
+
+    Handles floats (including ``inf``), numpy arrays and scalars, and
+    tuples/lists of the above recursively; any other type must compare
+    equal exactly.
+    """
+    import numpy as np
+
+    if isinstance(a, (list, tuple)) and isinstance(b, (list, tuple)):
+        if len(a) != len(b):
+            return False
+        return all(values_close(x, y, rtol, atol) for x, y in zip(a, b))
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        a_arr, b_arr = np.asarray(a), np.asarray(b)
+        if a_arr.shape != b_arr.shape:
+            return False
+        return bool(np.allclose(a_arr, b_arr, rtol=rtol, atol=atol, equal_nan=True))
+    if isinstance(a, (int, float)) and isinstance(b, (int, float)):
+        if a == b:  # covers inf == inf and exact ints
+            return True
+        return bool(np.isclose(a, b, rtol=rtol, atol=atol, equal_nan=True))
+    return a == b
+
+
+def states_match(
+    distributed: list[tuple[Any, Any]], reference: list[tuple[Any, Any]]
+) -> list[str]:
+    """Compare two final states key-by-key; returns difference reports."""
+    problems: list[str] = []
+    dist = dict(distributed)
+    ref = dict(reference)
+    if len(dist) != len(distributed):
+        problems.append("distributed state has duplicate keys")
+    missing = sorted(set(ref) - set(dist), key=repr)
+    extra = sorted(set(dist) - set(ref), key=repr)
+    if missing:
+        problems.append(f"keys missing from distributed state: {missing[:5]}")
+    if extra:
+        problems.append(f"unexpected keys in distributed state: {extra[:5]}")
+    mismatches = [
+        key
+        for key in ref
+        if key in dist and not values_close(dist[key], ref[key])
+    ]
+    if mismatches:
+        sample = sorted(mismatches, key=repr)[:5]
+        detail = ", ".join(
+            f"{k!r}: engine={dist[k]!r} reference={ref[k]!r}" for k in sample
+        )
+        problems.append(f"{len(mismatches)} value(s) diverge: {detail}")
+    return problems
+
+
+# --------------------------------------------------------------- oracles --
+# Every oracle has the signature (spec, outcome) -> list[OracleViolation];
+# ``outcome`` is the CampaignOutcome the runner assembled.
+
+
+def oracle_termination(spec, outcome) -> list[OracleViolation]:
+    """Every campaign terminates cleanly, within its iteration budget."""
+    v: list[OracleViolation] = []
+    if outcome.error is not None:
+        v.append(
+            OracleViolation(
+                "termination",
+                f"run raised {type(outcome.error).__name__}: {outcome.error}",
+            )
+        )
+        return v
+    result = outcome.result
+    if result is None:
+        v.append(OracleViolation("termination", "run produced no result"))
+        return v
+    if result.iterations_run > spec.max_iterations:
+        v.append(
+            OracleViolation(
+                "termination",
+                f"ran {result.iterations_run} iterations, budget was "
+                f"{spec.max_iterations}",
+            )
+        )
+    return v
+
+
+def oracle_differential(spec, outcome) -> list[OracleViolation]:
+    """Final state equals the serial reference execution within tolerance."""
+    if outcome.error is not None or outcome.result is None:
+        return []  # termination oracle owns this failure
+    v: list[OracleViolation] = []
+    ref = outcome.reference
+    if outcome.result.terminated_by != ref.terminated_by:
+        v.append(
+            OracleViolation(
+                "differential",
+                f"terminated_by={outcome.result.terminated_by!r}, reference "
+                f"says {ref.terminated_by!r}",
+            )
+        )
+    if outcome.result.iterations_run != ref.iterations_run:
+        v.append(
+            OracleViolation(
+                "differential",
+                f"ran {outcome.result.iterations_run} iterations, reference "
+                f"ran {ref.iterations_run}",
+            )
+        )
+    for problem in states_match(outcome.final_state, ref.state):
+        v.append(OracleViolation("differential", problem))
+    return v
+
+
+def oracle_checkpoint_rollback(spec, outcome) -> list[OracleViolation]:
+    """Recovery never resumes from a newer iteration than the last
+    durable checkpoint, and durable checkpoints only move forward."""
+    v: list[OracleViolation] = []
+    durable = 0
+    last_durable = 0
+    for event in outcome.trace_events:
+        if event.kind == "checkpoint-durable":
+            index = event.fields["state_index"]
+            if index <= last_durable:
+                v.append(
+                    OracleViolation(
+                        "checkpoint",
+                        f"durable checkpoint went backwards: {index} after "
+                        f"{last_durable}",
+                    )
+                )
+            last_durable = index
+            durable = max(durable, index)
+        elif event.kind == "generation-start":
+            start = event.fields["start_iter"]
+            if start > durable:
+                v.append(
+                    OracleViolation(
+                        "checkpoint",
+                        f"generation resumed from state {start} but only "
+                        f"state {durable} was durable",
+                    )
+                )
+    return v
+
+
+def oracle_trace_well_formed(spec, outcome) -> list[OracleViolation]:
+    """Per-iteration trace events form a structurally valid timeline."""
+    problems = check_well_formed(
+        list(outcome.trace_events), spec.checkpoint_interval
+    )
+    return [OracleViolation("trace", p) for p in problems]
+
+
+ALL_ORACLES: dict[str, Callable] = {
+    "termination": oracle_termination,
+    "differential": oracle_differential,
+    "checkpoint": oracle_checkpoint_rollback,
+    "trace": oracle_trace_well_formed,
+}
+
+
+def evaluate_oracles(spec, outcome) -> list[OracleViolation]:
+    """Run every oracle; concatenated violations, [] == all pass."""
+    violations: list[OracleViolation] = []
+    for oracle in ALL_ORACLES.values():
+        violations.extend(oracle(spec, outcome))
+    return violations

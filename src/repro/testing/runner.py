@@ -1,0 +1,290 @@
+"""Campaign execution: build the world a spec describes, run it, judge it.
+
+``run_campaign`` is the single entry the smoke tests, the shrinker and
+the CLI all share: spec in, :class:`CampaignOutcome` out — the
+distributed run (or the exception it died with), the serial reference
+execution, the trace, and every oracle violation.
+
+``run_chaos`` drives a whole seeded campaign battery: generate K specs
+from a master seed, run each, greedily shrink the failures, and return a
+:class:`ChaosReport` whose failures carry one-line replay commands.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from ..algorithms import kmeans, pagerank, sssp
+from ..cluster import Cluster, heterogeneous_cluster, local_cluster
+from ..common import IterKeys, stable_seed
+from ..data.lastfm import load_lastfm
+from ..dfs import DFS
+from ..graph.generators import pagerank_graph, sssp_graph
+from ..imapreduce import (
+    ChaosKnobs,
+    IMapReduceRuntime,
+    LoadBalanceConfig,
+    run_local,
+)
+from ..metrics.trace import TraceEvent, Tracer
+from ..simulation import Engine
+from .campaign import REPLICATION, WORKLOADS, CampaignSpec, generate_campaign
+from .oracles import OracleViolation, evaluate_oracles
+from .shrink import shrink
+
+__all__ = [
+    "CampaignOutcome",
+    "CampaignFailure",
+    "ChaosReport",
+    "run_campaign",
+    "campaign_fails",
+    "run_chaos",
+]
+
+STATE_PATH = "/chaos/state"
+STATIC_PATH = "/chaos/static"
+OUTPUT_PATH = "/chaos/out"
+
+
+@dataclass
+class CampaignOutcome:
+    """Everything one campaign produced, plus the oracles' verdict."""
+
+    spec: CampaignSpec
+    result: Any = None  # IterativeRunResult | None
+    reference: Any = None  # LocalRunResult | None
+    final_state: list = field(default_factory=list)
+    trace_events: list[TraceEvent] = field(default_factory=list)
+    error: BaseException | None = None
+    violations: list[OracleViolation] = field(default_factory=list)
+    wall_seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+@dataclass
+class CampaignFailure:
+    """A failing campaign with its shrunk reproduction."""
+
+    campaign_seed: int
+    spec: CampaignSpec
+    violations: list[OracleViolation]
+    shrunk: CampaignSpec | None = None
+    shrink_attempts: int = 0
+
+    def replay_lines(self, bug: str | None = None) -> list[str]:
+        suffix = f" --inject-bug {bug}" if bug else ""
+        lines = [f"repro chaos --campaign-seed {self.campaign_seed}{suffix}"]
+        if self.shrunk is not None and self.shrunk != self.spec:
+            lines.append(f"repro chaos --spec '{self.shrunk.to_json()}'{suffix}")
+        return lines
+
+
+@dataclass
+class ChaosReport:
+    """Outcome of a whole campaign battery."""
+
+    master_seed: int
+    campaigns: int = 0
+    passed: int = 0
+    failures: list[CampaignFailure] = field(default_factory=list)
+    wall_seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+
+# ------------------------------------------------------------ workloads --
+def _build_workload(spec: CampaignSpec):
+    """Spec → (job, state_records, static_records_by_path)."""
+    if spec.workload == "sssp":
+        graph = sssp_graph(spec.input_size, seed=stable_seed(spec.seed, "graph"))
+        state = sssp.initial_state(graph, source=0)
+        static = sssp.static_records(graph)
+        job = sssp.build_imr_job(
+            state_path=STATE_PATH,
+            static_path=STATIC_PATH,
+            output_path=OUTPUT_PATH,
+            max_iterations=spec.max_iterations,
+            num_pairs=spec.num_pairs,
+            sync=spec.sync,
+            combiner=spec.combiner,
+            checkpoint_interval=spec.checkpoint_interval,
+            buffer_records=spec.buffer_records,
+        )
+    elif spec.workload == "pagerank":
+        graph = pagerank_graph(spec.input_size, seed=stable_seed(spec.seed, "graph"))
+        state = pagerank.initial_state(graph)
+        static = pagerank.static_records(graph)
+        job = pagerank.build_imr_job(
+            spec.input_size,
+            state_path=STATE_PATH,
+            static_path=STATIC_PATH,
+            output_path=OUTPUT_PATH,
+            max_iterations=spec.max_iterations,
+            num_pairs=spec.num_pairs,
+            sync=spec.sync,
+            combiner=spec.combiner,
+            checkpoint_interval=spec.checkpoint_interval,
+            buffer_records=spec.buffer_records,
+        )
+    elif spec.workload == "kmeans":
+        data = load_lastfm(
+            num_users=spec.input_size,
+            num_artists=8,
+            num_tastes=2,
+            seed=stable_seed(spec.seed, "lastfm") % (2**31),
+        )
+        k = min(3, max(2, spec.num_pairs))
+        state = kmeans.initial_centroids(data, k, seed=stable_seed(spec.seed, "centroids") % (2**31))
+        static = data.user_records()
+        job = kmeans.build_imr_job(
+            state_path=STATE_PATH,
+            static_path=STATIC_PATH,
+            output_path=OUTPUT_PATH,
+            max_iterations=spec.max_iterations,
+            num_pairs=spec.num_pairs,
+            combiner=spec.combiner,
+            checkpoint_interval=spec.checkpoint_interval,
+        )
+    else:  # pragma: no cover - validate() rejects earlier
+        raise ValueError(f"unknown workload {spec.workload!r}")
+    job.conf.set_int(IterKeys.SEED, spec.seed or 1)
+    return job, state, {STATIC_PATH: static}
+
+
+def _build_cluster(spec: CampaignSpec, engine: Engine) -> Cluster:
+    if spec.speeds is not None:
+        return heterogeneous_cluster(engine, list(spec.speeds))
+    return local_cluster(engine, spec.cluster_nodes)
+
+
+# -------------------------------------------------------------- running --
+def run_campaign(
+    spec: CampaignSpec, knobs: ChaosKnobs | None = None
+) -> CampaignOutcome:
+    """Run one campaign end to end and evaluate every oracle.
+
+    ``knobs`` deliberately breaks the runtime (harness self-test): a
+    correct harness must report violations for a broken runtime.
+    """
+    started = time.perf_counter()
+    spec.validate()
+    job, state, static_map = _build_workload(spec)
+    outcome = CampaignOutcome(spec=spec)
+
+    engine = Engine()
+    cluster = _build_cluster(spec, engine)
+    dfs = DFS(cluster, replication=REPLICATION)
+    dfs.ingest(STATE_PATH, state)
+    for path, records in static_map.items():
+        dfs.ingest(path, records)
+    spec.fault_schedule().arm(engine, cluster)
+
+    tracer = Tracer()
+    runtime = IMapReduceRuntime(
+        cluster,
+        dfs,
+        load_balance=LoadBalanceConfig(enabled=spec.migration),
+        trace=tracer,
+        chaos=knobs,
+    )
+    try:
+        outcome.result = runtime.submit(job)
+    except Exception as exc:  # judged by the termination oracle
+        outcome.error = exc
+
+    # Read the final partitions straight from the DFS metadata — no
+    # simulated I/O, so a fault event pending after the job's completion
+    # cannot interfere with the readback.
+    if outcome.result is not None:
+        final: list = []
+        for path in outcome.result.final_paths:
+            if dfs.exists(path):
+                final.extend(dfs.file_info(path).records)
+        outcome.final_state = sorted(final, key=lambda kv: repr(kv[0]))
+
+    outcome.reference = run_local(
+        job, state, static_map, num_pairs=spec.num_pairs
+    )
+    outcome.reference.state.sort(key=lambda kv: repr(kv[0]))
+    outcome.trace_events = list(tracer.events)
+    outcome.violations = evaluate_oracles(spec, outcome)
+    outcome.wall_seconds = time.perf_counter() - started
+    return outcome
+
+
+def campaign_fails(
+    spec: CampaignSpec,
+    knobs: ChaosKnobs | None = None,
+    oracles: set[str] | None = None,
+) -> bool:
+    """Shrinking predicate: does ``spec`` still violate (the given) oracles?"""
+    try:
+        outcome = run_campaign(spec, knobs)
+    except Exception:
+        # A spec the runner itself cannot execute (shrinker stepped
+        # outside the envelope) does not count as a reproduction.
+        return False
+    if oracles is None:
+        return bool(outcome.violations)
+    return any(v.oracle in oracles for v in outcome.violations)
+
+
+def run_chaos(
+    master_seed: int,
+    campaigns: int,
+    *,
+    workloads: tuple[str, ...] = WORKLOADS,
+    knobs: ChaosKnobs | None = None,
+    shrink_failures: bool = True,
+    log: Callable[[str], None] | None = None,
+) -> ChaosReport:
+    """Run a battery of ``campaigns`` seeded campaigns.
+
+    Campaign seeds derive from ``master_seed`` through a dedicated RNG,
+    so the battery is reproducible as a whole and every individual
+    failure is replayable via ``--campaign-seed``.
+    """
+    started = time.perf_counter()
+    rng = random.Random(master_seed)
+    report = ChaosReport(master_seed=master_seed)
+    for index in range(campaigns):
+        campaign_seed = rng.randrange(1, 2**48)
+        spec = generate_campaign(campaign_seed, workloads)
+        outcome = run_campaign(spec, knobs)
+        report.campaigns += 1
+        if outcome.ok:
+            report.passed += 1
+            if log:
+                log(
+                    f"campaign {index + 1}/{campaigns} seed={campaign_seed} "
+                    f"ok ({spec.describe()})"
+                )
+            continue
+        failure = CampaignFailure(
+            campaign_seed=campaign_seed,
+            spec=spec,
+            violations=list(outcome.violations),
+        )
+        if log:
+            log(
+                f"campaign {index + 1}/{campaigns} seed={campaign_seed} "
+                f"FAILED: {'; '.join(map(str, outcome.violations))}"
+            )
+        if shrink_failures:
+            failed_oracles = {v.oracle for v in outcome.violations}
+            failure.shrunk, failure.shrink_attempts = shrink(
+                spec, lambda s: campaign_fails(s, knobs, failed_oracles)
+            )
+            if log and failure.shrunk != spec:
+                log(f"  shrunk to: {failure.shrunk.describe()}")
+        report.failures.append(failure)
+    report.wall_seconds = time.perf_counter() - started
+    return report

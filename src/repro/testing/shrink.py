@@ -1,0 +1,99 @@
+"""Greedy campaign shrinking: smallest spec that still reproduces.
+
+Given a failing :class:`CampaignSpec` and a predicate "does this spec
+still fail?", repeatedly try simplifying transformations — drop a fault
+event, shrink the input, cut iterations, neutralize mode flags — and
+keep each one that preserves the failure.  The loop runs to a fixpoint
+(no candidate still fails), so the result is locally minimal: removing
+any single remaining ingredient makes the bug disappear.  Candidates
+that step outside the campaign safety envelope are skipped rather than
+run.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+from .campaign import CampaignSpec
+
+__all__ = ["shrink_candidates", "shrink"]
+
+MIN_INPUT_SIZE = 8
+MIN_ITERATIONS = 1
+MIN_PAIRS = 2
+MIN_CLUSTER_NODES = 3
+#: Neutral values a minimal reproduction should prefer.
+NEUTRAL_BUFFER = 2048
+
+
+def shrink_candidates(spec: CampaignSpec) -> Iterator[CampaignSpec]:
+    """One-step simplifications of ``spec``, most aggressive first."""
+    # 1. Fewer fault events (drop later events first: earlier faults
+    #    usually carry the interesting interleaving).
+    for index in range(len(spec.faults) - 1, -1, -1):
+        yield spec.but(faults=tuple(spec.fault_schedule().without(index).events))
+    # 2. Smaller input.
+    if spec.input_size > MIN_INPUT_SIZE:
+        yield spec.but(input_size=max(MIN_INPUT_SIZE, spec.input_size // 2))
+        yield spec.but(input_size=spec.input_size - 1)
+    # 3. Fewer iterations.
+    if spec.max_iterations > MIN_ITERATIONS:
+        yield spec.but(max_iterations=spec.max_iterations - 1)
+    # 4. Fewer pairs.
+    if spec.num_pairs > MIN_PAIRS:
+        yield spec.but(num_pairs=MIN_PAIRS)
+    # 5. Smaller, homogeneous cluster (only when no fault event names a
+    #    machine the smaller topology would not have).
+    if spec.cluster_nodes > MIN_CLUSTER_NODES:
+        smaller = spec.but(
+            cluster_nodes=MIN_CLUSTER_NODES,
+            speeds=spec.speeds[:MIN_CLUSTER_NODES] if spec.speeds else None,
+        )
+        if spec.fault_schedule().machines() <= set(smaller.machine_names()):
+            yield smaller
+    if spec.speeds is not None:
+        yield spec.but(
+            speeds=None,
+            faults=tuple(
+                f.__class__(f.when, f.machine.replace("hnode", "node"), f.action)
+                for f in spec.faults
+            ),
+        )
+    # 6. Neutral mode flags.
+    if spec.migration:
+        yield spec.but(migration=False)
+    if spec.combiner:
+        yield spec.but(combiner=False)
+    if spec.buffer_records != NEUTRAL_BUFFER:
+        yield spec.but(buffer_records=NEUTRAL_BUFFER)
+
+
+def shrink(
+    spec: CampaignSpec,
+    still_fails: Callable[[CampaignSpec], bool],
+    max_attempts: int = 200,
+) -> tuple[CampaignSpec, int]:
+    """Greedily minimize ``spec`` while ``still_fails`` holds.
+
+    Returns the shrunk spec and the number of candidate runs spent.
+    ``still_fails(spec)`` is assumed true on entry; the returned spec is
+    guaranteed to still fail (it is only replaced by failing candidates).
+    """
+    attempts = 0
+    current = spec
+    progress = True
+    while progress and attempts < max_attempts:
+        progress = False
+        for candidate in shrink_candidates(current):
+            if attempts >= max_attempts:
+                break
+            try:
+                candidate.validate()
+            except ValueError:
+                continue
+            attempts += 1
+            if still_fails(candidate):
+                current = candidate
+                progress = True
+                break
+    return current, attempts

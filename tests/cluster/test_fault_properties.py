@@ -1,0 +1,135 @@
+"""Property tests: FaultSchedule edge cases never corrupt results.
+
+The workload is the exact-arithmetic decay job from the fault-tolerance
+suite (state halves each iteration; powers of two are exact in floats),
+so every property can demand bit-exact final state:
+
+* a recover event with no preceding fail is a harmless no-op;
+* double-failing the same machine is idempotent;
+* a failure at *any* virtual time — including mid-flight of a
+  checkpoint write (interval 1 keeps one in flight almost constantly) —
+  still recovers to the exact result.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import FaultEvent, FaultSchedule, local_cluster
+from repro.common import IterKeys, JobConf
+from repro.dfs import DFS
+from repro.imapreduce import IMapReduceRuntime, IterativeJob
+from repro.simulation import Engine
+
+N_KEYS = 8
+ITERATIONS = 4
+
+
+def decay_map(key, state, static, ctx):
+    ctx.emit(key, state * 0.5)
+
+
+def identity_reduce(key, values, ctx):
+    ctx.emit(key, values[0])
+
+
+def make_job(checkpoint_interval=1):
+    conf = JobConf({IterKeys.STATE_PATH: "/in/state"})
+    conf.set_int(IterKeys.MAX_ITER, ITERATIONS)
+    conf.set_int(IterKeys.CHECKPOINT_INTERVAL, checkpoint_interval)
+    return IterativeJob.single_phase(
+        "decay", decay_map, identity_reduce, conf=conf, output_path="/out/decay"
+    )
+
+
+def run_with_schedule(schedule: FaultSchedule):
+    engine = Engine()
+    cluster = local_cluster(engine, 4)
+    dfs = DFS(cluster, replication=2)
+    dfs.ingest("/in/state", [(i, 1024.0) for i in range(N_KEYS)])
+    schedule.arm(engine, cluster)
+    result = IMapReduceRuntime(cluster, dfs).submit(make_job())
+    # Read through DFS metadata: exact, and immune to fault events that
+    # may still be pending after the job finished.
+    state = {}
+    for path in result.final_paths:
+        if dfs.exists(path):
+            state.update(dfs.file_info(path).records)
+    return result, state
+
+
+EXPECTED = {i: 1024.0 * 0.5**ITERATIONS for i in range(N_KEYS)}
+
+#: The failure-free run takes ~7 virtual seconds; sample fault times
+#: across (and beyond) the whole window so some land mid-checkpoint.
+TIMES = st.floats(min_value=0.1, max_value=10.0, allow_nan=False)
+
+
+@settings(max_examples=12, deadline=None)
+@given(when=TIMES)
+def test_recover_without_preceding_fail_is_noop(when):
+    schedule = FaultSchedule([FaultEvent(round(when, 3), "node1", "recover")])
+    result, state = run_with_schedule(schedule)
+    assert state == EXPECTED
+    assert result.recoveries == 0
+
+
+@settings(max_examples=12, deadline=None)
+@given(when=TIMES, gap=st.floats(min_value=0.0, max_value=2.0))
+def test_double_fail_of_same_machine_is_idempotent(when, gap):
+    t = round(when, 3)
+    schedule = FaultSchedule(
+        [FaultEvent(t, "node1", "fail"), FaultEvent(round(t + gap, 3), "node1", "fail")]
+    )
+    assert schedule.max_concurrent_failures() == 1
+    _result, state = run_with_schedule(schedule)
+    assert state == EXPECTED
+
+
+@settings(max_examples=20, deadline=None)
+@given(when=TIMES)
+def test_fail_at_any_time_recovers_exact_result(when):
+    # Checkpoint interval 1 keeps a checkpoint write in flight nearly
+    # every iteration, so sampled times hit fail-during-checkpoint too.
+    schedule = FaultSchedule([FaultEvent(round(when, 3), "node1", "fail")])
+    _result, state = run_with_schedule(schedule)
+    assert state == EXPECTED
+
+
+@settings(max_examples=12, deadline=None)
+@given(when=TIMES, downtime=st.floats(min_value=0.1, max_value=3.0))
+def test_fail_then_recover_then_fail_again(when, downtime):
+    t1 = round(when, 3)
+    t2 = round(t1 + downtime, 3)
+    t3 = round(t2 + downtime, 3)
+    schedule = FaultSchedule(
+        [
+            FaultEvent(t1, "node2", "fail"),
+            FaultEvent(t2, "node2", "recover"),
+            FaultEvent(t3, "node2", "fail"),
+        ]
+    )
+    assert schedule.max_concurrent_failures() == 1
+    _result, state = run_with_schedule(schedule)
+    assert state == EXPECTED
+
+
+def test_schedule_helpers():
+    schedule = FaultSchedule(
+        [FaultEvent(2.0, "node1", "fail"), FaultEvent(1.0, "node2", "fail")]
+    )
+    assert [e.when for e in schedule.sorted_events()] == [1.0, 2.0]
+    assert schedule.machines() == {"node1", "node2"}
+    assert schedule.max_concurrent_failures() == 2
+    assert schedule.without(0).machines() == {"node2"}
+    assert "node2@1.00s" in schedule.describe()
+    assert FaultSchedule().describe() == "(no faults)"
+
+
+def test_arm_rejects_unknown_machine():
+    from repro.common.errors import ClusterError
+
+    engine = Engine()
+    cluster = local_cluster(engine, 2)
+    with pytest.raises(ClusterError):
+        FaultSchedule([FaultEvent(1.0, "node9", "fail")]).arm(engine, cluster)

@@ -1,0 +1,106 @@
+"""Chaos smoke battery (tier-1): fixed-seed campaigns through the full
+harness, plus the harness self-test — a deliberately broken runtime must
+be caught, shrunk and rendered replayable.
+
+The battery seed is frozen so CI failures are replayable verbatim:
+
+    repro chaos --seed 20240806 --campaigns 20
+"""
+
+import pytest
+
+from repro.imapreduce import ChaosKnobs
+from repro.testing import (
+    CampaignSpec,
+    generate_campaign,
+    run_campaign,
+    run_chaos,
+)
+
+BATTERY_SEED = 20240806
+BATTERY_SIZE = 20
+
+#: Campaign seeds (from the ``--seed 42`` battery) known to catch each
+#: deliberately injected bug; pinned so the self-test is a single run.
+SKIP_CKPT_SEED = 157973306085300  # recovery resumes from a missing checkpoint
+STALE_CKPT_SEED = 101794425918146  # recovery resumes one iteration stale
+
+
+def test_smoke_battery_all_oracles_pass():
+    report = run_chaos(BATTERY_SEED, BATTERY_SIZE, shrink_failures=False)
+    assert report.campaigns == BATTERY_SIZE
+    details = "\n".join(
+        f"seed {f.campaign_seed}: " + "; ".join(map(str, f.violations))
+        for f in report.failures
+    )
+    assert report.ok, f"chaos campaigns failed:\n{details}"
+
+
+def test_smoke_battery_covers_the_matrix():
+    specs = [
+        generate_campaign(seed)
+        for seed in _battery_seeds(BATTERY_SEED, BATTERY_SIZE)
+    ]
+    assert {s.workload for s in specs} == {"sssp", "pagerank", "kmeans"}
+    assert {s.sync for s in specs} == {True, False}
+    assert {s.combiner for s in specs} == {True, False}
+    assert any(s.faults for s in specs)
+    assert any(s.speeds is not None for s in specs)
+
+
+def _battery_seeds(master_seed, count):
+    import random
+
+    rng = random.Random(master_seed)
+    return [rng.randrange(1, 2**48) for _ in range(count)]
+
+
+def test_campaign_generation_is_pure():
+    assert generate_campaign(7) == generate_campaign(7)
+    assert generate_campaign(7) != generate_campaign(8)
+
+
+def test_spec_json_roundtrip():
+    spec = generate_campaign(SKIP_CKPT_SEED)
+    assert CampaignSpec.from_json(spec.to_json()) == spec
+
+
+# ------------------------------------------------------------ self-test --
+# A chaos harness that cannot catch a broken runtime is decoration.  Each
+# knob breaks one §3.4.1 guarantee; the pinned campaign must fail with
+# the bug injected and pass without it.
+
+
+def test_skipped_checkpoint_write_is_caught():
+    spec = generate_campaign(SKIP_CKPT_SEED)
+    assert spec.faults, "self-test needs a campaign with a failure"
+    clean = run_campaign(spec)
+    assert clean.ok, f"clean run must pass: {clean.violations}"
+    broken = run_campaign(spec, ChaosKnobs(skip_checkpoint_write=True))
+    assert not broken.ok
+    assert "termination" in {v.oracle for v in broken.violations}
+
+
+def test_stale_checkpoint_content_is_caught_by_differential_oracle():
+    spec = generate_campaign(STALE_CKPT_SEED)
+    clean = run_campaign(spec)
+    assert clean.ok, f"clean run must pass: {clean.violations}"
+    broken = run_campaign(spec, ChaosKnobs(stale_checkpoint_content=True))
+    assert {v.oracle for v in broken.violations} == {"differential"}
+
+
+def test_injected_bug_shrinks_to_replayable_campaign():
+    knobs = ChaosKnobs(stale_checkpoint_content=True)
+    report = run_chaos(
+        42, 50, knobs=knobs, shrink_failures=True
+    )
+    assert not report.ok, "deliberately broken runtime must fail campaigns"
+    failure = report.failures[0]
+    assert failure.shrunk is not None
+    # The shrunk spec is itself a valid, still-failing reproduction...
+    failure.shrunk.validate()
+    assert not run_campaign(failure.shrunk, knobs).ok
+    # ...and the replay lines name both the seed and the exact spec.
+    lines = failure.replay_lines("stale-ckpt")
+    assert any(f"--campaign-seed {failure.campaign_seed}" in l for l in lines)
+    assert all("--inject-bug stale-ckpt" in l for l in lines)

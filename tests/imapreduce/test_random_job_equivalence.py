@@ -87,3 +87,66 @@ def test_engine_matches_serial_reference(
     distributed = sorted(engine.run(engine.process(read())))
     serial = run_local(job, state, num_pairs=4).state
     assert distributed == serial
+
+
+# ------------------------------------------------- mode-matrix regression --
+# Fixed-seed PageRank across the full runtime-mode matrix: asynchronous
+# and synchronous execution (with and without the combiner) must converge
+# to the same state the serial reference computes — §3.3's claim that
+# asynchronous map execution changes the schedule, never the answer.
+
+from itertools import product
+
+from repro.algorithms import pagerank
+from repro.graph.generators import pagerank_graph
+from repro.testing import states_match
+
+PR_SEED = 1234
+PR_NODES = 16
+PR_ITERATIONS = 4
+
+
+def _run_pagerank_mode(graph, state, static, sync, combiner):
+    job = pagerank.build_imr_job(
+        PR_NODES,
+        state_path="/pr/state",
+        static_path="/pr/static",
+        output_path="/pr/out",
+        max_iterations=PR_ITERATIONS,
+        num_pairs=3,
+        sync=sync,
+        combiner=combiner,
+    )
+    engine = Engine()
+    cluster = local_cluster(engine)
+    dfs = DFS(cluster, replication=2)
+    dfs.ingest("/pr/state", state)
+    dfs.ingest("/pr/static", static)
+    result = IMapReduceRuntime(cluster, dfs).submit(job)
+    final = []
+    for path in result.final_paths:
+        final.extend(dfs.file_info(path).records)
+    return job, sorted(final)
+
+
+@pytest.mark.parametrize("sync,combiner", list(product((False, True), repeat=2)))
+def test_pagerank_mode_matrix_matches_serial_reference(sync, combiner):
+    graph = pagerank_graph(PR_NODES, seed=PR_SEED)
+    state = pagerank.initial_state(graph)
+    static = pagerank.static_records(graph)
+    job, distributed = _run_pagerank_mode(graph, state, static, sync, combiner)
+    serial = sorted(run_local(job, state, {"/pr/static": static}).state)
+    assert states_match(distributed, serial) == []
+
+
+def test_pagerank_async_and_sync_converge_identically():
+    graph = pagerank_graph(PR_NODES, seed=PR_SEED)
+    state = pagerank.initial_state(graph)
+    static = pagerank.static_records(graph)
+    states = {
+        (sync, combiner): _run_pagerank_mode(graph, state, static, sync, combiner)[1]
+        for sync, combiner in product((False, True), repeat=2)
+    }
+    baseline = states[(False, False)]
+    for mode, other in states.items():
+        assert states_match(other, baseline) == [], f"mode {mode} diverged"

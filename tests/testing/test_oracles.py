@@ -1,0 +1,183 @@
+"""Unit tests for each chaos oracle and the comparison helpers."""
+
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+
+from repro.metrics.trace import TraceEvent
+from repro.testing.oracles import (
+    ALL_ORACLES,
+    evaluate_oracles,
+    oracle_checkpoint_rollback,
+    oracle_differential,
+    oracle_termination,
+    oracle_trace_well_formed,
+    states_match,
+    values_close,
+)
+
+
+def spec(max_iterations=5, checkpoint_interval=2):
+    return SimpleNamespace(
+        max_iterations=max_iterations, checkpoint_interval=checkpoint_interval
+    )
+
+
+def outcome(**kw):
+    base = dict(
+        error=None,
+        result=SimpleNamespace(iterations_run=3, terminated_by="max-iterations"),
+        reference=SimpleNamespace(
+            iterations_run=3, terminated_by="max-iterations", state=[]
+        ),
+        final_state=[],
+        trace_events=[],
+    )
+    base.update(kw)
+    return SimpleNamespace(**base)
+
+
+# ---------------------------------------------------------- values_close --
+def test_values_close_exact_and_tolerant():
+    assert values_close(3, 3)
+    assert values_close(1.0, 1.0 + 1e-12)
+    assert not values_close(1.0, 1.1)
+    assert values_close(float("inf"), float("inf"))
+    assert not values_close(float("inf"), 1.0)
+
+
+def test_values_close_sequences_and_arrays():
+    assert values_close([1.0, (2.0, 3.0)], [1.0 + 1e-12, (2.0, 3.0)])
+    assert not values_close([1.0, 2.0], [1.0])
+    assert values_close(np.array([1.0, 2.0]), np.array([1.0, 2.0 + 1e-12]))
+    assert not values_close(np.array([1.0]), np.array([1.0, 2.0]))
+
+
+def test_values_close_non_numeric():
+    assert values_close("a", "a")
+    assert not values_close("a", "b")
+
+
+# ---------------------------------------------------------- states_match --
+def test_states_match_identical():
+    state = [(0, 1.0), (1, 2.0)]
+    assert states_match(state, state) == []
+
+
+def test_states_match_reports_each_difference_kind():
+    ref = [(0, 1.0), (1, 2.0)]
+    assert any("missing" in p for p in states_match([(0, 1.0)], ref))
+    assert any(
+        "unexpected" in p for p in states_match([(0, 1.0), (1, 2.0), (2, 9.0)], ref)
+    )
+    assert any("diverge" in p for p in states_match([(0, 1.0), (1, 2.5)], ref))
+    assert any(
+        "duplicate" in p for p in states_match([(0, 1.0), (0, 1.0), (1, 2.0)], ref)
+    )
+
+
+# ---------------------------------------------------- oracle: termination --
+def test_termination_passes_clean_run():
+    assert oracle_termination(spec(), outcome()) == []
+
+
+def test_termination_flags_error_and_missing_result():
+    v = oracle_termination(spec(), outcome(error=RuntimeError("boom")))
+    assert [x.oracle for x in v] == ["termination"]
+    v = oracle_termination(spec(), outcome(result=None))
+    assert [x.oracle for x in v] == ["termination"]
+
+
+def test_termination_flags_budget_overrun():
+    over = outcome(result=SimpleNamespace(iterations_run=9, terminated_by="x"))
+    assert oracle_termination(spec(max_iterations=5), over)
+
+
+# --------------------------------------------------- oracle: differential --
+def test_differential_passes_matching_states():
+    ok = outcome(
+        final_state=[(0, 1.0)],
+        reference=SimpleNamespace(
+            iterations_run=3, terminated_by="max-iterations", state=[(0, 1.0)]
+        ),
+    )
+    assert oracle_differential(spec(), ok) == []
+
+
+def test_differential_defers_to_termination_on_error():
+    assert oracle_differential(spec(), outcome(error=RuntimeError("x"))) == []
+
+
+def test_differential_flags_metadata_and_state_divergence():
+    bad = outcome(
+        result=SimpleNamespace(iterations_run=2, terminated_by="threshold"),
+        final_state=[(0, 1.0)],
+        reference=SimpleNamespace(
+            iterations_run=3, terminated_by="max-iterations", state=[(0, 2.0)]
+        ),
+    )
+    details = [v.detail for v in oracle_differential(spec(), bad)]
+    assert any("terminated_by" in d for d in details)
+    assert any("iterations" in d for d in details)
+    assert any("diverge" in d for d in details)
+
+
+# ----------------------------------------------------- oracle: checkpoint --
+def ev(time, kind, **fields):
+    return TraceEvent(time, kind, fields)
+
+
+def test_checkpoint_passes_monotone_durable_and_valid_resume():
+    events = [
+        ev(0.0, "generation-start", start_iter=0, recoveries=0),
+        ev(1.0, "checkpoint-durable", state_index=2),
+        ev(2.0, "generation-start", start_iter=2, recoveries=1),
+        ev(3.0, "checkpoint-durable", state_index=4),
+    ]
+    assert oracle_checkpoint_rollback(spec(), outcome(trace_events=events)) == []
+
+
+def test_checkpoint_flags_resume_past_durable():
+    events = [
+        ev(0.0, "generation-start", start_iter=0, recoveries=0),
+        ev(1.0, "checkpoint-durable", state_index=2),
+        ev(2.0, "generation-start", start_iter=4, recoveries=1),
+    ]
+    v = oracle_checkpoint_rollback(spec(), outcome(trace_events=events))
+    assert any("resumed from state 4" in x.detail for x in v)
+
+
+def test_checkpoint_flags_backwards_durable_index():
+    events = [
+        ev(1.0, "checkpoint-durable", state_index=4),
+        ev(2.0, "checkpoint-durable", state_index=2),
+    ]
+    v = oracle_checkpoint_rollback(spec(), outcome(trace_events=events))
+    assert any("backwards" in x.detail for x in v)
+
+
+# ---------------------------------------------------------- oracle: trace --
+def test_trace_oracle_passes_well_formed_timeline():
+    events = [
+        ev(0.0, "map-iteration-start", task=0, iteration=0),
+        ev(1.0, "map-iteration-end", task=0, iteration=0),
+        ev(2.0, "iteration-complete", iteration=0),
+    ]
+    assert oracle_trace_well_formed(spec(), outcome(trace_events=events)) == []
+
+
+def test_trace_oracle_flags_time_reversal():
+    events = [
+        ev(5.0, "iteration-complete", iteration=0),
+        ev(1.0, "iteration-complete", iteration=1),
+    ]
+    v = oracle_trace_well_formed(spec(), outcome(trace_events=events))
+    assert v and all(x.oracle == "trace" for x in v)
+
+
+# -------------------------------------------------------------- evaluate --
+def test_evaluate_runs_every_oracle():
+    assert set(ALL_ORACLES) == {"termination", "differential", "checkpoint", "trace"}
+    v = evaluate_oracles(spec(), outcome(error=RuntimeError("boom")))
+    assert [x.oracle for x in v] == ["termination"]

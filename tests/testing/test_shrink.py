@@ -1,0 +1,120 @@
+"""Unit tests for greedy campaign shrinking."""
+
+import pytest
+
+from repro.cluster import FaultEvent
+from repro.testing import CampaignSpec, generate_campaign, shrink, shrink_candidates
+from repro.testing.shrink import (
+    MIN_CLUSTER_NODES,
+    MIN_INPUT_SIZE,
+    MIN_ITERATIONS,
+    MIN_PAIRS,
+    NEUTRAL_BUFFER,
+)
+
+
+def big_spec(**overrides):
+    base = CampaignSpec(
+        seed=1,
+        workload="sssp",
+        input_size=24,
+        cluster_nodes=5,
+        speeds=(1.2, 0.8, 1.0, 1.1, 0.9),
+        num_pairs=5,
+        max_iterations=4,
+        sync=False,
+        combiner=True,
+        migration=True,
+        checkpoint_interval=2,
+        buffer_records=4,
+        faults=(
+            FaultEvent(3.0, "hnode1", "fail"),
+            FaultEvent(6.0, "hnode1", "recover"),
+        ),
+    )
+    return base.but(**overrides)
+
+
+def test_candidates_stay_in_envelope_or_are_skippable():
+    spec = big_spec()
+    spec.validate()
+    for candidate in shrink_candidates(spec):
+        try:
+            candidate.validate()
+        except ValueError:
+            continue  # shrink() skips these; they just must not crash
+
+
+def test_candidates_drop_later_faults_first():
+    spec = big_spec()
+    first, second = list(shrink_candidates(spec))[:2]
+    assert first.faults == spec.faults[:1]  # recover event dropped first
+    assert second.faults == spec.faults[1:]
+
+
+def test_shrink_reaches_minimum_when_everything_fails():
+    shrunk, attempts = shrink(big_spec(), lambda s: True)
+    assert shrunk.faults == ()
+    assert shrunk.input_size == MIN_INPUT_SIZE
+    assert shrunk.max_iterations == MIN_ITERATIONS
+    assert shrunk.num_pairs == MIN_PAIRS
+    assert shrunk.cluster_nodes == MIN_CLUSTER_NODES
+    assert shrunk.speeds is None
+    assert not shrunk.migration and not shrunk.combiner
+    assert shrunk.buffer_records == NEUTRAL_BUFFER
+    assert attempts > 0
+    # Local minimum: no candidate of the result still "fails" un-tried.
+    assert all(c == shrunk for c in shrink_candidates(shrunk)) or not list(
+        shrink_candidates(shrunk)
+    )
+
+
+def test_shrink_preserves_the_failing_ingredient():
+    # The "bug" needs a fault event: the shrunk spec must keep one.
+    shrunk, _ = shrink(big_spec(), lambda s: len(s.faults) > 0)
+    assert len(shrunk.faults) == 1
+    # ...and everything unrelated was still minimized.
+    assert shrunk.input_size == MIN_INPUT_SIZE
+    assert shrunk.max_iterations == MIN_ITERATIONS
+
+
+def test_shrink_renames_fault_machines_when_dropping_heterogeneity():
+    shrunk, _ = shrink(big_spec(), lambda s: len(s.faults) > 0)
+    assert shrunk.speeds is None
+    assert all(f.machine.startswith("node") for f in shrunk.faults)
+    shrunk.validate()
+
+
+def test_shrink_returns_spec_unchanged_when_nothing_simpler_fails():
+    spec = big_spec()
+    shrunk, attempts = shrink(spec, lambda s: s == spec)
+    assert shrunk == spec
+    assert attempts == len(
+        [c for c in shrink_candidates(spec) if _valid(c)]
+    )
+
+
+def _valid(candidate):
+    try:
+        candidate.validate()
+        return True
+    except ValueError:
+        return False
+
+
+def test_shrink_respects_attempt_budget():
+    calls = []
+
+    def predicate(s):
+        calls.append(s)
+        return True
+
+    shrink(big_spec(), predicate, max_attempts=3)
+    assert len(calls) <= 3
+
+
+def test_generated_campaigns_shrink_without_error():
+    for seed in (11, 22, 33):
+        spec = generate_campaign(seed)
+        shrunk, _ = shrink(spec, lambda s: True)
+        shrunk.validate()
