@@ -27,7 +27,8 @@ Commands
     and judge each with the differential/invariant oracles.  Options:
     ``--seed``, ``--campaigns``, ``--campaign-seed`` (replay one),
     ``--spec`` (replay a shrunk JSON spec), ``--workloads``,
-    ``--no-shrink``, ``--inject-bug`` (harness self-test), ``--verbose``.
+    ``--no-shrink``, ``--inject-bug`` (harness self-test),
+    ``--no-net-faults`` (crash-only campaigns), ``--verbose``.
 """
 
 from __future__ import annotations
@@ -87,8 +88,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_chaos.add_argument("--no-shrink", action="store_true",
                          help="skip shrinking failing campaigns")
     p_chaos.add_argument("--inject-bug", default=None,
-                         choices=("skip-ckpt-write", "stale-ckpt"),
+                         choices=("skip-ckpt-write", "stale-ckpt",
+                                  "ignore-hb-timeout", "skip-retransmit"),
                          help="deliberately break the runtime (self-test)")
+    p_chaos.add_argument("--no-net-faults", action="store_true",
+                         help="strip link faults (loss/delay/partitions) "
+                              "from every campaign")
     p_chaos.add_argument("--verbose", action="store_true",
                          help="log every campaign, not just failures")
     return parser
@@ -172,6 +177,8 @@ def _cmd_report(args) -> int:
 _BUG_KNOBS = {
     "skip-ckpt-write": "skip_checkpoint_write",
     "stale-ckpt": "stale_checkpoint_content",
+    "ignore-hb-timeout": "ignore_heartbeat_timeout",
+    "skip-retransmit": "skip_retransmit",
 }
 
 
@@ -200,6 +207,8 @@ def _cmd_chaos(args) -> int:
         except (ValueError, TypeError) as exc:
             print(f"bad campaign spec: {exc}", file=sys.stderr)
             return 2
+        if args.no_net_faults:
+            spec = spec.but(net_faults=())
         print(f"replaying: {spec.describe()}")
         outcome = run_campaign(spec, knobs)
         if outcome.ok:
@@ -225,6 +234,7 @@ def _cmd_chaos(args) -> int:
         workloads=workloads,
         knobs=knobs,
         shrink_failures=not args.no_shrink,
+        strip_net_faults=args.no_net_faults,
         log=log,
     )
     print(

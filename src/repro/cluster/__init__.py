@@ -2,6 +2,7 @@
 
 from .faults import FaultEvent, FaultSchedule
 from .machine import BandwidthPipe, Machine
+from .network import Delivery, LinkFault, NetworkFaultModel
 from .topology import (
     GIGABIT,
     Cluster,
@@ -22,4 +23,7 @@ __all__ = [
     "single_node",
     "FaultEvent",
     "FaultSchedule",
+    "Delivery",
+    "LinkFault",
+    "NetworkFaultModel",
 ]

@@ -1,4 +1,4 @@
-"""Fault injection: scripted worker failures and recoveries.
+"""Fault injection: scripted worker failures, recoveries and link faults.
 
 The paper's fault-tolerance design (§3.4.1) checkpoints state data to the
 DFS every few iterations and recovers a failed task pair from the most
@@ -6,6 +6,12 @@ recent checkpoint.  :class:`FaultSchedule` drives the "failure" side of
 that contract in experiments and tests: it fails named machines at given
 virtual times (and optionally recovers them later), killing every
 registered process on the machine through the interrupt mechanism.
+
+A schedule can also carry :class:`~repro.cluster.network.LinkFault`
+windows — message loss, added delay, transient partitions — which
+``arm`` folds into a :class:`~repro.cluster.network.NetworkFaultModel`
+installed on the cluster switch, so channels misbehave instead of the
+master learning about trouble by fiat.
 """
 
 from __future__ import annotations
@@ -13,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..simulation import Engine
+from .network import LinkFault, NetworkFaultModel
 from .topology import Cluster
 
 __all__ = ["FaultEvent", "FaultSchedule"]
@@ -38,6 +45,7 @@ class FaultSchedule:
     """An ordered list of fault events, armed onto a cluster."""
 
     events: list[FaultEvent] = field(default_factory=list)
+    link_faults: list[LinkFault] = field(default_factory=list)
 
     def fail_at(self, when: float, machine: str) -> "FaultSchedule":
         self.events.append(FaultEvent(when, machine, "fail"))
@@ -45,6 +53,48 @@ class FaultSchedule:
 
     def recover_at(self, when: float, machine: str) -> "FaultSchedule":
         self.events.append(FaultEvent(when, machine, "recover"))
+        return self
+
+    # -- link-fault builders ------------------------------------------------
+    def lose(
+        self,
+        start: float,
+        end: float,
+        rate: float,
+        group_a: tuple[str, ...] = (),
+        group_b: tuple[str, ...] = (),
+    ) -> "FaultSchedule":
+        """Drop each message with probability ``rate`` during the window."""
+        self.link_faults.append(
+            LinkFault(start, end, loss_rate=rate, group_a=group_a, group_b=group_b)
+        )
+        return self
+
+    def delay_links(
+        self,
+        start: float,
+        end: float,
+        extra: float,
+        group_a: tuple[str, ...] = (),
+        group_b: tuple[str, ...] = (),
+    ) -> "FaultSchedule":
+        """Add ``extra`` seconds of one-way latency during the window."""
+        self.link_faults.append(
+            LinkFault(start, end, extra_delay=extra, group_a=group_a, group_b=group_b)
+        )
+        return self
+
+    def partition(
+        self,
+        start: float,
+        end: float,
+        group_a: tuple[str, ...],
+        group_b: tuple[str, ...] = (),
+    ) -> "FaultSchedule":
+        """Cleanly split ``group_a`` from ``group_b`` (or from the rest)."""
+        self.link_faults.append(
+            LinkFault(start, end, partition=True, group_a=group_a, group_b=group_b)
+        )
         return self
 
     def sorted_events(self) -> list[FaultEvent]:
@@ -75,24 +125,44 @@ class FaultSchedule:
 
     def without(self, index: int) -> "FaultSchedule":
         """A copy with the ``index``-th event dropped (shrinking aid)."""
-        return FaultSchedule([e for i, e in enumerate(self.events) if i != index])
+        return FaultSchedule(
+            [e for i, e in enumerate(self.events) if i != index],
+            list(self.link_faults),
+        )
+
+    def without_link(self, index: int) -> "FaultSchedule":
+        """A copy with the ``index``-th link fault dropped (shrinking aid)."""
+        return FaultSchedule(
+            list(self.events),
+            [f for i, f in enumerate(self.link_faults) if i != index],
+        )
 
     def describe(self) -> str:
         """One-line human-readable form, used in chaos failure reports."""
-        if not self.events:
+        if not self.events and not self.link_faults:
             return "(no faults)"
-        return ", ".join(
+        parts = [
             f"{e.action} {e.machine}@{e.when:.2f}s" for e in self.sorted_events()
-        )
+        ]
+        parts.extend(f.describe() for f in self.link_faults)
+        return ", ".join(parts)
 
-    def arm(self, engine: Engine, cluster: Cluster) -> None:
-        """Install one driver process per event on the engine.
+    def arm(self, engine: Engine, cluster: Cluster, *, net_seed: int = 0) -> None:
+        """Install one driver process per event on the engine, and the
+        link-fault model (seeded by ``net_seed``) on the cluster switch.
 
         Events naming machines the cluster does not have fail fast here,
         rather than as a mystery ``ClusterError`` mid-simulation.
         """
         for event in self.events:
             cluster[event.machine]  # raises ClusterError on unknown names
+        for fault in self.link_faults:
+            for name in fault.machines():
+                cluster[name]
+        if self.link_faults:
+            cluster.install_network_faults(
+                NetworkFaultModel(tuple(self.link_faults), seed=net_seed)
+            )
         for event in self.sorted_events():
             engine.process(self._driver(engine, cluster, event), name=f"fault@{event.when}")
 

@@ -1,0 +1,146 @@
+"""Link-level network fault model: loss, delay, duplication, partitions.
+
+The paper assumes a reliable interconnect and lets the master learn of
+failures by fiat; a production-shaped runtime has to earn its robustness
+over a network that drops, delays and duplicates messages and sometimes
+splits into groups that cannot reach each other.  :class:`LinkFault`
+describes one misbehaviour window; :class:`NetworkFaultModel` folds the
+active windows into a per-message delivery verdict that
+:meth:`repro.cluster.topology.Cluster.transfer` (data plane) and
+:meth:`~repro.cluster.topology.Cluster.control_send` (heartbeats, acks)
+consult.
+
+Determinism: every loss/duplication draw is a pure function of the model
+seed and a per-message counter, so a seeded chaos campaign replays the
+exact same packet fates event for event.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..common.errors import ClusterError
+from ..common.partition import stable_hash
+
+__all__ = ["LinkFault", "Delivery", "NetworkFaultModel"]
+
+
+@dataclass(frozen=True, slots=True)
+class LinkFault:
+    """One window of link misbehaviour between two machine groups.
+
+    ``group_a``/``group_b`` select which (directed either way) links the
+    window applies to: empty groups mean "every machine"; a non-empty
+    ``group_a`` with an empty ``group_b`` means "``group_a`` versus the
+    rest of the cluster".  ``partition=True`` drops every message on the
+    matched links for the window (a clean network split); otherwise
+    ``loss_rate``/``dup_rate``/``extra_delay`` apply per message.
+    """
+
+    start: float
+    end: float
+    loss_rate: float = 0.0
+    dup_rate: float = 0.0
+    extra_delay: float = 0.0
+    partition: bool = False
+    group_a: tuple[str, ...] = ()
+    group_b: tuple[str, ...] = ()
+
+    def __post_init__(self):
+        if self.start < 0 or self.end < self.start:
+            raise ClusterError(
+                f"link fault window [{self.start}, {self.end}] is invalid"
+            )
+        if not (0.0 <= self.loss_rate < 1.0):
+            raise ClusterError(f"loss_rate must be in [0, 1), got {self.loss_rate}")
+        if not (0.0 <= self.dup_rate < 1.0):
+            raise ClusterError(f"dup_rate must be in [0, 1), got {self.dup_rate}")
+        if self.extra_delay < 0:
+            raise ClusterError(f"negative extra_delay: {self.extra_delay}")
+        if self.partition and not math.isfinite(self.end):
+            raise ClusterError("a partition must be transient (finite end)")
+
+    def matches(self, now: float, src: str, dst: str) -> bool:
+        if not (self.start <= now < self.end):
+            return False
+        if not self.group_a and not self.group_b:
+            return True
+        in_a = {src in self.group_a, dst in self.group_a}
+        if self.group_b:
+            in_b = {src in self.group_b, dst in self.group_b}
+            # Only cross-group links (either direction) are affected.
+            return (src in self.group_a and dst in self.group_b) or (
+                src in self.group_b and dst in self.group_a
+            )
+        # group_a vs the rest: affected iff exactly one endpoint is inside.
+        return in_a == {True, False}
+
+    def machines(self) -> set[str]:
+        return set(self.group_a) | set(self.group_b)
+
+    def describe(self) -> str:
+        kind = (
+            "partition"
+            if self.partition
+            else f"loss={self.loss_rate:.0%}"
+            + (f" dup={self.dup_rate:.0%}" if self.dup_rate else "")
+            + (f" +{self.extra_delay * 1e3:.0f}ms" if self.extra_delay else "")
+        )
+        scope = "all links"
+        if self.group_a or self.group_b:
+            a = ",".join(self.group_a) or "*"
+            b = ",".join(self.group_b) or "rest"
+            scope = f"{a}|{b}"
+        return f"{kind} {scope}@[{self.start:.2f},{self.end:.2f}]s"
+
+
+@dataclass(frozen=True, slots=True)
+class Delivery:
+    """Verdict for one message attempt."""
+
+    lost: bool = False
+    duplicated: bool = False
+    extra_delay: float = 0.0
+
+
+class NetworkFaultModel:
+    """Folds armed :class:`LinkFault` windows into per-message verdicts."""
+
+    def __init__(self, faults: tuple[LinkFault, ...] | list[LinkFault], seed: int = 0):
+        self.faults = tuple(faults)
+        self.seed = seed
+        self._counter = 0
+
+    def horizon(self) -> float:
+        """Virtual time after which every window has expired."""
+        return max((f.end for f in self.faults), default=0.0)
+
+    def _draw(self, salt: str, src: str, dst: str) -> float:
+        self._counter += 1
+        return (
+            stable_hash((self.seed, salt, self._counter, src, dst)) % 1_000_000
+        ) / 1_000_000.0
+
+    def delivery(self, now: float, src: str, dst: str) -> Delivery:
+        """Deterministic verdict for a message from ``src`` to ``dst``."""
+        loss_pass = 1.0
+        dup_pass = 1.0
+        extra = 0.0
+        for fault in self.faults:
+            if not fault.matches(now, src, dst):
+                continue
+            if fault.partition:
+                return Delivery(lost=True)
+            loss_pass *= 1.0 - fault.loss_rate
+            dup_pass *= 1.0 - fault.dup_rate
+            extra += fault.extra_delay
+        loss_rate = 1.0 - loss_pass
+        dup_rate = 1.0 - dup_pass
+        if not loss_rate and not dup_rate and not extra:
+            return Delivery()
+        lost = loss_rate > 0 and self._draw("loss", src, dst) < loss_rate
+        duplicated = (
+            not lost and dup_rate > 0 and self._draw("dup", src, dst) < dup_rate
+        )
+        return Delivery(lost=lost, duplicated=duplicated, extra_delay=extra)

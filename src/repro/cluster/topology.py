@@ -17,6 +17,7 @@ from typing import Any, Generator, Iterable, Sequence
 from ..common.errors import ClusterError
 from ..simulation import Engine, Event
 from .machine import Machine
+from .network import Delivery, NetworkFaultModel
 
 __all__ = [
     "Cluster",
@@ -40,6 +41,14 @@ class Cluster:
         if not self.machines:
             raise ClusterError("a cluster needs at least one machine")
         self.switch_latency = switch_latency
+        #: Optional link-level fault model.  When ``None`` (the default)
+        #: the network is perfectly reliable and every path below is
+        #: byte-for-byte identical to the pre-fault-model behaviour.
+        self.net: NetworkFaultModel | None = None
+
+    def install_network_faults(self, model: NetworkFaultModel) -> None:
+        """Arm a link-level fault model onto this cluster's switch."""
+        self.net = model
 
     # -- access -------------------------------------------------------------
     def __len__(self) -> int:
@@ -61,22 +70,95 @@ class Cluster:
         return [m for m in self.machines.values() if not m.failed]
 
     # -- data movement ------------------------------------------------------
-    def transfer(self, src: Machine | str, dst: Machine | str, nbytes: int) -> Generator[Event, Any, None]:
-        """Move ``nbytes`` from ``src`` to ``dst``.
+    def transfer(self, src: Machine | str, dst: Machine | str, nbytes: int) -> Generator[Event, Any, bool]:
+        """Move ``nbytes`` from ``src`` to ``dst``; return ``True`` iff
+        the bytes actually reached the receiver.
 
         Local transfers are free on the network (loopback) — Hadoop's
         locality optimisation that the paper's baseline also enjoys.
         Remote transfers hold the sender uplink then the receiver
         downlink in sequence (store-and-forward through the switch);
         FIFO queueing at each pipe models congestion deterministically.
+
+        With a :class:`NetworkFaultModel` installed the switch may drop
+        the message (loss window, partition, or dead receiver) — the
+        sender still pays its uplink time, but the receiver's downlink
+        is never touched — or delay it.  Without a model the behaviour
+        is exactly the historical reliable path, so failure-free runs
+        keep identical virtual timing.  Legacy callers that ignore the
+        return value keep their old semantics.
         """
         source = self[src] if isinstance(src, str) else src
         target = self[dst] if isinstance(dst, str) else dst
         if source is target:
-            return  # loopback: no NIC cost
+            return True  # loopback: no NIC cost, never lossy
+        verdict = self._verdict(source, target)
         yield from source.uplink.use(nbytes)
         yield self.engine.timeout(self.switch_latency)
+        if verdict is not None:
+            if verdict.extra_delay:
+                yield self.engine.timeout(verdict.extra_delay)
+            if verdict.lost or target.failed:
+                return False
         yield from target.downlink.use(nbytes)
+        return True
+
+    def control_send(self, src: Machine | str, dst: Machine | str) -> Generator[Event, Any, bool]:
+        """Fire one control-plane message (heartbeat, ack) ``src → dst``.
+
+        Control messages are tiny: they cost pure switch latency, occupy
+        no NIC pipe and count no bytes, so arming a failure detector
+        does not perturb data-plane timing in a failure-free run.
+        Returns ``True`` iff the message was delivered to a live
+        receiver; loss windows and partitions apply just as for data.
+        """
+        source = self[src] if isinstance(src, str) else src
+        target = self[dst] if isinstance(dst, str) else dst
+        if source.failed:
+            return False
+        if source is target:
+            return not target.failed
+        verdict = self._verdict(source, target)
+        delay = self.switch_latency
+        if verdict is not None and verdict.extra_delay:
+            delay += verdict.extra_delay
+        yield self.engine.timeout(delay)
+        if verdict is not None and verdict.lost:
+            return False
+        return not target.failed
+
+    def reliable_transfer(
+        self,
+        src: Machine | str,
+        dst: Machine | str,
+        nbytes: int,
+        *,
+        rto: float = 0.25,
+        backoff: float = 2.0,
+        rto_max: float = 2.0,
+        max_retries: int = 64,
+        description: str = "",
+    ) -> Generator[Event, Any, bool]:
+        """:meth:`transfer`, retried with exponential backoff until the
+        bytes land (bulk data that must arrive: DFS replica hops, the
+        initial partition exchange).  On a reliable network the first
+        attempt succeeds and the cost is identical to plain ``transfer``.
+        """
+        for attempt in range(max_retries + 1):
+            delivered = yield from self.transfer(src, dst, nbytes)
+            if delivered:
+                return True
+            yield self.engine.timeout(min(rto * backoff**attempt, rto_max))
+        what = description or f"{src if isinstance(src, str) else src.name}->" \
+            f"{dst if isinstance(dst, str) else dst.name}"
+        raise ClusterError(
+            f"transfer {what} undeliverable after {max_retries} retries"
+        )
+
+    def _verdict(self, source: Machine, target: Machine) -> Delivery | None:
+        if self.net is None:
+            return None
+        return self.net.delivery(self.engine.now, source.name, target.name)
 
     # -- accounting ----------------------------------------------------------
     @property

@@ -170,7 +170,13 @@ class DFS:
             holder = writer_machine
             for name in block.replicas:
                 replica = self.cluster[name]
-                yield from self.cluster.transfer(holder, replica, block.nbytes)
+                # Replica hops must land even through loss windows and
+                # transient partitions: retried with backoff (identical
+                # cost to a plain transfer on a clean network).
+                yield from self.cluster.reliable_transfer(
+                    holder, replica, block.nbytes,
+                    description=f"dfs-write:{path}",
+                )
                 yield from replica.disk_write(block.nbytes)
                 holder = replica
         # Publish only after all replicas are durable (atomic rename).
@@ -202,7 +208,10 @@ class DFS:
         source = self._pick_replica(block, reader_machine)
         yield from source.disk_read(block.nbytes)
         if source is not reader_machine:
-            yield from self.cluster.transfer(source, reader_machine, block.nbytes)
+            yield from self.cluster.reliable_transfer(
+                source, reader_machine, block.nbytes,
+                description=f"dfs-read:{path}",
+            )
         return file.block_records(block_index)
 
     def read_all(

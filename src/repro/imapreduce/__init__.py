@@ -1,13 +1,17 @@
 """The iMapReduce engine — the paper's contribution."""
 
-from .channels import IterationMailbox, StopIteration_
+from .channels import IterationMailbox, ReliableConfig, StopIteration_
+from .failure_detector import FailureDetector, FailureDetectorConfig
 from .job import AuxPhase, IterativeJob, IterativeRunResult, Phase
 from .localrun import LocalRunResult, run_local
 from .runtime import AuxContext, ChaosKnobs, IMapReduceRuntime, LoadBalanceConfig
 
 __all__ = [
     "IterationMailbox",
+    "ReliableConfig",
     "StopIteration_",
+    "FailureDetector",
+    "FailureDetectorConfig",
     "AuxPhase",
     "IterativeJob",
     "IterativeRunResult",

@@ -23,11 +23,29 @@ Message vocabulary (tuples, first element is the kind):
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Any
+from dataclasses import dataclass
+from typing import Any, Hashable
 
 from ..simulation import Engine, Store
 
-__all__ = ["StopIteration_", "IterationMailbox"]
+__all__ = ["StopIteration_", "IterationMailbox", "ReliableConfig"]
+
+
+@dataclass(frozen=True, slots=True)
+class ReliableConfig:
+    """Stop-and-wait retransmission policy for cross-pair messages.
+
+    One message per flow is in flight at a time; an unacknowledged send
+    is retried after ``rto_initial``, doubling (``rto_backoff``) up to
+    ``rto_max`` per wait.  ``max_retries`` bounds a send whose receiver
+    is permanently unreachable — by then the failure detector has long
+    since confirmed the peer dead and recovery re-routes the flow.
+    """
+
+    rto_initial: float = 0.25
+    rto_backoff: float = 2.0
+    rto_max: float = 2.0
+    max_retries: int = 64
 
 
 class StopIteration_(Exception):
@@ -54,10 +72,27 @@ class IterationMailbox:
         self._early: dict[tuple[str, int], list[tuple]] = defaultdict(list)
         self._stopped = False
         self._final_iteration: int | None = None
+        #: Dedup keys already delivered (see :meth:`deliver`).
+        self._seen: set[Hashable] = set()
 
     # -- producer side ------------------------------------------------------------
     def put(self, message: tuple) -> None:
         self._store.put(message)
+
+    def deliver(self, message: tuple, dedup_key: Hashable | None = None) -> bool:
+        """Deliver ``message``, suppressing retransmission duplicates.
+
+        The reliable channel layer retransmits until acknowledged, so a
+        message whose *ack* was lost arrives more than once; the receiver
+        keeps the set of seen keys and drops repeats.  Returns ``True``
+        iff the message was enqueued (i.e. was not a duplicate).
+        """
+        if dedup_key is not None:
+            if dedup_key in self._seen:
+                return False
+            self._seen.add(dedup_key)
+        self._store.put(message)
+        return True
 
     def stop(self, final_iteration: int | None = None) -> None:
         self._store.put(("stop", final_iteration))
@@ -68,14 +103,17 @@ class IterationMailbox:
 
         Non-matching messages are buffered for later gathers.  Raises
         :class:`StopIteration_` when the stop sentinel is seen (also on
-        a sentinel seen during an *earlier* gather).
+        a sentinel seen during an *earlier* gather) — but an already
+        buffered early arrival for this gather is consumed first, so a
+        final-iteration chunk that landed just before the sentinel is
+        never dropped.
         """
-        if self._stopped:
-            raise StopIteration_(self._final_iteration)
         for kind in wanted_kinds:
             bucket = self._early.get((kind, iteration))
             if bucket:
                 return bucket.pop(0)
+        if self._stopped:
+            raise StopIteration_(self._final_iteration)
         while True:
             message = yield self._store.get()
             kind = message[0]

@@ -51,7 +51,8 @@ from ..mapreduce.costmodel import DEFAULT_COST_MODEL, CostModel
 from ..metrics import IterationMetrics, RunMetrics
 from ..metrics.trace import Tracer
 from ..simulation import Store
-from .channels import IterationMailbox, StopIteration_
+from .channels import IterationMailbox, ReliableConfig, StopIteration_
+from .failure_detector import FailureDetector, FailureDetectorConfig
 from .job import IterativeJob, IterativeRunResult, Phase
 
 __all__ = ["LoadBalanceConfig", "ChaosKnobs", "IMapReduceRuntime", "AuxContext"]
@@ -88,9 +89,22 @@ class ChaosKnobs:
     #: unaffected; a recovery silently resumes one iteration stale, which
     #: only a differential oracle can see.
     stale_checkpoint_content: bool = False
+    #: The failure detector suspects silent workers but never confirms
+    #: them, so a crashed worker's pairs are never recovered: the job
+    #: hangs until the master's stall watchdog aborts it.
+    ignore_heartbeat_timeout: bool = False
+    #: Reliable channels send each message exactly once: a loss-window
+    #: drop is never retransmitted and some gather starves forever
+    #: (livelock), again only the stall watchdog can surface it.
+    skip_retransmit: bool = False
 
     def any_active(self) -> bool:
-        return self.skip_checkpoint_write or self.stale_checkpoint_content
+        return (
+            self.skip_checkpoint_write
+            or self.stale_checkpoint_content
+            or self.ignore_heartbeat_timeout
+            or self.skip_retransmit
+        )
 
 
 class AuxContext(Context):
@@ -131,6 +145,8 @@ class _GenOutcome:
     failed_worker: str | None = None
     migration: dict | None = None
     error: BaseException | None = None
+    #: Localized per-pair recoveries performed *within* this generation.
+    pair_recoveries: int = 0
 
 
 class IMapReduceRuntime:
@@ -145,6 +161,8 @@ class IMapReduceRuntime:
         load_balance: LoadBalanceConfig | None = None,
         trace: "Tracer | None" = None,
         chaos: ChaosKnobs | None = None,
+        failure_detector: FailureDetectorConfig | None = None,
+        reliable: ReliableConfig | None = None,
     ):
         self.cluster = cluster
         self.dfs = dfs
@@ -154,6 +172,14 @@ class IMapReduceRuntime:
         self.lb = load_balance or LoadBalanceConfig()
         self.trace = trace
         self.chaos = chaos or ChaosKnobs()
+        #: ``None`` keeps the historical omniscient failure path (a dead
+        #: task's WorkerFailure value reaches the master by fiat) — the
+        #: timing-pinned baseline.  With a config, the master learns of
+        #: failures only through heartbeat silence and recovers *pairs*,
+        #: not whole generations.
+        self.fd_config = failure_detector
+        self.reliable = reliable or ReliableConfig()
+        self._detector: FailureDetector | None = None
 
     def _emit(self, kind: str, **fields) -> None:
         if self.trace is not None:
@@ -172,6 +198,20 @@ class IMapReduceRuntime:
 
     # -------------------------------------------------------------- top level --
     def _run_proc(self, job: IterativeJob):
+        if self.fd_config is not None and self.fd_config.enabled:
+            self._detector = FailureDetector(
+                self.cluster, self.fd_config, self._emit, self.chaos
+            )
+            self._detector.start()
+        try:
+            result = yield from self._run_body(job)
+            return result
+        finally:
+            if self._detector is not None:
+                self._detector.stop()
+                self._detector = None
+
+    def _run_body(self, job: IterativeJob):
         engine = self.engine
         metrics = RunMetrics(label=f"imapreduce:{job.name}")
         metrics.start = engine.now
@@ -201,6 +241,7 @@ class IMapReduceRuntime:
 
         migrations: list[dict] = []
         recoveries = 0
+        pair_recoveries = 0
         accounts: dict[int, _IterAccount] = defaultdict(_IterAccount)
 
         while True:
@@ -216,6 +257,7 @@ class IMapReduceRuntime:
             outcome = yield from self._generation(
                 job, assignment, num_pairs, checkpoint, metrics, accounts
             )
+            pair_recoveries += outcome.pair_recoveries
             if outcome.kind == "error":
                 raise TaskFailure(job.name, outcome.error)
             if outcome.kind == "done":
@@ -248,6 +290,7 @@ class IMapReduceRuntime:
                 it.reduce_records = acct.reduce_records
         metrics.extras["migrations"] = migrations
         metrics.extras["recoveries"] = recoveries
+        metrics.extras["pair_recoveries"] = pair_recoveries
         metrics.extras["num_pairs"] = num_pairs
 
         completed = [it.index for it in metrics.iterations]
@@ -260,21 +303,52 @@ class IMapReduceRuntime:
             terminated_by=outcome.terminated_by,
             final_distance=outcome.final_distance,
             migrations=migrations,
-            recoveries=recoveries,
+            recoveries=recoveries + pair_recoveries,
         )
 
-    def _reassign_failed(self, assignment: dict[int, str], num_pairs: int) -> None:
-        """Move dead workers' pairs round-robin to survivors (§3.4.1)."""
-        alive = [m.name for m in self.cluster.alive_workers()]
+    def _dead_workers(self) -> set[str]:
+        """Workers the runtime must not schedule onto: down to the
+        resource manager, or confirmed dead by the failure detector
+        (the master cannot tell a partitioned worker from a crashed one,
+        so a confirmed worker is dead until its heartbeats resume)."""
+        dead = {name for name, m in self.cluster.machines.items() if m.failed}
+        if self._detector is not None:
+            dead |= self._detector.confirmed
+        return dead
+
+    def _reassign_failed(
+        self,
+        assignment: dict[int, str],
+        num_pairs: int,
+        dead: set[str] | None = None,
+    ) -> None:
+        """Move dead workers' pairs to the least-loaded survivors (§3.4.1).
+
+        Placing each orphan on the survivor currently hosting the fewest
+        pairs keeps post-recovery load balanced — round-robin over the
+        survivor list could pile every orphan onto workers that were
+        already full.  Ties break toward cluster order, deterministically.
+        """
+        if dead is None:
+            dead = self._dead_workers()
+        alive = [
+            m.name for m in self.cluster.alive_workers() if m.name not in dead
+        ]
         if not alive:
             raise SchedulingError("no alive workers left to recover onto")
         if num_pairs > len(alive) * self.pairs_limit:
             raise SchedulingError("not enough task slots on surviving workers")
-        cursor = 0
+        load = {name: 0 for name in alive}
         for p in range(num_pairs):
-            if self.cluster[assignment[p]].failed:
-                assignment[p] = alive[cursor % len(alive)]
-                cursor += 1
+            name = assignment[p]
+            if name in load:
+                load[name] += 1
+        rank = {name: i for i, name in enumerate(alive)}
+        for p in range(num_pairs):
+            if assignment[p] not in load:
+                target = min(alive, key=lambda name: (load[name], rank[name]))
+                assignment[p] = target
+                load[target] += 1
 
     # ------------------------------------------------------- one-time loading --
     def _partition_file(self, path: str, job: IterativeJob, num_pairs: int):
@@ -318,7 +392,10 @@ class IMapReduceRuntime:
                     if q == p:
                         continue
                     src = self.cluster[assignment[q]]
-                    yield from self.cluster.transfer(src, worker, my_bytes // num_pairs)
+                    yield from self.cluster.reliable_transfer(
+                        src, worker, my_bytes // num_pairs,
+                        description=f"initial-load:{q}->{p}",
+                    )
                 yield from self.dfs.write(
                     self._part_file(source, job, p), parts[p], worker, overwrite=True
                 )
@@ -390,7 +467,9 @@ class IMapReduceRuntime:
             runtime=self,
             job=job,
             num_pairs=num_pairs,
-            assignment=dict(assignment),
+            # Shared (not copied): localized pair recovery re-homes pairs
+            # mid-generation and the next generation must see the moves.
+            assignment=assignment,
             start_iter=start_iter,
             checkpoint=checkpoint,
             map_boxes=map_boxes,
@@ -400,10 +479,12 @@ class IMapReduceRuntime:
             aux_reduce_boxes=aux_reduce_boxes,
             accounts=accounts,
             aux_workers=[w.name for w in aux_workers],
+            reliable=self.reliable,
         )
 
         procs = []
         map_procs = []
+        aux_procs = []
         try:
             for j in range(F):
                 for p in range(num_pairs):
@@ -413,9 +494,12 @@ class IMapReduceRuntime:
                     )
                     procs.append(map_proc)
                     map_procs.append(map_proc)
-                    procs.append(
-                        worker.spawn(_reduce_task(ctx, j, p, worker), name=f"red{j}.{p}")
+                    ctx.pair_procs[("map", j, p)] = map_proc
+                    red_proc = worker.spawn(
+                        _reduce_task(ctx, j, p, worker), name=f"red{j}.{p}"
                     )
+                    procs.append(red_proc)
+                    ctx.pair_procs[("red", j, p)] = red_proc
             if aux is not None:
                 for t in range(aux.num_tasks):
                     worker = aux_workers[t]
@@ -424,9 +508,12 @@ class IMapReduceRuntime:
                     )
                     procs.append(aux_map_proc)
                     map_procs.append(aux_map_proc)
-                    procs.append(
-                        worker.spawn(_aux_reduce_task(ctx, t, worker), name=f"auxred.{t}")
+                    aux_procs.append(aux_map_proc)
+                    aux_red_proc = worker.spawn(
+                        _aux_reduce_task(ctx, t, worker), name=f"auxred.{t}"
                     )
+                    procs.append(aux_red_proc)
+                    aux_procs.append(aux_red_proc)
         except WorkerFailure as failure:
             # A worker died between assignment and spawn: recover.
             for proc in procs:
@@ -437,29 +524,101 @@ class IMapReduceRuntime:
         ctx.map_procs = map_procs
 
         # Failure monitors: translate a dead task into a master message.
-        for proc in procs:
-            def monitor(proc=proc):
-                try:
-                    value = yield proc
-                except BaseException as exc:
-                    master_box.put(("error", exc))
-                    return
-                if isinstance(value, WorkerFailure):
-                    master_box.put(("failure", value.worker))
+        # With the failure detector armed, a task killed by its machine's
+        # crash is deliberately NOT reported — the master must notice the
+        # silence through missed heartbeats.
+        for (kind_, j, p), proc in ctx.pair_procs.items():
+            self._watch(ctx, proc, pair=p)
+        for proc in aux_procs:
+            self._watch(ctx, proc)
 
-            engine.process(monitor(), name="imr-monitor")
+        detector = self._detector
+        if detector is not None:
+            detector.attach(master_box)
+            ctx.last_progress = engine.now
+            engine.process(self._watchdog(ctx), name="imr-watchdog")
 
-        outcome = yield from self._master(job, ctx, metrics)
+        try:
+            outcome = yield from self._master(job, ctx, metrics)
+        finally:
+            ctx.done = True
+            if detector is not None:
+                detector.detach()
+        outcome.pair_recoveries = ctx.recoveries
 
         if outcome.kind in ("recover", "migrate", "error"):
-            for proc in procs:
+            for proc in ctx.procs:
                 proc.interrupt("shutdown")
             # Let interrupts deliver before tearing down further.
             yield engine.timeout(0.0)
         else:
             # Clean stop: wait for tasks to flush final output.
-            yield engine.all_of([p for p in procs if p.is_alive] or [engine.timeout(0)])
+            yield engine.all_of(
+                [p for p in ctx.procs if p.is_alive] or [engine.timeout(0)]
+            )
         return outcome
+
+    def _watch(self, ctx: "_GenContext", proc, pair: int | None = None) -> None:
+        """Monitor one task process and report its fate to the master.
+
+        * ``WorkerFailure`` as the *interrupt value* means the task's own
+          machine crashed.  Legacy (no detector): reported by fiat.  With
+          the detector: ignored — heartbeat silence is the only evidence.
+        * ``WorkerFailure`` *raised* means a remote machine died under a
+          DFS operation the task was driving; the task itself is now dead
+          on a live worker, which its node manager observes and reports
+          (``task-crash``) so just that pair is recovered in place.
+        * Any other exception is a job error.
+        * Fencing/shutdown interrupts carry string values: ignored.
+        """
+        detector = self._detector
+        master_box = ctx.master_box
+
+        def monitor():
+            try:
+                value = yield proc
+            except WorkerFailure as failure:
+                if detector is None:
+                    master_box.put(("error", failure))
+                elif pair is not None:
+                    master_box.put(("task-crash", pair))
+                else:
+                    master_box.put(("failure", failure.worker))
+                return
+            except BaseException as exc:
+                master_box.put(("error", exc))
+                return
+            if isinstance(value, WorkerFailure) and detector is None:
+                master_box.put(("failure", value.worker))
+
+        self.engine.process(monitor(), name="imr-monitor")
+
+    def _watchdog(self, ctx: "_GenContext"):
+        """Master-side liveness backstop.  Heartbeat traffic keeps the
+        event queue forever non-empty, so the engine's deadlock detection
+        can no longer catch a livelocked generation (a lost message
+        nobody retransmits); instead, prolonged *global* silence at the
+        master becomes a hard error the termination oracle can see."""
+        stall = self.fd_config.stall_timeout
+        engine = self.engine
+        while not ctx.done:
+            yield engine.timeout(stall / 4.0)
+            if ctx.done:
+                return
+            if engine.now - ctx.last_progress > stall:
+                ctx.master_box.put(
+                    (
+                        "error",
+                        TaskFailure(
+                            ctx.job.name,
+                            RuntimeError(
+                                f"master saw no progress for {stall:.0f}s of "
+                                "virtual time — livelocked or lost traffic"
+                            ),
+                        ),
+                    )
+                )
+                return
 
     # ------------------------------------------------------------------ master --
     def _master(self, job: IterativeJob, ctx: "_GenContext", metrics: RunMetrics):
@@ -473,14 +632,37 @@ class IMapReduceRuntime:
 
         while True:
             message = yield ctx.master_box.get()
+            ctx.last_progress = engine.now
             kind = message[0]
 
             if kind == "error":
                 return _GenOutcome(kind="error", error=message[1])
 
             if kind == "failure":
-                self._emit("worker-failure", worker=message[1])
-                return _GenOutcome(kind="recover", failed_worker=message[1])
+                worker = message[1]
+                if self._detector is None or worker in ctx.aux_workers:
+                    # Legacy fiat path, and aux tasks (which keep no
+                    # checkpointed state of their own): whole-generation
+                    # rollback to the last durable checkpoint.
+                    self._emit("worker-failure", worker=worker)
+                    return _GenOutcome(kind="recover", failed_worker=worker)
+                affected = [
+                    p for p in range(num_pairs) if ctx.assignment[p] == worker
+                ]
+                if not affected:
+                    continue  # stale confirmation: pairs already moved on
+                self._emit("worker-failure", worker=worker)
+                yield from self._recover_pairs(job, ctx, affected, worker, ckpt_acks)
+                continue
+
+            if kind == "task-crash":
+                # A pair task died on a live worker (e.g. a DFS replica
+                # machine crashed mid-operation): recover just that pair,
+                # in place if its worker is still usable.
+                pair = message[1]
+                self._emit("task-crash", pair=pair, worker=ctx.assignment[pair])
+                yield from self._recover_pairs(job, ctx, [pair], None, ckpt_acks)
+                continue
 
             if kind == "ckpt":
                 _, state_index, pair = message
@@ -491,6 +673,7 @@ class IMapReduceRuntime:
                         ctx.checkpoint.state_index = state_index
                         ctx.checkpoint.path_prefix = self._state_prefix(job, state_index)
                         self._drop_state_files(job, old, num_pairs)
+                        ctx.prune_replay(state_index)
                         # Oracle hook: the checkpoint is now the durable
                         # rollback point every recovery must respect.
                         self._emit("checkpoint-durable", state_index=state_index)
@@ -504,12 +687,15 @@ class IMapReduceRuntime:
                 continue
 
             _, iteration, pair, local_distance, _proc_time = message
+            if iteration in ctx.completed:
+                continue  # re-report from a recovered pair's re-run
             reports[iteration][pair] = (local_distance, _proc_time)
             if len(reports[iteration]) < num_pairs:
                 continue
 
             # ---- iteration `iteration` complete ----
             pair_reports = reports.pop(iteration)
+            ctx.completed.add(iteration)
             distance: float | None = None
             if job.distance_fn is not None:
                 distance = sum(
@@ -576,6 +762,117 @@ class IMapReduceRuntime:
                 for p in range(num_pairs):
                     ctx.map_boxes[0][p].put(("sync", iteration))
 
+    # -------------------------------------------------- localized recovery --
+    def _recover_pairs(
+        self,
+        job: IterativeJob,
+        ctx: "_GenContext",
+        affected: list[int],
+        failed_worker: str | None,
+        ckpt_acks: dict[int, set[int]],
+    ):
+        """Per-pair localized recovery (§3.4.1, narrowed).
+
+        The paper restarts the whole generation from the last durable
+        checkpoint when a worker fails; here only the *affected pairs*
+        roll back.  Unaffected pairs keep their tasks, mailboxes and
+        progress — in synchronous mode they simply hold at the barrier
+        until the recovered pairs catch up, and in asynchronous mode the
+        data flow paces them naturally.
+        """
+        engine = self.engine
+        resume = ctx.checkpoint.state_index
+        F = len(job.phases)
+        affected_set = set(affected)
+
+        # 1) Fence every process of the old incarnations — checkpoint
+        #    writers included — so no zombie emission or stale ack can
+        #    race the replacements.  (For a falsely-confirmed worker this
+        #    interrupt models the lease expiry that makes a real node
+        #    manager kill its own tasks once it loses the master.)
+        for key in [k for k in ctx.pair_procs if k[2] in affected_set]:
+            proc = ctx.pair_procs.pop(key)
+            if proc.is_alive:
+                proc.interrupt("fenced")
+            if proc in ctx.procs:
+                ctx.procs.remove(proc)
+            if proc in ctx.map_procs:
+                ctx.map_procs.remove(proc)
+        for p in affected:
+            for proc in ctx.ckpt_procs.pop(p, []):
+                if proc.is_alive:
+                    proc.interrupt("fenced")
+        yield engine.timeout(0.0)  # let the interrupts land
+
+        # 2) Pending checkpoints must wait for the replacements: drop the
+        #    old incarnations' acks so the durable index cannot advance
+        #    (and prune the files) while a replacement still needs to
+        #    read the state it is about to resume from.
+        for state_index, acks in ckpt_acks.items():
+            if state_index > resume:
+                acks -= affected_set
+
+        # 3) Fresh mailboxes — the old ones hold a dead incarnation's
+        #    partial gathers and dedup history.
+        for j in range(F):
+            for p in affected:
+                ctx.map_boxes[j][p] = IterationMailbox(engine, f"map{j}.{p}")
+                ctx.reduce_boxes[j][p] = IterationMailbox(engine, f"red{j}.{p}")
+
+        # 4) Re-home the orphaned pairs onto the least-loaded survivors.
+        dead = self._dead_workers()
+        if failed_worker is not None:
+            dead.add(failed_worker)
+        self._reassign_failed(ctx.assignment, ctx.num_pairs, dead=dead)
+
+        # 5) Re-feed the logged cross-pair traffic for the iterations the
+        #    replacements will re-run (live senders have moved on and
+        #    will not resend), plus the barrier tokens already released.
+        for p in affected:
+            for j in range(F):
+                ctx.replay_into("map", j, p, resume)
+                ctx.replay_into("red", j, p, resume)
+            if job.synchronous:
+                for k in sorted(ctx.completed):
+                    if k >= resume:
+                        ctx.map_boxes[0][p].put(("sync", k))
+
+        ctx.recoveries += 1
+        for p in affected:
+            self._emit(
+                "pair-recovery",
+                pair=p,
+                from_worker=failed_worker,
+                worker=ctx.assignment[p],
+                resume_state=resume,
+            )
+
+        # 6) Spawn the replacement incarnations: static data reloads from
+        #    the DFS replica, state from the last durable checkpoint.
+        for p in affected:
+            worker = self.cluster[ctx.assignment[p]]
+            try:
+                for j in range(F):
+                    map_proc = worker.spawn(
+                        _map_task(ctx, j, p, worker, start=resume),
+                        name=f"map{j}.{p}",
+                    )
+                    ctx.pair_procs[("map", j, p)] = map_proc
+                    ctx.procs.append(map_proc)
+                    ctx.map_procs.append(map_proc)
+                    self._watch(ctx, map_proc, pair=p)
+                    red_proc = worker.spawn(
+                        _reduce_task(ctx, j, p, worker, start=resume),
+                        name=f"red{j}.{p}",
+                    )
+                    ctx.pair_procs[("red", j, p)] = red_proc
+                    ctx.procs.append(red_proc)
+                    self._watch(ctx, red_proc, pair=p)
+            except WorkerFailure as wf:
+                # The chosen survivor died in the window: report it and
+                # let the resulting failure message re-recover this pair.
+                ctx.master_box.put(("failure", wf.worker))
+
     def _plan_migration(self, ctx: "_GenContext", pair_reports) -> dict | None:
         """The paper's policy: average processing time excluding the
         longest and shortest; migrate the slowest worker's laggard pair to
@@ -638,6 +935,129 @@ class _GenContext:
     aux_workers: list[str] = field(default_factory=list)
     procs: list = field(default_factory=list)
     map_procs: list = field(default_factory=list)
+    reliable: ReliableConfig = field(default_factory=ReliableConfig)
+    #: (boxkind, phase, dest_pair) -> {iteration -> {dedup_key: (message,
+    #: nbytes, always_wire)}} — cross-pair traffic kept for replay.
+    replay_log: dict = field(default_factory=dict)
+    #: Iterations the master has fully accounted (guards re-reports from
+    #: recovered pairs, and sources the re-issued sync tokens).
+    completed: set = field(default_factory=set)
+    #: ("map"|"red", phase, pair) -> Process, for fencing on recovery.
+    pair_procs: dict = field(default_factory=dict)
+    #: pair -> in-flight checkpoint-writer processes (fenced with it).
+    ckpt_procs: dict = field(default_factory=dict)
+    #: Localized recoveries performed in this generation.
+    recoveries: int = 0
+    #: Set once the master returned; quiesces the stall watchdog.
+    done: bool = False
+    #: Virtual time of the last master-visible progress (watchdog input).
+    last_progress: float = 0.0
+
+    # -- messaging ----------------------------------------------------------
+    def send(
+        self,
+        boxkind: str,
+        phase: int,
+        dest_pair: int,
+        message: tuple,
+        nbytes: int,
+        src_machine: Machine,
+        src_pair: int | None = None,
+        always_wire: bool = False,
+    ):
+        """Route one cross-task message to a mailbox.
+
+        On a clean network this is event-identical to the historical
+        ``transfer(...)`` + ``box.put(...)`` sequence (``always_wire``
+        preserves call sites that paid the wire even for zero bytes), so
+        failure-free timing is unchanged.  With a link fault model armed
+        it becomes a stop-and-wait reliable channel: retransmit with
+        exponential backoff until the receiver — looked up afresh each
+        attempt, so recovery re-routes in-flight traffic — acknowledges;
+        the receiver's mailbox suppresses retransmission duplicates.
+
+        Cross-pair main-phase messages are also recorded in the replay
+        log: live senders retain their shuffle output on local disk
+        (§3.4.1), so a recovered pair can be re-fed traffic the dead
+        incarnation already consumed without any global rollback.
+        """
+        key = (boxkind, phase, dest_pair, src_pair, message[0], message[1])
+        if boxkind in ("map", "red") and src_pair is not None and src_pair != dest_pair:
+            flows = self.replay_log.setdefault((boxkind, phase, dest_pair), {})
+            flows.setdefault(message[1], {})[key] = (message, nbytes, always_wire)
+        if self.cluster.net is None:
+            if nbytes or always_wire:
+                target = self.cluster[self._dest_worker(boxkind, dest_pair)]
+                yield from self.cluster.transfer(src_machine, target, nbytes)
+            self._box(boxkind, phase, dest_pair).deliver(message, key)
+            return
+        yield from self._reliable_send(
+            boxkind, phase, dest_pair, message, nbytes, src_machine, key, always_wire
+        )
+
+    def _reliable_send(
+        self, boxkind, phase, dest_pair, message, nbytes, src_machine, key, always_wire
+    ):
+        cfg = self.reliable
+        rto = cfg.rto_initial
+        for _attempt in range(cfg.max_retries):
+            target = self.cluster[self._dest_worker(boxkind, dest_pair)]
+            if nbytes or always_wire:
+                delivered = yield from self.cluster.transfer(src_machine, target, nbytes)
+            else:
+                delivered = yield from self.cluster.control_send(src_machine, target)
+            if delivered:
+                self._box(boxkind, phase, dest_pair).deliver(message, key)
+                acked = yield from self.cluster.control_send(target, src_machine)
+                if acked:
+                    return
+                # Ack lost: the retransmit below re-delivers the same
+                # message; the receiver's dedup set absorbs the duplicate.
+            if self.runtime.chaos.skip_retransmit:
+                return  # injected bug: fire-and-forget delivery
+            yield self.engine.timeout(rto)
+            rto = min(rto * cfg.rto_backoff, cfg.rto_max)
+        raise TaskFailure(
+            f"{boxkind}{phase}.{dest_pair}",
+            f"message {message[0]!r} for iteration {message[1]} undeliverable "
+            f"after {cfg.max_retries} retries",
+        )
+
+    def _dest_worker(self, boxkind: str, dest_pair: int) -> str:
+        if boxkind in ("auxmap", "auxred"):
+            return self.aux_workers[dest_pair]
+        return self.assignment[dest_pair]
+
+    def _box(self, boxkind: str, phase: int, dest_pair: int) -> IterationMailbox:
+        if boxkind == "map":
+            return self.map_boxes[phase][dest_pair]
+        if boxkind == "red":
+            return self.reduce_boxes[phase][dest_pair]
+        if boxkind == "auxmap":
+            return self.aux_map_boxes[dest_pair]
+        return self.aux_reduce_boxes[dest_pair]
+
+    def prune_replay(self, state_index: int) -> None:
+        """Forget logged traffic no future recovery can need (iterations
+        before the durable checkpoint are never re-run)."""
+        for flows in self.replay_log.values():
+            for it in [i for i in flows if i < state_index]:
+                del flows[it]
+
+    def replay_into(self, boxkind: str, phase: int, pair: int, resume: int) -> None:
+        """Seed a recovered pair's fresh mailbox with the logged cross-pair
+        messages for iterations ≥ ``resume``.  Redelivery is charged no
+        wire time: the bytes were paid for once and the retained local
+        spill files serve the re-read (documented simplification)."""
+        flows = self.replay_log.get((boxkind, phase, pair))
+        if not flows:
+            return
+        box = self._box(boxkind, phase, pair)
+        for it in sorted(flows):
+            if it < resume:
+                continue
+            for key, (message, _nbytes, _always_wire) in flows[it].items():
+                box.deliver(message, key)
 
     def stop_all(self, final_iteration: int | None = None) -> None:
         # Map tasks have no output to flush: interrupt them even
@@ -677,14 +1097,25 @@ class _GenContext:
 # =============================== map task ===============================
 
 
-def _map_task(ctx: _GenContext, phase_index: int, pair: int, worker: Machine):
-    """Persistent map task for one phase/pair (paper §3.1.1, §3.2, §3.3)."""
+def _map_task(
+    ctx: _GenContext,
+    phase_index: int,
+    pair: int,
+    worker: Machine,
+    start: int | None = None,
+):
+    """Persistent map task for one phase/pair (paper §3.1.1, §3.2, §3.3).
+
+    ``start`` overrides the generation's start iteration for replacement
+    incarnations spawned by localized recovery (they resume from the last
+    durable checkpoint while the generation's other pairs run ahead)."""
     engine, cost, job = ctx.engine, ctx.cost, ctx.job
     phase = job.phases[phase_index]
     box = ctx.map_boxes[phase_index][pair]
     num_pairs = ctx.num_pairs
     one2all = phase.mapping == "one2all"
     synchronous = job.synchronous
+    start = ctx.start_iter if start is None else start
 
     yield engine.timeout(cost.task_launch)
 
@@ -711,7 +1142,7 @@ def _map_task(ctx: _GenContext, phase_index: int, pair: int, worker: Machine):
                 (yield from ctx.dfs.read_all(f"{prefix}/part-{pair:05d}", worker))
             ]
 
-    iteration = ctx.start_iter
+    iteration = start
     try:
         while True:
             out_parts: dict[int, list] = defaultdict(list)
@@ -762,7 +1193,7 @@ def _map_task(ctx: _GenContext, phase_index: int, pair: int, worker: Machine):
                         )
                     )
             else:
-                if synchronous and iteration > ctx.start_iter:
+                if synchronous and iteration > start:
                     # Global barrier: previous iteration fully reported.
                     yield from box.wait_control("sync", iteration - 1)
                 senders = num_pairs if one2all else 1
@@ -838,13 +1269,16 @@ def _map_task(ctx: _GenContext, phase_index: int, pair: int, worker: Machine):
                 if pairs_:
                     nbytes = part_sizes[q]
                     acct.shuffle_bytes += nbytes
-                    target = ctx.cluster[ctx.assignment[q]]
-                    yield from ctx.cluster.transfer(worker, target, nbytes)
-                    ctx.reduce_boxes[phase_index][q].put(
-                        ("mapout", iteration, pair, pairs_)
+                    yield from ctx.send(
+                        "red", phase_index, q,
+                        ("mapout", iteration, pair, pairs_),
+                        nbytes, worker, src_pair=pair,
                     )
             for q in range(num_pairs):
-                ctx.reduce_boxes[phase_index][q].put(("mapdone", iteration, pair))
+                yield from ctx.send(
+                    "red", phase_index, q,
+                    ("mapdone", iteration, pair), 0, worker, src_pair=pair,
+                )
             if phase_index == 0:
                 # Report this pair's map processing duration to its
                 # final-phase reduce for the §3.4.2 completion report.
@@ -868,8 +1302,17 @@ def _order_key(key: Any):
 # =============================== reduce task ===============================
 
 
-def _reduce_task(ctx: _GenContext, phase_index: int, pair: int, worker: Machine):
-    """Persistent reduce task for one phase/pair."""
+def _reduce_task(
+    ctx: _GenContext,
+    phase_index: int,
+    pair: int,
+    worker: Machine,
+    start: int | None = None,
+):
+    """Persistent reduce task for one phase/pair.
+
+    ``start`` as for :func:`_map_task`: replacement incarnations resume
+    from the checkpoint index instead of the generation's start."""
     engine, cost, job = ctx.engine, ctx.cost, ctx.job
     phase = job.phases[phase_index]
     box = ctx.reduce_boxes[phase_index][pair]
@@ -877,6 +1320,7 @@ def _reduce_task(ctx: _GenContext, phase_index: int, pair: int, worker: Machine)
     is_last_phase = phase_index == len(job.phases) - 1
     track_distance = is_last_phase and job.distance_fn is not None
     interval = job.checkpoint_interval
+    start = ctx.start_iter if start is None else start
 
     yield engine.timeout(cost.task_launch)
 
@@ -885,7 +1329,7 @@ def _reduce_task(ctx: _GenContext, phase_index: int, pair: int, worker: Machine)
         part = f"{ctx.checkpoint.path_prefix}/part-{pair:05d}"
         prev_state = dict((yield from ctx.dfs.read_all(part, worker)))
 
-    iteration = ctx.start_iter
+    iteration = start
     # The final-phase reduce keeps its last two iterations' outputs so it
     # can dump whichever one the master's stop decision names (tasks may
     # legitimately run one iteration ahead in asynchronous mode).
@@ -1004,7 +1448,12 @@ def _reduce_task(ctx: _GenContext, phase_index: int, pair: int, worker: Machine)
                         )
                         ctx.master_box.put(("ckpt", s, pair))
 
-                    worker.spawn(ckpt_proc(), name=f"ckpt.{pair}")
+                    proc = worker.spawn(ckpt_proc(), name=f"ckpt.{pair}")
+                    # Registered so a localized recovery can fence the
+                    # writer of a superseded incarnation.
+                    writers = ctx.ckpt_procs.setdefault(pair, [])
+                    writers[:] = [w for w in writers if w.is_alive]
+                    writers.append(proc)
 
                 # ---- report to master (§3.4.2 completion report) ----
                 # Processing time = this pair's map work + reduce work;
@@ -1028,24 +1477,28 @@ def _reduce_task(ctx: _GenContext, phase_index: int, pair: int, worker: Machine)
                     aux_parts: dict[int, list] = defaultdict(list)
                     for rec in output:
                         aux_parts[job.partitioner(rec[0], aux_n)].append(rec)
-                    for t, box_t in enumerate(ctx.aux_map_boxes):
+                    for t in range(aux_n):
                         recs = aux_parts.get(t, [])
                         nbytes = sizeof_records(recs)
                         if nbytes:
-                            target = ctx.cluster[ctx.aux_workers[t]]
-                            yield from ctx.cluster.transfer(worker, target, nbytes)
                             acct.state_bytes += nbytes
-                        box_t.put(("state", iteration, pair, recs, True))
+                        yield from ctx.send(
+                            "auxmap", 0, t,
+                            ("state", iteration, pair, recs, True),
+                            nbytes, worker, src_pair=pair,
+                        )
 
             # ---- broadcast state to every next-phase map (§5.1) ----
             if not streaming:
                 nbytes = sizeof_records(output)
                 for q in range(num_pairs):
-                    target = ctx.cluster[ctx.assignment[q]]
-                    yield from ctx.cluster.transfer(worker, target, nbytes)
                     ctx.accounts[iteration].state_bytes += nbytes
-                    ctx.map_boxes[next_phase][q].put(
-                        ("state", next_iteration, pair, list(output), True)
+                    # always_wire: the historical path paid the wire even
+                    # for an empty broadcast — timing must not change.
+                    yield from ctx.send(
+                        "map", next_phase, q,
+                        ("state", next_iteration, pair, list(output), True),
+                        nbytes, worker, src_pair=pair, always_wire=True,
                     )
             ctx.trace(
                 "reduce-iteration-end",
@@ -1096,14 +1549,18 @@ def _aux_map_task(ctx: _GenContext, task: int, worker: Machine):
             parts: dict[int, list] = defaultdict(list)
             for rec in emitted:
                 parts[job.partitioner(rec[0], aux_n)].append(rec)
-            for t, rbox in enumerate(ctx.aux_reduce_boxes):
+            for t in range(len(ctx.aux_reduce_boxes)):
                 recs = parts.get(t)
                 if recs:
-                    nbytes = sizeof_records(recs)
-                    target = ctx.cluster[ctx.aux_workers[t]]
-                    yield from ctx.cluster.transfer(worker, target, nbytes)
-                    rbox.put(("mapout", iteration, task, recs))
-                rbox.put(("mapdone", iteration, task))
+                    yield from ctx.send(
+                        "auxred", 0, t,
+                        ("mapout", iteration, task, recs),
+                        sizeof_records(recs), worker, src_pair=task,
+                    )
+                yield from ctx.send(
+                    "auxred", 0, t,
+                    ("mapdone", iteration, task), 0, worker, src_pair=task,
+                )
             iteration += 1
     except StopIteration_:
         return ("stopped", "auxmap", task)

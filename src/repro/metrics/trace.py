@@ -97,8 +97,11 @@ class Tracer:
                     spans.append((worker, start, event.time, glyph))
             elif event.kind == "checkpoint":
                 marks.append((worker, event.time, "C"))
-            elif event.kind in ("worker-failure", "recovery"):
+            elif event.kind in ("worker-failure", "recovery", "confirm-failure", "reboot"):
                 marks.append((worker, event.time, "!"))
+            elif event.kind == "pair-recovery":
+                # ``worker`` on this event is the pair's new host.
+                marks.append((worker, event.time, "R"))
         if not spans and not marks:
             return "(no spans recorded)"
         t0 = min([s[1] for s in spans] + [m[1] for m in marks])
@@ -134,10 +137,15 @@ def check_well_formed(
 
     * event times never decrease (the engine's clock is monotone);
     * within one task generation, ``iteration-complete`` indices strictly
-      increase, and no task starts the same iteration twice;
+      increase, and no task starts the same iteration twice — except that
+      a ``pair-recovery`` resets the affected pair's tasks, which then
+      legitimately re-run iterations from the checkpoint;
     * an ``*-end`` span event always follows a matching ``*-start``;
     * checkpoints carry positive state indices, aligned to the
       checkpoint interval when one is given;
+    * a ``confirm-failure`` is always preceded by a ``suspect`` of the
+      same worker, and a ``pair-recovery`` never resumes from a state
+      newer than the last durable checkpoint;
     * at most one ``terminate`` decision is ever taken.
 
     The chaos harness runs this as its trace oracle; it is also usable
@@ -151,6 +159,8 @@ def check_well_formed(
     open_spans: set[tuple] = set()
     last_complete: int | None = None
     terminations = 0
+    suspected: set = set()
+    durable_state = 0
 
     for i, event in enumerate(events):
         if event.time < last_time:
@@ -198,6 +208,31 @@ def check_well_formed(
                     f"{event.kind} at state {state_index} not aligned to "
                     f"interval {checkpoint_interval}"
                 )
+            if event.kind == "checkpoint-durable":
+                durable_state = max(durable_state, state_index)
+        elif event.kind == "suspect":
+            suspected.add(event.fields.get("worker"))
+        elif event.kind == "confirm-failure":
+            if event.fields.get("worker") not in suspected:
+                problems.append(
+                    f"confirm-failure for {event.fields.get('worker')!r} "
+                    "without a prior suspect"
+                )
+        elif event.kind == "pair-recovery":
+            resume = event.fields.get("resume_state", 0)
+            if resume > durable_state:
+                problems.append(
+                    f"pair-recovery resumes from state {resume} past the "
+                    f"durable checkpoint {durable_state}"
+                )
+            # The replacement incarnation legitimately re-runs this
+            # pair's iterations: forget the old incarnation's footprint.
+            pair = event.fields.get("pair")
+            suffix = f".{pair}"
+            started = {k for k in started if not str(k[1]).endswith(suffix)}
+            open_spans = {
+                k for k in open_spans if not str(k[1]).endswith(suffix)
+            }
         elif event.kind == "terminate":
             terminations += 1
             if terminations > 1:

@@ -27,6 +27,7 @@ import random
 from dataclasses import asdict, dataclass, replace
 
 from ..cluster.faults import FaultEvent, FaultSchedule
+from ..cluster.network import LinkFault
 
 __all__ = ["WORKLOADS", "REPLICATION", "CampaignSpec", "generate_campaign"]
 
@@ -59,6 +60,8 @@ class CampaignSpec:
     checkpoint_interval: int
     buffer_records: int
     faults: tuple[FaultEvent, ...] = ()
+    #: Link-level misbehaviour windows (loss, delay, transient partitions).
+    net_faults: tuple[LinkFault, ...] = ()
 
     # -- derived -----------------------------------------------------------
     def machine_names(self) -> list[str]:
@@ -66,7 +69,26 @@ class CampaignSpec:
         return [f"{prefix}{i}" for i in range(self.cluster_nodes)]
 
     def fault_schedule(self) -> FaultSchedule:
-        return FaultSchedule(list(self.faults))
+        return FaultSchedule(list(self.faults), list(self.net_faults))
+
+    def _partition_isolated(self, fault: LinkFault) -> int:
+        """How many workers a partition window cuts off from the master.
+
+        Those workers will be falsely confirmed dead if the window
+        outlasts the suspicion budget, so their pairs must fit on the
+        master's side of the split.  A partition between two non-master
+        groups isolates nobody from the master (heartbeats still flow).
+        """
+        if not fault.partition:
+            return 0
+        master = self.machine_names()[0]
+        if fault.group_b:
+            if master in fault.group_a:
+                return len(fault.group_b)
+            if master in fault.group_b:
+                return len(fault.group_a)
+            return 0
+        return len(fault.group_a)
 
     def validate(self) -> None:
         """Reject specs outside the safety envelope (shrinker guard)."""
@@ -90,11 +112,42 @@ class CampaignSpec:
         worst_alive = self.cluster_nodes - max(1, schedule.max_concurrent_failures())
         if self.faults and self.num_pairs > worst_alive * PAIRS_PER_WORKER:
             raise ValueError("pairs would not fit the surviving workers")
+        master = self.machine_names()[0]
+        for fault in self.net_faults:
+            unknown = fault.machines() - names
+            if unknown:
+                raise ValueError(
+                    f"link faults name unknown machines {sorted(unknown)}"
+                )
+            if fault.partition:
+                if master in fault.group_a and not fault.group_b:
+                    raise ValueError("machine 0 must not be cut off from the cluster")
+                if fault.end - fault.start > 60.0:
+                    raise ValueError(
+                        "partition window exceeds the retransmission budget"
+                    )
+                # Cut-off workers may be falsely confirmed dead; their
+                # pairs must still fit the master's side of the split
+                # (worst case on top of a concurrent machine failure).
+                reachable = (
+                    self.cluster_nodes
+                    - schedule.max_concurrent_failures()
+                    - self._partition_isolated(fault)
+                )
+                if self.num_pairs > reachable * PAIRS_PER_WORKER:
+                    raise ValueError(
+                        "pairs would not fit the master-reachable workers "
+                        "during the partition"
+                    )
 
     # -- serialization -----------------------------------------------------
     def to_dict(self) -> dict:
         d = asdict(self)
         d["faults"] = [asdict(e) for e in self.faults]
+        d["net_faults"] = [
+            {**asdict(f), "group_a": list(f.group_a), "group_b": list(f.group_b)}
+            for f in self.net_faults
+        ]
         if self.speeds is not None:
             d["speeds"] = list(self.speeds)
         return d
@@ -106,6 +159,16 @@ class CampaignSpec:
     def from_dict(cls, d: dict) -> "CampaignSpec":
         d = dict(d)
         d["faults"] = tuple(FaultEvent(**e) for e in d.get("faults", ()))
+        d["net_faults"] = tuple(
+            LinkFault(
+                **{
+                    **f,
+                    "group_a": tuple(f.get("group_a", ())),
+                    "group_b": tuple(f.get("group_b", ())),
+                }
+            )
+            for f in d.get("net_faults", ())
+        )
         if d.get("speeds") is not None:
             d["speeds"] = tuple(d["speeds"])
         return cls(**d)
@@ -163,6 +226,59 @@ def _random_faults(
     return tuple(events)
 
 
+def _random_net_faults(
+    rng: random.Random,
+    names: list[str],
+    horizon: float,
+    num_pairs: int,
+    faults: tuple[FaultEvent, ...],
+) -> tuple[LinkFault, ...]:
+    """Random link misbehaviour windows inside the safety envelope.
+
+    Loss and delay windows may cover every link (the reliable channels
+    and the suspicion threshold must absorb them); a transient partition
+    always cuts off exactly one non-master machine, and only when its
+    pairs still fit the master-reachable side should the cut-off worker
+    be falsely confirmed dead on top of a concurrent machine failure.
+    """
+    concurrent = FaultSchedule(list(faults)).max_concurrent_failures()
+    out: list[LinkFault] = []
+    if rng.random() < 0.5:
+        start = rng.uniform(0.0, horizon)
+        length = rng.uniform(1.0, max(2.0, horizon / 2))
+        out.append(
+            LinkFault(
+                round(start, 3),
+                round(start + length, 3),
+                loss_rate=round(rng.uniform(0.05, 0.3), 3),
+            )
+        )
+    if rng.random() < 0.3:
+        start = rng.uniform(0.0, horizon)
+        length = rng.uniform(1.0, max(2.0, horizon / 2))
+        out.append(
+            LinkFault(
+                round(start, 3),
+                round(start + length, 3),
+                extra_delay=round(rng.uniform(0.05, 0.4), 3),
+            )
+        )
+    if rng.random() < 0.35 and len(names) > 1:
+        victim = rng.choice(names[1:])
+        start = rng.uniform(1.0, horizon)
+        length = rng.uniform(0.5, 6.0)
+        if num_pairs <= (len(names) - 1 - concurrent) * PAIRS_PER_WORKER:
+            out.append(
+                LinkFault(
+                    round(start, 3),
+                    round(start + length, 3),
+                    partition=True,
+                    group_a=(victim,),
+                )
+            )
+    return tuple(out)
+
+
 def generate_campaign(
     seed: int, workloads: tuple[str, ...] = WORKLOADS
 ) -> CampaignSpec:
@@ -194,7 +310,11 @@ def generate_campaign(
     # release, so sync runs stretch much further).
     sync_effective = sync or workload == "kmeans"
     horizon = 3.0 + max_iterations * (4.0 if sync_effective else 1.5)
-    faults = _random_faults(rng, [f"{'hnode' if speeds else 'node'}{i}" for i in range(cluster_nodes)], horizon)
+    names = [f"{'hnode' if speeds else 'node'}{i}" for i in range(cluster_nodes)]
+    faults = _random_faults(rng, names, horizon)
+    # Drawn strictly after every other field so adding the network fault
+    # dimension left all previously pinned campaign seeds intact.
+    net_faults = _random_net_faults(rng, names, horizon, num_pairs, faults)
 
     spec = CampaignSpec(
         seed=seed,
@@ -210,6 +330,7 @@ def generate_campaign(
         checkpoint_interval=checkpoint_interval,
         buffer_records=buffer_records,
         faults=faults,
+        net_faults=net_faults,
     )
     spec.validate()
     return spec

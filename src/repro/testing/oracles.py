@@ -193,6 +193,16 @@ def oracle_checkpoint_rollback(spec, outcome) -> list[OracleViolation]:
                         f"state {durable} was durable",
                     )
                 )
+        elif event.kind == "pair-recovery":
+            resume = event.fields.get("resume_state", 0)
+            if resume > durable:
+                v.append(
+                    OracleViolation(
+                        "checkpoint",
+                        f"pair {event.fields.get('pair')} recovered from state "
+                        f"{resume} but only state {durable} was durable",
+                    )
+                )
     return v
 
 

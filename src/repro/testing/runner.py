@@ -25,6 +25,7 @@ from ..dfs import DFS
 from ..graph.generators import pagerank_graph, sssp_graph
 from ..imapreduce import (
     ChaosKnobs,
+    FailureDetectorConfig,
     IMapReduceRuntime,
     LoadBalanceConfig,
     run_local,
@@ -185,7 +186,10 @@ def run_campaign(
     dfs.ingest(STATE_PATH, state)
     for path, records in static_map.items():
         dfs.ingest(path, records)
-    spec.fault_schedule().arm(engine, cluster)
+    # Link-fault draws are keyed off the campaign seed, so the whole
+    # scenario — workload, faults, and every per-message loss verdict —
+    # replays from one integer.
+    spec.fault_schedule().arm(engine, cluster, net_seed=spec.seed)
 
     tracer = Tracer()
     runtime = IMapReduceRuntime(
@@ -194,6 +198,10 @@ def run_campaign(
         load_balance=LoadBalanceConfig(enabled=spec.migration),
         trace=tracer,
         chaos=knobs,
+        # Campaigns run with observed failure detection + localized
+        # recovery: the master learns about crashes from heartbeat
+        # silence (or boot-id changes), never by fiat.
+        failure_detector=FailureDetectorConfig(),
     )
     try:
         outcome.result = runtime.submit(job)
@@ -244,6 +252,7 @@ def run_chaos(
     workloads: tuple[str, ...] = WORKLOADS,
     knobs: ChaosKnobs | None = None,
     shrink_failures: bool = True,
+    strip_net_faults: bool = False,
     log: Callable[[str], None] | None = None,
 ) -> ChaosReport:
     """Run a battery of ``campaigns`` seeded campaigns.
@@ -258,6 +267,8 @@ def run_chaos(
     for index in range(campaigns):
         campaign_seed = rng.randrange(1, 2**48)
         spec = generate_campaign(campaign_seed, workloads)
+        if strip_net_faults:
+            spec = spec.but(net_faults=())
         outcome = run_campaign(spec, knobs)
         report.campaigns += 1
         if outcome.ok:

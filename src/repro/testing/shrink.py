@@ -32,6 +32,14 @@ def shrink_candidates(spec: CampaignSpec) -> Iterator[CampaignSpec]:
     #    usually carry the interesting interleaving).
     for index in range(len(spec.faults) - 1, -1, -1):
         yield spec.but(faults=tuple(spec.fault_schedule().without(index).events))
+    #    Likewise the network: drop all link faults at once first (a
+    #    crash-only reproduction is far easier to read), then one by one.
+    if len(spec.net_faults) > 1:
+        yield spec.but(net_faults=())
+    for index in range(len(spec.net_faults) - 1, -1, -1):
+        yield spec.but(
+            net_faults=spec.net_faults[:index] + spec.net_faults[index + 1:]
+        )
     # 2. Smaller input.
     if spec.input_size > MIN_INPUT_SIZE:
         yield spec.but(input_size=max(MIN_INPUT_SIZE, spec.input_size // 2))
@@ -49,7 +57,10 @@ def shrink_candidates(spec: CampaignSpec) -> Iterator[CampaignSpec]:
             cluster_nodes=MIN_CLUSTER_NODES,
             speeds=spec.speeds[:MIN_CLUSTER_NODES] if spec.speeds else None,
         )
-        if spec.fault_schedule().machines() <= set(smaller.machine_names()):
+        touched = spec.fault_schedule().machines()
+        for fault in spec.net_faults:
+            touched |= fault.machines()
+        if touched <= set(smaller.machine_names()):
             yield smaller
     if spec.speeds is not None:
         yield spec.but(
@@ -57,6 +68,19 @@ def shrink_candidates(spec: CampaignSpec) -> Iterator[CampaignSpec]:
             faults=tuple(
                 f.__class__(f.when, f.machine.replace("hnode", "node"), f.action)
                 for f in spec.faults
+            ),
+            net_faults=tuple(
+                f.__class__(
+                    f.start,
+                    f.end,
+                    loss_rate=f.loss_rate,
+                    dup_rate=f.dup_rate,
+                    extra_delay=f.extra_delay,
+                    partition=f.partition,
+                    group_a=tuple(n.replace("hnode", "node") for n in f.group_a),
+                    group_b=tuple(n.replace("hnode", "node") for n in f.group_b),
+                )
+                for f in spec.net_faults
             ),
         )
     # 6. Neutral mode flags.

@@ -24,6 +24,8 @@ BATTERY_SIZE = 20
 #: deliberately injected bug; pinned so the self-test is a single run.
 SKIP_CKPT_SEED = 157973306085300  # recovery resumes from a missing checkpoint
 STALE_CKPT_SEED = 101794425918146  # recovery resumes one iteration stale
+IGNORE_HB_SEED = 153510258008401  # unrecovered crash, detector gagged
+SKIP_RETRANSMIT_SEED = 68931111375448  # lossy window, no retransmission
 
 
 def test_smoke_battery_all_oracles_pass():
@@ -46,6 +48,8 @@ def test_smoke_battery_covers_the_matrix():
     assert {s.combiner for s in specs} == {True, False}
     assert any(s.faults for s in specs)
     assert any(s.speeds is not None for s in specs)
+    assert any(f.loss_rate > 0 for s in specs for f in s.net_faults)
+    assert any(f.partition for s in specs for f in s.net_faults)
 
 
 def _battery_seeds(master_seed, count):
@@ -87,6 +91,35 @@ def test_stale_checkpoint_content_is_caught_by_differential_oracle():
     assert clean.ok, f"clean run must pass: {clean.violations}"
     broken = run_campaign(spec, ChaosKnobs(stale_checkpoint_content=True))
     assert {v.oracle for v in broken.violations} == {"differential"}
+
+
+def test_gagged_failure_detector_is_caught():
+    """A detector that never confirms turns an unrecovered crash into a
+    stall; the master's watchdog must surface it as a termination
+    failure rather than hanging the campaign."""
+    spec = generate_campaign(IGNORE_HB_SEED)
+    assert any(
+        e.action == "fail"
+        and e.machine not in {r.machine for r in spec.faults if r.action == "recover"}
+        for e in spec.faults
+    ), "self-test needs an unrecovered crash"
+    clean = run_campaign(spec)
+    assert clean.ok, f"clean run must pass: {clean.violations}"
+    broken = run_campaign(spec, ChaosKnobs(ignore_heartbeat_timeout=True))
+    assert "termination" in {v.oracle for v in broken.violations}
+
+
+def test_skipped_retransmission_is_caught():
+    """Dropping a lost data message instead of retransmitting starves the
+    receiving pair forever; the watchdog must catch the stall."""
+    spec = generate_campaign(SKIP_RETRANSMIT_SEED)
+    assert any(
+        f.loss_rate > 0 or f.partition for f in spec.net_faults
+    ), "self-test needs a lossy network window"
+    clean = run_campaign(spec)
+    assert clean.ok, f"clean run must pass: {clean.violations}"
+    broken = run_campaign(spec, ChaosKnobs(skip_retransmit=True))
+    assert "termination" in {v.oracle for v in broken.violations}
 
 
 def test_injected_bug_shrinks_to_replayable_campaign():

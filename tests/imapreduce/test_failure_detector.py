@@ -1,0 +1,170 @@
+"""Heartbeat failure detector: suspicion timing, boundaries, reboots.
+
+The detector replaces the master's omniscient failure knowledge with
+observation: silence longer than ``timeout`` makes a worker suspected,
+``suspicion_checks`` consecutive silent monitor passes confirm it, and a
+boot-id change on a live worker reveals a crash that healed faster than
+the suspicion window.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import local_cluster
+from repro.imapreduce import ChaosKnobs, FailureDetector, FailureDetectorConfig
+from repro.simulation import Engine
+
+
+def make_detector(engine, cluster, config):
+    events = []
+
+    def emit(kind, **fields):
+        events.append((engine.now, kind, fields))
+
+    detector = FailureDetector(cluster, config, emit, ChaosKnobs())
+    return detector, events
+
+
+def kinds_for(events, worker):
+    return [kind for _, kind, fields in events if fields.get("worker") == worker]
+
+
+def test_silence_exactly_at_timeout_is_still_alive():
+    """The suspicion comparison is strict: a monitor pass that observes
+    silence of *exactly* ``timeout`` seconds does not suspect.
+
+    node1 dies at t=0 with its initial heartbeat stamp at t=0, and the
+    monitor passes land at t=1, 2, 3, ...; with ``timeout=2.0`` the pass
+    at t=2 sees silence == 2.0 (no suspicion) and the pass at t=3 sees
+    3.0 > 2.0 (suspected).
+    """
+    engine = Engine()
+    cluster = local_cluster(engine, 2)
+    config = FailureDetectorConfig(period=1.0, timeout=2.0, suspicion_checks=3)
+    detector, events = make_detector(engine, cluster, config)
+    detector.start()
+    cluster["node1"].fail()
+
+    engine.run(until=2.5)
+    assert kinds_for(events, "node1") == [], "boundary pass must not suspect"
+    engine.run(until=3.5)
+    assert kinds_for(events, "node1") == ["suspect"]
+    # Confirmation needs suspicion_checks consecutive silent passes:
+    # suspicion hits 3 on the pass at t=5.
+    engine.run(until=4.5)
+    assert kinds_for(events, "node1") == ["suspect"]
+    engine.run(until=5.5)
+    assert kinds_for(events, "node1") == ["suspect", "confirm-failure"]
+    assert "node1" in detector.confirmed
+    detector.stop()
+
+
+def test_gagged_detector_suspects_but_never_confirms():
+    engine = Engine()
+    cluster = local_cluster(engine, 2)
+    events = []
+    detector = FailureDetector(
+        cluster,
+        FailureDetectorConfig(period=1.0, timeout=2.0, suspicion_checks=3),
+        lambda kind, **fields: events.append((kind, fields)),
+        ChaosKnobs(ignore_heartbeat_timeout=True),
+    )
+    detector.start()
+    cluster["node1"].fail()
+    engine.run(until=30.0)
+    assert ("suspect", {"worker": "node1", "silent_for": 3.0}) in [
+        (k, f) for k, f in events
+    ]
+    assert not [k for k, _ in events if k == "confirm-failure"]
+    assert detector.confirmed == set()
+    detector.stop()
+
+
+def test_fast_crash_and_restart_is_reported_as_reboot():
+    """A machine that dies and comes back inside the suspicion window is
+    never confirmed dead — but its heartbeat daemon's boot id changes,
+    which the master reports as a (healed) failure all the same."""
+    engine = Engine()
+    cluster = local_cluster(engine, 3)
+    config = FailureDetectorConfig(period=0.5, timeout=2.0, suspicion_checks=3)
+    detector, events = make_detector(engine, cluster, config)
+    detector.start()
+
+    def chaos_driver():
+        yield engine.timeout(2.0)
+        cluster["node1"].fail()
+        yield engine.timeout(0.6)
+        cluster["node1"].recover()
+
+    engine.process(chaos_driver())
+    engine.run(until=10.0)
+    kinds = kinds_for(events, "node1")
+    assert "reboot" in kinds
+    assert "confirm-failure" not in kinds
+    # The healed failure is queued for the master (no sink attached here).
+    assert "node1" in detector._pending
+    detector.stop()
+
+
+def test_transient_silence_clears_suspicion_without_side_effects():
+    """Silence long enough to suspect but not to confirm: the worker is
+    unsuspected when heartbeats resume, with no failure report."""
+    engine = Engine()
+    cluster = local_cluster(engine, 2)
+    config = FailureDetectorConfig(period=1.0, timeout=2.0, suspicion_checks=5)
+    detector, events = make_detector(engine, cluster, config)
+    detector.start()
+
+    def chaos_driver():
+        yield engine.timeout(1.0)
+        cluster["node1"].fail()
+        yield engine.timeout(3.5)  # suspected, but < 5 silent passes
+        cluster["node1"].recover()
+
+    engine.process(chaos_driver())
+    engine.run(until=20.0)
+    kinds = kinds_for(events, "node1")
+    assert "suspect" in kinds
+    assert "confirm-failure" not in kinds
+    assert detector.suspicion["node1"] == 0
+    assert detector.confirmed == set()
+    # The restart after a genuine crash still surfaces as a reboot.
+    assert "reboot" in kinds
+    detector.stop()
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    fail_at=st.floats(min_value=0.3, max_value=12.0),
+    period=st.floats(min_value=0.2, max_value=1.0),
+    checks=st.integers(min_value=1, max_value=4),
+)
+def test_crash_detection_timing_properties(fail_at, period, checks):
+    """For any crash time and any detector cadence: the dead worker is
+    suspected only after genuine silence longer than ``timeout``,
+    confirmed exactly once, and the survivor is never accused."""
+    engine = Engine()
+    cluster = local_cluster(engine, 3)
+    timeout = 3.0 * period
+    config = FailureDetectorConfig(
+        period=period, timeout=timeout, suspicion_checks=checks
+    )
+    detector, events = make_detector(engine, cluster, config)
+    detector.start()
+
+    def chaos_driver():
+        yield engine.timeout(fail_at)
+        cluster["node2"].fail()
+
+    engine.process(chaos_driver())
+    engine.run(until=fail_at + timeout + (checks + 3) * period)
+    detector.stop()
+
+    assert kinds_for(events, "node2") == ["suspect", "confirm-failure"]
+    for _, kind, fields in events:
+        if fields.get("worker") == "node2":
+            # Recorded silence is the real thing, past the threshold.
+            assert fields["silent_for"] > timeout
+    assert kinds_for(events, "node1") == []
+    assert detector.confirmed == {"node2"}
