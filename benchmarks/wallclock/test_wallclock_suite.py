@@ -1,0 +1,41 @@
+"""Wall-clock suite runner: real elapsed seconds, real OS processes.
+
+Run explicitly (not part of tier-1 ``tests/``):
+
+    PYTHONPATH=src python -m pytest benchmarks/wallclock -q
+
+or via the CLI, which writes ``BENCH_PR4.json`` at the repo root:
+
+    PYTHONPATH=src python -m repro bench [--quick] [--workers 1,2,4]
+
+The full suite asserts integrity (record-identical results, one static
+load per worker) on every measurement; speedup itself is *reported*, not
+asserted, because it is a property of the runner's core count — the
+JSON records ``cpu_count`` so readers can judge the numbers honestly.
+"""
+
+import json
+import pathlib
+
+from repro.experiments.wallclock import DEFAULT_WORKERS, run_suite
+
+RESULTS_DIR = pathlib.Path(__file__).parent.parent / "results"
+
+
+def test_wallclock_suite():
+    RESULTS_DIR.mkdir(exist_ok=True)
+    out = RESULTS_DIR / "wallclock.json"
+    results = run_suite(out_path=str(out), workers=DEFAULT_WORKERS,
+                        quick=False, log=print)
+    assert out.exists()
+    loaded = json.loads(out.read_text())
+    assert loaded["meta"]["cpu_count"] >= 1
+    assert {w["name"] for w in loaded["workloads"]} == {
+        "pagerank", "sssp", "kmeans"
+    }
+    for workload in results["workloads"]:
+        assert workload["record_identical"], workload["name"]
+        for point in workload["parallel"]:
+            assert point["static_loads"] == point["workers"]
+    micro = results["sizeof_microbench"]
+    assert micro["speedup"] is not None and micro["speedup"] > 1.0

@@ -31,8 +31,10 @@ from .imapreduce import (
     IterativeJob,
     IterativeRunResult,
     LoadBalanceConfig,
+    ParallelRunResult,
     Phase,
     run_local,
+    run_parallel,
 )
 from .mapreduce import (
     CostModel,
@@ -60,8 +62,10 @@ __all__ = [
     "IterativeJob",
     "IterativeRunResult",
     "LoadBalanceConfig",
+    "ParallelRunResult",
     "Phase",
     "run_local",
+    "run_parallel",
     "CostModel",
     "IterativeDriver",
     "IterativeSpec",

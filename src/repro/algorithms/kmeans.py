@@ -101,20 +101,33 @@ def _offer_keeps(ctx, pairs) -> None:
         ctx.emit(cid, ("keep", vec))
 
 
-def make_imr_map(track_membership: bool):
-    def imr_map(uid: int, centroids: list, prefs: tuple, ctx) -> None:
+class KMeansImrMap:
+    """Nearest-centroid assignment map as a picklable callable (the
+    multiprocess backend ships jobs to workers by pickle)."""
+
+    __slots__ = ("track_membership",)
+
+    def __init__(self, track_membership: bool = False):
+        # Same map either way; the reduce differs on membership.
+        self.track_membership = track_membership
+
+    def __call__(self, uid: int, centroids: list, prefs: tuple, ctx) -> None:
         pairs = [(cid, _centroid_of(v)) for cid, v in centroids]
         _offer_keeps(ctx, pairs)
         ids, counts = prefs
         best = assign(ids, counts, pairs)
         ctx.emit(best, ("pt", uid, ids, counts))
 
-    _ = track_membership  # same map either way; reduce differs
-    return imr_map
 
+class KMeansImrReduce:
+    """Centroid-recomputation reduce as a picklable callable."""
 
-def make_imr_reduce(track_membership: bool):
-    def imr_reduce(cid: int, values: list, ctx) -> None:
+    __slots__ = ("track_membership",)
+
+    def __init__(self, track_membership: bool = False):
+        self.track_membership = track_membership
+
+    def __call__(self, cid: int, values: list, ctx) -> None:
         # Every map offers ("keep", centroid), so the dense length is known.
         keep = next(v[1] for v in values if v[0] == "keep")
         total = np.zeros(len(keep))
@@ -133,12 +146,18 @@ def make_imr_reduce(track_membership: bool):
                 count += n
                 members.extend(uids)
         centroid = total / count if count else keep
-        if track_membership:
+        if self.track_membership:
             ctx.emit(cid, (centroid, tuple(sorted(members))))
         else:
             ctx.emit(cid, centroid)
 
-    return imr_reduce
+
+def make_imr_map(track_membership: bool):
+    return KMeansImrMap(track_membership)
+
+
+def make_imr_reduce(track_membership: bool):
+    return KMeansImrReduce(track_membership)
 
 
 def centroid_distance(cid: Any, prev: Any, curr: Any) -> float:
@@ -148,14 +167,12 @@ def centroid_distance(cid: Any, prev: Any, curr: Any) -> float:
     return float(np.abs(_centroid_of(prev) - _centroid_of(curr)).sum())
 
 
-def make_convergence_aux(move_threshold: int, num_tasks: int = 1) -> AuxPhase:
-    """§5.3: auxiliary phase that counts users who changed cluster and
-    signals termination when fewer than ``move_threshold`` moved.
+class MembershipAuxMap:
+    """Aux map: compare each cluster's membership with last iteration's."""
 
-    Requires the main job to run with ``track_membership=True``.
-    """
+    __slots__ = ()
 
-    def aux_map(cid: int, value: tuple, ctx) -> None:
+    def __call__(self, cid: int, value: tuple, ctx) -> None:
         _centroid, members = value
         previous: set = ctx.task_state.setdefault("members", {}).get(cid, set())
         members = set(members)
@@ -163,15 +180,35 @@ def make_convergence_aux(move_threshold: int, num_tasks: int = 1) -> AuxPhase:
         ctx.task_state["members"][cid] = members
         ctx.emit(0, ("counts", len(members), stayed))
 
-    def aux_reduce(key: int, values: list, ctx) -> None:
+
+class MembershipAuxReduce:
+    """Aux reduce: terminate once fewer than ``move_threshold`` moved."""
+
+    __slots__ = ("move_threshold",)
+
+    def __init__(self, move_threshold: int):
+        self.move_threshold = move_threshold
+
+    def __call__(self, key: int, values: list, ctx) -> None:
         total = sum(v[1] for v in values)
         stayed = sum(v[2] for v in values)
         first_round = ctx.task_state.get("rounds", 0) == 0
         ctx.task_state["rounds"] = ctx.task_state.get("rounds", 0) + 1
-        if not first_round and (total - stayed) < move_threshold:
+        if not first_round and (total - stayed) < self.move_threshold:
             ctx.signal_terminate()
 
-    return AuxPhase(map_fn=aux_map, reduce_fn=aux_reduce, num_tasks=num_tasks)
+
+def make_convergence_aux(move_threshold: int, num_tasks: int = 1) -> AuxPhase:
+    """§5.3: auxiliary phase that counts users who changed cluster and
+    signals termination when fewer than ``move_threshold`` moved.
+
+    Requires the main job to run with ``track_membership=True``.
+    """
+    return AuxPhase(
+        map_fn=MembershipAuxMap(),
+        reduce_fn=MembershipAuxReduce(move_threshold),
+        num_tasks=num_tasks,
+    )
 
 
 def build_imr_job(

@@ -55,17 +55,29 @@ def static_records(graph: Digraph) -> list[tuple[int, tuple]]:
 
 
 # ---------------------------------------------------------- iMapReduce --
-def make_imr_map(num_nodes: int, damping: float = DAMPING):
-    """The paper's Fig. 3 map: retain (1−d)/N, share d·R(u)/|N⁺(u)|."""
+class PageRankMap:
+    """The paper's Fig. 3 map: retain (1−d)/N, share d·R(u)/|N⁺(u)|.
 
-    def imr_map(key: int, rank: float, neighbors: tuple | None, ctx) -> None:
-        ctx.emit(key, (1.0 - damping) / num_nodes)
+    A module-level callable (not a closure) so a built job pickles and
+    can ship to the multiprocess backend's worker processes.
+    """
+
+    __slots__ = ("num_nodes", "damping")
+
+    def __init__(self, num_nodes: int, damping: float = DAMPING):
+        self.num_nodes = num_nodes
+        self.damping = damping
+
+    def __call__(self, key: int, rank: float, neighbors: tuple | None, ctx) -> None:
+        ctx.emit(key, (1.0 - self.damping) / self.num_nodes)
         if neighbors:
-            share = damping * rank / len(neighbors)
+            share = self.damping * rank / len(neighbors)
             for v in neighbors:
                 ctx.emit(v, share)
 
-    return imr_map
+
+def make_imr_map(num_nodes: int, damping: float = DAMPING):
+    return PageRankMap(num_nodes, damping)
 
 
 def imr_reduce(key: int, values: list, ctx) -> None:

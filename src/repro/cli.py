@@ -57,6 +57,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_run = sub.add_parser("run", help="run one workload on the simulated cluster")
     p_run.add_argument("algorithm", choices=("sssp", "pagerank", "kmeans", "matrixpower"))
     p_run.add_argument("--dataset", default=None, help="dataset name (default per algorithm)")
+    p_run.add_argument("--backend", choices=("simulated", "serial", "parallel"),
+                       default="simulated",
+                       help="simulated cluster (default), serial run_local, "
+                            "or the real multiprocess run_parallel")
+    p_run.add_argument("--workers", type=int, default=None,
+                       help="worker processes for --backend parallel")
+    p_run.add_argument("--pairs", type=int, default=8,
+                       help="task pairs for the serial/parallel backends")
     p_run.add_argument("--engine", choices=("imapreduce", "mapreduce"), default="imapreduce")
     p_run.add_argument("--cluster", default="local", help="local | single | ec2-<n>")
     p_run.add_argument("--iterations", type=int, default=10)
@@ -94,8 +102,22 @@ def build_parser() -> argparse.ArgumentParser:
     p_chaos.add_argument("--no-net-faults", action="store_true",
                          help="strip link faults (loss/delay/partitions) "
                               "from every campaign")
+    p_chaos.add_argument("--parallel", action="store_true",
+                         help="also run each campaign's workload on the real "
+                              "multiprocess backend and demand record-for-"
+                              "record equality with the serial reference")
     p_chaos.add_argument("--verbose", action="store_true",
                          help="log every campaign, not just failures")
+
+    p_bench = sub.add_parser(
+        "bench", help="wall-clock benchmark: run_local vs run_parallel"
+    )
+    p_bench.add_argument("--out", default="BENCH_PR4.json",
+                         help="output JSON path (default BENCH_PR4.json)")
+    p_bench.add_argument("--workers", default=None,
+                         help="comma-separated worker counts, e.g. 1,2,4")
+    p_bench.add_argument("--quick", action="store_true",
+                         help="tiny problem sizes (CI smoke)")
     return parser
 
 
@@ -151,6 +173,8 @@ def _cmd_run(args) -> int:
     from .metrics import format_run
 
     dataset = args.dataset or _DEFAULT_DATASETS[args.algorithm]
+    if args.backend != "simulated":
+        return _run_real_backend(args, dataset)
     spec = RunSpec(
         algorithm=args.algorithm,
         dataset=dataset,
@@ -164,6 +188,69 @@ def _cmd_run(args) -> int:
     )
     metrics = execute(spec)
     print(format_run(metrics))
+    return 0
+
+
+def _run_real_backend(args, dataset: str) -> int:
+    """``repro run --backend serial|parallel``: real execution, real time."""
+    import time
+
+    from .experiments.wallclock import build_backend_workload
+    from .imapreduce import run_local, run_parallel
+
+    job, state, static_map, num_pairs = build_backend_workload(
+        args.algorithm,
+        dataset,
+        iterations=args.iterations,
+        num_pairs=args.pairs,
+        combiner=args.combiner,
+        seed=args.seed,
+    )
+    started = time.perf_counter()
+    if args.backend == "serial":
+        result = run_local(job, state, static_map, num_pairs=num_pairs)
+        backend = f"serial ({num_pairs} pairs)"
+    else:
+        result = run_parallel(
+            job, state, static_map, num_pairs=num_pairs,
+            num_workers=args.workers,
+        )
+        backend = (
+            f"parallel ({result.num_workers} workers, {num_pairs} pairs)"
+        )
+    elapsed = time.perf_counter() - started
+    print(
+        f"{args.algorithm} on {dataset} [{backend}]: "
+        f"{result.iterations_run} iterations, terminated by "
+        f"{result.terminated_by}, {len(result.state)} records, "
+        f"{elapsed:.2f}s wall"
+    )
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    from .experiments.wallclock import DEFAULT_WORKERS, run_suite
+
+    workers = DEFAULT_WORKERS
+    if args.workers:
+        try:
+            workers = tuple(
+                int(w) for w in args.workers.split(",") if w.strip()
+            )
+        except ValueError:
+            print(f"bad --workers list: {args.workers!r}", file=sys.stderr)
+            return 2
+    results = run_suite(
+        out_path=args.out, workers=workers, quick=args.quick, log=print
+    )
+    micro = results["sizeof_microbench"]
+    print(
+        f"sizeof_value memoization: {micro['speedup']}x over "
+        f"{micro['calls']} calls"
+    )
+    print(
+        f"wrote {args.out} (cpu_count={results['meta']['cpu_count']})"
+    )
     return 0
 
 
@@ -210,7 +297,7 @@ def _cmd_chaos(args) -> int:
         if args.no_net_faults:
             spec = spec.but(net_faults=())
         print(f"replaying: {spec.describe()}")
-        outcome = run_campaign(spec, knobs)
+        outcome = run_campaign(spec, knobs, parallel=args.parallel)
         if outcome.ok:
             print(f"all oracles passed ({outcome.wall_seconds:.2f}s)")
             return 0
@@ -235,6 +322,7 @@ def _cmd_chaos(args) -> int:
         knobs=knobs,
         shrink_failures=not args.no_shrink,
         strip_net_faults=args.no_net_faults,
+        parallel=args.parallel,
         log=log,
     )
     print(
@@ -265,6 +353,7 @@ _COMMANDS = {
     "run": _cmd_run,
     "report": _cmd_report,
     "chaos": _cmd_chaos,
+    "bench": _cmd_bench,
 }
 
 

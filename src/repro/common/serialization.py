@@ -45,9 +45,57 @@ RECORD_OVERHEAD = 8
 _INT_SIZE = 9
 _FLOAT_SIZE = 9
 
+# ---------------------------------------------------------- memoization --
+# The figure benchmarks price the same values over and over: a graph's
+# adjacency tuples are priced once per iteration per record, and string /
+# tuple keys recur every time a record crosses a pipe.  Sizes of
+# immutable values never change, so small ones are memoized.  The cache
+# key embeds the type of every component: ``1``, ``1.0`` and ``True``
+# are equal as dict keys but have different modelled sizes.
+
+_MEMO_MAX_ENTRIES = 1 << 16
+_MEMO_MAX_TUPLE = 16
+_MEMO_MAX_STR = 64
+_memo: dict = {}
+
+
+def _memo_key(value: Any):
+    """A type-aware cache key for small immutable values, else ``None``."""
+    t = value.__class__
+    if t is int or t is float or t is bool:
+        return (t, value)
+    if t is str:
+        return (t, value) if len(value) <= _MEMO_MAX_STR else None
+    if value is None:
+        return (type(None),)
+    if t is tuple:
+        if len(value) > _MEMO_MAX_TUPLE:
+            return None
+        parts = []
+        for item in value:
+            part = _memo_key(item)
+            if part is None:
+                return None
+            parts.append(part)
+        return (t, tuple(parts))
+    return None
+
 
 def sizeof_value(value: Any) -> int:
     """Size in bytes of one value under the encoding table above."""
+    key = _memo_key(value)
+    if key is not None:
+        cached = _memo.get(key)
+        if cached is not None:
+            return cached
+        size = _sizeof_uncached(value)
+        if len(_memo) < _MEMO_MAX_ENTRIES:
+            _memo[key] = size
+        return size
+    return _sizeof_uncached(value)
+
+
+def _sizeof_uncached(value: Any) -> int:
     if value is None or isinstance(value, bool):
         return 1
     if isinstance(value, int):

@@ -1,0 +1,292 @@
+"""Wall-clock benchmark: serial ``run_local`` vs multiprocess ``run_parallel``.
+
+Unlike the figure benchmarks (which measure *simulated* time on the
+virtual cluster), this suite measures real elapsed seconds on real OS
+processes — the backend the paper's speedup claims ultimately rest on.
+Each workload runs once on the serial reference executor and once per
+requested worker count on the multiprocess backend; the suite records
+speedups next to ``cpu_count`` so a 1-core container's honest ~1×
+numbers are never mistaken for a parallelism regression, and it verifies
+on every run that the parallel result is record-for-record identical to
+the serial one and that each worker deserialized its static partitions
+exactly once (§3.2's static-data residency).
+
+``run_suite`` writes the JSON trajectory consumed by CI (uploaded as the
+``BENCH_PR4.json`` artifact) and by ``repro bench``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from ..algorithms import kmeans, pagerank, sssp
+from ..common.serialization import sizeof_value
+from ..data.lastfm import load_lastfm
+from ..graph.generators import pagerank_graph, sssp_graph
+from ..imapreduce import run_local, run_parallel
+
+__all__ = [
+    "WallclockCase",
+    "build_cases",
+    "build_backend_workload",
+    "time_case",
+    "sizeof_microbench",
+    "run_suite",
+    "DEFAULT_WORKERS",
+]
+
+STATE = "/bench/state"
+STATIC = "/bench/static"
+OUT = "/bench/out"
+
+#: Worker counts the acceptance trajectory tracks: serial-equivalent,
+#: one per core on a 2-core runner, one per core on a 4-core runner.
+DEFAULT_WORKERS = (1, 2, 4)
+
+
+@dataclass
+class WallclockCase:
+    """One benchmarked workload: a fresh (job, state, static) per call."""
+
+    name: str
+    num_pairs: int
+    build: Callable[[], tuple[Any, list, dict]]
+
+
+def build_cases(quick: bool = False) -> list[WallclockCase]:
+    """The three headline workloads at honest (or CI-smoke) sizes."""
+    if quick:
+        pr_nodes, sssp_nodes, users, iters = 60, 60, 40, 3
+        artists, k = 10, 4
+    else:
+        # Sized so the serial run takes seconds, not milliseconds: the
+        # per-iteration compute must dominate process-mesh overhead, or
+        # speedups would measure pickling, not the backend.
+        pr_nodes, sssp_nodes, users, iters = 30_000, 30_000, 8_000, 8
+        artists, k = 60, 8
+
+    def _pagerank():
+        graph = pagerank_graph(pr_nodes, seed=42)
+        job = pagerank.build_imr_job(
+            pr_nodes, state_path=STATE, static_path=STATIC, output_path=OUT,
+            max_iterations=iters, num_pairs=8, combiner=True,
+        )
+        return job, pagerank.initial_state(graph), {
+            STATIC: pagerank.static_records(graph)
+        }
+
+    def _sssp():
+        graph = sssp_graph(sssp_nodes, seed=42)
+        job = sssp.build_imr_job(
+            state_path=STATE, static_path=STATIC, output_path=OUT,
+            max_iterations=iters, num_pairs=8, combiner=True,
+        )
+        return job, sssp.initial_state(graph, source=0), {
+            STATIC: sssp.static_records(graph)
+        }
+
+    def _kmeans():
+        data = load_lastfm(num_users=users, num_artists=artists,
+                           num_tastes=min(4, k), seed=42)
+        job = kmeans.build_imr_job(
+            state_path=STATE, static_path=STATIC, output_path=OUT,
+            max_iterations=max(3, iters - 2), num_pairs=4,
+        )
+        return job, kmeans.initial_centroids(data, k, seed=42), {
+            STATIC: data.user_records()
+        }
+
+    return [
+        WallclockCase("pagerank", 8, _pagerank),
+        WallclockCase("sssp", 8, _sssp),
+        WallclockCase("kmeans", 4, _kmeans),
+    ]
+
+
+def build_backend_workload(
+    algorithm: str,
+    dataset: str,
+    *,
+    iterations: int = 10,
+    num_pairs: int = 8,
+    combiner: bool = False,
+    seed: int = 0,
+) -> tuple[Any, list, dict, int]:
+    """(job, state, static_map, num_pairs) for ``repro run`` on the real
+    backends — same datasets the simulated engine uses."""
+    from ..common import stable_seed
+    from ..data import load_graph
+
+    if algorithm == "sssp":
+        graph = load_graph(dataset)
+        job = sssp.build_imr_job(
+            state_path=STATE, static_path=STATIC, output_path=OUT,
+            max_iterations=iterations, num_pairs=num_pairs, combiner=combiner,
+        )
+        return (job, sssp.initial_state(graph, source=0),
+                {STATIC: sssp.static_records(graph)}, num_pairs)
+    if algorithm == "pagerank":
+        graph = load_graph(dataset)
+        job = pagerank.build_imr_job(
+            graph.num_nodes, state_path=STATE, static_path=STATIC,
+            output_path=OUT, max_iterations=iterations, num_pairs=num_pairs,
+            combiner=combiner,
+        )
+        return (job, pagerank.initial_state(graph),
+                {STATIC: pagerank.static_records(graph)}, num_pairs)
+    if algorithm == "kmeans":
+        data = load_lastfm(num_users=800, num_artists=40, num_tastes=4,
+                           seed=stable_seed(seed, "lastfm") % (2**31)
+                           if seed else 1)
+        centroids = kmeans.initial_centroids(
+            data, 4,
+            seed=stable_seed(seed, "centroids") % (2**31) if seed else 1,
+        )
+        job = kmeans.build_imr_job(
+            state_path=STATE, static_path=STATIC, output_path=OUT,
+            max_iterations=iterations, num_pairs=min(4, num_pairs),
+            combiner=combiner,
+        )
+        return job, centroids, {STATIC: data.user_records()}, min(4, num_pairs)
+    if algorithm == "matrixpower":
+        from . import workloads
+
+        matrix = workloads._matrix_for(dataset, seed)
+        job = matrixpower.build_imr_job(
+            state_path=STATE, static_path=STATIC, output_path=OUT,
+            max_iterations=iterations, num_pairs=num_pairs,
+        )
+        return (job, matrixpower.matrix_to_state_records(matrix),
+                {STATIC: matrixpower.matrix_to_column_records(matrix)},
+                num_pairs)
+    raise ValueError(f"unknown algorithm {algorithm!r}")
+
+
+def time_case(
+    case: WallclockCase,
+    workers: tuple[int, ...] = DEFAULT_WORKERS,
+    repeats: int = 2,
+) -> dict:
+    """Serial vs parallel timings for one workload (best of ``repeats``)."""
+    job, state, static_map = case.build()
+
+    serial = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        ref = run_local(job, state, static_map, num_pairs=case.num_pairs)
+        serial = min(serial, time.perf_counter() - started)
+
+    row: dict[str, Any] = {
+        "name": case.name,
+        "num_pairs": case.num_pairs,
+        "iterations": ref.iterations_run,
+        "serial_seconds": round(serial, 4),
+        "parallel": [],
+        "record_identical": True,
+    }
+    for w in workers:
+        best = float("inf")
+        par = None
+        for _ in range(repeats):
+            started = time.perf_counter()
+            par = run_parallel(job, state, static_map,
+                               num_pairs=case.num_pairs, num_workers=w)
+            best = min(best, time.perf_counter() - started)
+        assert par is not None
+        from ..testing.oracles import records_identical
+
+        if (not records_identical(par.state, ref.state)
+                or par.iterations_run != ref.iterations_run):
+            row["record_identical"] = False
+        if par.static_loads != par.num_workers:
+            raise AssertionError(
+                f"{case.name}: static loaded {par.static_loads} times for "
+                f"{par.num_workers} workers — static residency broken"
+            )
+        row["parallel"].append({
+            "workers": par.num_workers,
+            "seconds": round(best, 4),
+            "speedup": round(serial / best, 3) if best > 0 else None,
+            "static_loads": par.static_loads,
+        })
+    return row
+
+
+def sizeof_microbench(calls: int = 200_000) -> dict:
+    """The satellite win: memoized ``sizeof_value`` vs the uncached path.
+
+    The probe set mirrors shuffle traffic — small ints, floats and
+    short key/value tuples repeat endlessly, which is exactly what the
+    memo table captures.
+    """
+    from ..common import serialization
+
+    probes = [
+        (i % 64, float(i % 64) * 0.5) for i in range(256)
+    ] + [("node", i % 32, 1.5) for i in range(128)]
+    n = max(1, calls // len(probes))
+
+    started = time.perf_counter()
+    for _ in range(n):
+        for p in probes:
+            serialization._sizeof_uncached(p)
+    uncached = time.perf_counter() - started
+
+    sizeof_value(probes[0])  # warm the memo
+    started = time.perf_counter()
+    for _ in range(n):
+        for p in probes:
+            sizeof_value(p)
+    memoized = time.perf_counter() - started
+
+    return {
+        "calls": n * len(probes),
+        "uncached_seconds": round(uncached, 4),
+        "memoized_seconds": round(memoized, 4),
+        "speedup": round(uncached / memoized, 2) if memoized > 0 else None,
+    }
+
+
+def run_suite(
+    out_path: str | None = "BENCH_PR4.json",
+    workers: tuple[int, ...] = DEFAULT_WORKERS,
+    quick: bool = False,
+    log: Callable[[str], None] | None = None,
+) -> dict:
+    """Run every case, plus the sizeof micro-benchmark; write JSON."""
+    results = {
+        "suite": "wallclock",
+        "meta": {
+            "cpu_count": os.cpu_count(),
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "quick": quick,
+            "workers": list(workers),
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        },
+        "workloads": [],
+        "sizeof_microbench": sizeof_microbench(
+            calls=20_000 if quick else 200_000
+        ),
+    }
+    for case in build_cases(quick=quick):
+        row = time_case(case, workers=workers, repeats=1 if quick else 2)
+        results["workloads"].append(row)
+        if log:
+            speedups = ", ".join(
+                f"{p['workers']}w={p['speedup']}x" for p in row["parallel"]
+            )
+            log(
+                f"{row['name']}: serial {row['serial_seconds']}s; {speedups}"
+                f" (identical={row['record_identical']})"
+            )
+    if out_path:
+        with open(out_path, "w") as fh:
+            json.dump(results, fh, indent=2)
+            fh.write("\n")
+    return results

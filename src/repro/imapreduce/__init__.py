@@ -4,6 +4,7 @@ from .channels import IterationMailbox, ReliableConfig, StopIteration_
 from .failure_detector import FailureDetector, FailureDetectorConfig
 from .job import AuxPhase, IterativeJob, IterativeRunResult, Phase
 from .localrun import LocalRunResult, run_local
+from .parallel import ParallelExecutionError, ParallelRunResult, run_parallel
 from .runtime import AuxContext, ChaosKnobs, IMapReduceRuntime, LoadBalanceConfig
 
 __all__ = [
@@ -18,6 +19,9 @@ __all__ = [
     "Phase",
     "LocalRunResult",
     "run_local",
+    "ParallelExecutionError",
+    "ParallelRunResult",
+    "run_parallel",
     "AuxContext",
     "ChaosKnobs",
     "IMapReduceRuntime",

@@ -8,21 +8,28 @@ Its uses:
 * a correctness oracle: the distributed engine's final state must equal
   this executor's, record for record (tests assert it);
 * a zero-setup way for library users to run an iterative job on small
-  data (the quickstart example).
+  data (the quickstart example);
+* the single-core baseline the wall-clock benchmarks compare
+  :func:`~repro.imapreduce.parallel.run_parallel` against.
+
+The per-pair map/combine step lives in :func:`map_pair` so the
+multiprocess backend executes byte-for-byte the same user-code path and
+its differential oracle can demand record-for-record equality.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Any, Iterable
+from typing import Any, Callable, Iterable
 
+from ..common.partition import bind_partitioner
 from ..common.records import group_by_key
 from ..mapreduce.api import Context
-from .job import IterativeJob
+from .job import IterativeJob, Phase
 from .runtime import AuxContext
 
-__all__ = ["LocalRunResult", "run_local"]
+__all__ = ["LocalRunResult", "run_local", "map_pair", "order_key"]
 
 
 @dataclass
@@ -41,8 +48,54 @@ class LocalRunResult:
         return dict(self.state)
 
 
-def _order_key(key: Any):
+def order_key(key: Any):
+    """Total order over heterogeneous record keys (type name first)."""
     return (type(key).__name__, key)
+
+
+_order_key = order_key  # backwards-compatible private alias
+
+
+def map_pair(
+    phase: Phase,
+    records: list[tuple[Any, Any]],
+    static: dict,
+    static_sorted: list[tuple[Any, Any]] | None,
+    broadcast: list | None,
+    part: Callable[[Any], int],
+) -> list[tuple[Any, Any]]:
+    """Run one pair's map task for one phase; returns its emissions.
+
+    ``part`` is the pre-bound partitioner (combiner grouping only);
+    ``static_sorted``/``broadcast`` are set for one2all phases.  Both the
+    serial and the multiprocess executor call exactly this function, so
+    emission content *and order* are identical across backends.
+    """
+    ctx = Context()
+    if broadcast is not None:
+        for key, static_value in static_sorted or ():
+            phase.map_fn(key, broadcast, static_value, ctx)
+    else:
+        static_get = static.get
+        for key, state_value in records:
+            phase.map_fn(key, state_value, static_get(key), ctx)
+    emitted = ctx.take()
+    if phase.combiner is not None:
+        parts: dict[int, list] = defaultdict(list)
+        for rec in emitted:
+            parts[part(rec[0])].append(rec)
+        emitted = []
+        for part_recs in parts.values():
+            cctx = Context()
+            for key, values in group_by_key(part_recs):
+                phase.combiner(key, values, cctx)
+            emitted.extend(cctx.take())
+    return emitted
+
+
+def sorted_static(static: dict) -> list[tuple[Any, Any]]:
+    """The one2all map's iteration order over a static partition."""
+    return sorted(static.items(), key=lambda kv: order_key(kv[0]))
 
 
 def run_local(
@@ -60,24 +113,41 @@ def run_local(
     """
     static_by_path = {k: dict(v) for k, v in (static_records or {}).items()}
     phases = job.phases
-    partitioner = job.partitioner
+    part = bind_partitioner(job.partitioner, num_pairs)
 
     def partition(records):
         parts: list[list] = [[] for _ in range(num_pairs)]
         for rec in records:
-            parts[partitioner(rec[0], num_pairs)].append(rec)
+            parts[part(rec[0])].append(rec)
         return parts
 
     state_parts = partition(state_records)
     static_parts: list[list[dict]] = []  # [phase][pair] -> key->static
+    static_sorted: list[list[list] | None] = []  # one2all iteration order
     for phase in phases:
         table = static_by_path.get(phase.static_path or "", {})
         per_pair: list[dict] = [{} for _ in range(num_pairs)]
         for key, value in table.items():
-            per_pair[partitioner(key, num_pairs)][key] = value
+            per_pair[part(key)][key] = value
         static_parts.append(per_pair)
+        # The one2all map iterates its static partition in sorted order;
+        # sorting once here (not per iteration) is the broadcast hot-path
+        # fix — the K-means user set was re-sorted every iteration.
+        static_sorted.append(
+            [sorted_static(d) for d in per_pair] if phase.mapping == "one2all" else None
+        )
 
-    prev_state = {k: v for part in state_parts for k, v in part}
+    distance_fn = job.distance_fn
+    # Previous-iteration lookup tables exist only when a distance is
+    # measured; a maxiter-only run no longer rebuilds a dict per
+    # iteration.  One dict per pair: a key's partition never changes, so
+    # the per-pair tables partition the old global one.
+    prev_parts: list[dict] | None = (
+        [dict(p) for p in state_parts] if distance_fn is not None else None
+    )
+    aux_part = (
+        bind_partitioner(job.partitioner, job.aux.num_tasks) if job.aux else None
+    )
     aux_map_state: list[dict] = [{} for _ in range((job.aux.num_tasks if job.aux else 0))]
     aux_reduce_state: list[dict] = [
         {} for _ in range((job.aux.num_tasks if job.aux else 0))
@@ -96,38 +166,26 @@ def run_local(
             one2all = phase.mapping == "one2all"
             broadcast = (
                 sorted(
-                    (rec for part in current for rec in part),
-                    key=lambda kv: _order_key(kv[0]),
+                    (rec for part_recs in current for rec in part_recs),
+                    key=lambda kv: order_key(kv[0]),
                 )
                 if one2all
                 else None
             )
             # ---- map ----
             shuffled: list[list] = [[] for _ in range(num_pairs)]
+            phase_sorted = static_sorted[phase_index]
             for p in range(num_pairs):
-                ctx = Context()
-                static = static_parts[phase_index][p]
-                if one2all:
-                    for key, static_value in sorted(
-                        static.items(), key=lambda kv: _order_key(kv[0])
-                    ):
-                        phase.map_fn(key, broadcast, static_value, ctx)
-                else:
-                    for key, state_value in current[p]:
-                        phase.map_fn(key, state_value, static.get(key), ctx)
-                emitted = ctx.take()
-                if phase.combiner is not None:
-                    parts: dict[int, list] = defaultdict(list)
-                    for rec in emitted:
-                        parts[partitioner(rec[0], num_pairs)].append(rec)
-                    emitted = []
-                    for part_recs in parts.values():
-                        cctx = Context()
-                        for key, values in group_by_key(part_recs):
-                            phase.combiner(key, values, cctx)
-                        emitted.extend(cctx.take())
+                emitted = map_pair(
+                    phase,
+                    current[p],
+                    static_parts[phase_index][p],
+                    phase_sorted[p] if phase_sorted is not None else None,
+                    broadcast,
+                    part,
+                )
                 for rec in emitted:
-                    shuffled[partitioner(rec[0], num_pairs)].append(rec)
+                    shuffled[part(rec[0])].append(rec)
             # ---- reduce ----
             new_parts: list[list] = [[] for _ in range(num_pairs)]
             for q in range(num_pairs):
@@ -139,37 +197,49 @@ def run_local(
                     new_parts[q] = out
                 else:
                     for rec in out:
-                        new_parts[partitioner(rec[0], num_pairs)].append(rec)
+                        new_parts[part(rec[0])].append(rec)
             current = new_parts
         state_parts = current
         iterations_run = iteration + 1
 
-        flat = [rec for part in state_parts for rec in part]
         if keep_history:
-            history.append(sorted(flat, key=lambda kv: _order_key(kv[0])))
+            history.append(
+                sorted(
+                    (rec for part_recs in state_parts for rec in part_recs),
+                    key=lambda kv: order_key(kv[0]),
+                )
+            )
 
         # ---- distance / termination (§3.1.2) ----
+        # Summed as per-pair partials merged in pair order — the same
+        # merge the distributed master performs, and bit-identical to the
+        # multiprocess coordinator's merge of worker partials.
         distance: float | None = None
-        if job.distance_fn is not None:
-            distance = sum(
-                job.distance_fn(key, prev_state.get(key), value) for key, value in flat
-            )
+        if distance_fn is not None and prev_parts is not None:
+            distance = 0.0
+            for p in range(num_pairs):
+                prev_get = prev_parts[p].get
+                partial = 0.0
+                for key, value in state_parts[p]:
+                    partial += distance_fn(key, prev_get(key), value)
+                distance += partial
+                prev_parts[p] = dict(state_parts[p])
         distances.append(distance)
-        prev_state = dict(flat)
 
         # ---- auxiliary phase (§5.3) ----
-        if job.aux is not None:
+        if job.aux is not None and aux_part is not None:
             aux = job.aux
+            flat = [rec for part_recs in state_parts for rec in part_recs]
             aux_shuffled: list[list] = [[] for _ in range(aux.num_tasks)]
             parts: list[list] = [[] for _ in range(aux.num_tasks)]
             for rec in flat:
-                parts[partitioner(rec[0], aux.num_tasks)].append(rec)
+                parts[aux_part(rec[0])].append(rec)
             for t in range(aux.num_tasks):
                 actx = AuxContext(aux_map_state[t])
                 for key, value in parts[t]:
                     aux.map_fn(key, value, actx)
                 for rec in actx.take():
-                    aux_shuffled[partitioner(rec[0], aux.num_tasks)].append(rec)
+                    aux_shuffled[aux_part(rec[0])].append(rec)
             for t in range(aux.num_tasks):
                 actx = AuxContext(aux_reduce_state[t])
                 for key, values in group_by_key(aux_shuffled[t]):
@@ -189,7 +259,8 @@ def run_local(
         terminated_by = "maxiter"
 
     final = sorted(
-        (rec for part in state_parts for rec in part), key=lambda kv: _order_key(kv[0])
+        (rec for part_recs in state_parts for rec in part_recs),
+        key=lambda kv: order_key(kv[0]),
     )
     return LocalRunResult(
         state=final,

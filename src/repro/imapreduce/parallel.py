@@ -1,0 +1,405 @@
+"""Real multiprocess execution backend: ``run_parallel``.
+
+Everything else in this repository executes iterative jobs either in
+virtual time (the simulated :class:`IMapReduceRuntime`) or serially
+(:func:`run_local`).  This module is the backend that actually uses the
+hardware: ``N`` persistent worker *processes* each host a fixed set of
+map/reduce task pairs for the whole job, realizing the paper's three
+core mechanisms for real:
+
+* **persistent tasks** (§3.1) — workers are spawned once and loop over
+  every iteration; no per-iteration process/task setup;
+* **static/state separation** (§3.2) — each worker deserializes its
+  static-data partitions once at start and keeps them resident; only
+  pickled state batches cross process boundaries afterwards;
+* **asynchronous map start** (§3.3) — the data plane is a worker mesh
+  with no global barrier: a pair's map for iteration k+1 starts as soon
+  as its own reduce for k finished and its peer batches arrived.
+
+Supported job surface: combiners, one2all broadcast (§5.1), multi-phase
+iterations (§5.2), the auxiliary phase (§5.3), and distance/threshold
+termination — distances are merged at the coordinator exactly as the
+paper's master merges reduce-local distances.  The aux phase runs at
+the coordinator (its input is the full, tiny, post-iteration state).
+
+Correctness contract: byte-identical record processing order to
+:func:`run_local` (shared :func:`map_pair` code and ascending
+source-pair assembly), so the final state, ``terminated_by`` and
+iteration count are equal record for record — enforced by the
+differential tests and the chaos campaigns' ``parallel`` mode.
+
+Not in scope here: fault tolerance and migration (checkpointing and
+recovery are the simulated engine's domain, §3.4); a worker crash
+aborts the run with the worker's traceback.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+from ..common.errors import JobError
+from ..common.partition import bind_partitioner
+from ..common.records import group_by_key
+from .job import IterativeJob
+from .localrun import order_key
+from .runtime import AuxContext
+from .workerproc import (
+    CONTINUE,
+    ERROR_REPORT,
+    FINAL_REPORT,
+    ITER_REPORT,
+    VERDICT,
+    WorkerConfig,
+    worker_main,
+)
+
+__all__ = ["ParallelRunResult", "ParallelExecutionError", "run_parallel"]
+
+#: Coordinator-side liveness-poll interval while waiting on workers, s.
+_POLL_SECONDS = 1.0
+
+
+class ParallelExecutionError(JobError):
+    """A worker process died or misbehaved; carries its traceback."""
+
+
+@dataclass
+class ParallelRunResult:
+    """Outcome of a multiprocess run — field-compatible with
+    :class:`~repro.imapreduce.localrun.LocalRunResult` plus backend
+    observability (worker stats, wall time)."""
+
+    state: list[tuple[Any, Any]]
+    iterations_run: int
+    converged: bool
+    terminated_by: str
+    distances: list[float | None] = field(default_factory=list)
+    history: list[list[tuple[Any, Any]]] = field(default_factory=list)
+    num_workers: int = 0
+    num_pairs: int = 0
+    wall_seconds: float = 0.0
+    #: Per-worker counters: pairs hosted, static_loads (always 1 per
+    #: worker — asserted by the wall-clock benchmark), records/batches
+    #: shipped over the mesh.
+    worker_stats: list[dict] = field(default_factory=list)
+
+    def state_dict(self) -> dict:
+        return dict(self.state)
+
+    @property
+    def static_loads(self) -> int:
+        """Total static-partition deserializations across the run."""
+        return sum(s.get("static_loads", 0) for s in self.worker_stats)
+
+
+def _pick_workers(num_workers: int | None, num_pairs: int) -> int:
+    if num_workers is None:
+        num_workers = os.cpu_count() or 1
+    if num_workers < 1:
+        raise ValueError("num_workers must be >= 1")
+    return min(num_workers, num_pairs)
+
+
+def run_parallel(
+    job: IterativeJob,
+    state_records: Iterable[tuple[Any, Any]],
+    static_records: dict[str, Iterable[tuple[Any, Any]]] | None = None,
+    *,
+    num_pairs: int = 4,
+    num_workers: int | None = None,
+    keep_history: bool = False,
+    start_method: str | None = None,
+    timeout: float | None = 600.0,
+) -> ParallelRunResult:
+    """Execute ``job`` on ``num_workers`` persistent worker processes.
+
+    Same signature and semantics as :func:`run_local` (``num_pairs``
+    governs partitioning and therefore the exact result; ``num_workers``
+    only distributes pairs over processes, default one per CPU core).
+    The job must be picklable — every ``build_imr_job`` result is, and
+    the pickle guard tests keep it that way.
+
+    ``timeout`` bounds every coordinator wait (a hung worker raises
+    :class:`ParallelExecutionError` instead of deadlocking the caller).
+    """
+    import time as _time
+
+    started = _time.perf_counter()
+    num_workers = _pick_workers(num_workers, num_pairs)
+    phases = job.phases
+    part = bind_partitioner(job.partitioner, num_pairs)
+    distance_fn = job.distance_fn
+    aux = job.aux
+    # Workers stream per-iteration state only when someone consumes it.
+    send_state = aux is not None or keep_history
+    # Threshold/aux termination is a coordinator decision each
+    # iteration; maxiter-only jobs free-run with no verdict round-trip.
+    wait_verdict = aux is not None or job.threshold is not None
+
+    # ---- partition state and static exactly like the serial executor --
+    state_parts: list[list] = [[] for _ in range(num_pairs)]
+    for rec in state_records:
+        state_parts[part(rec[0])].append(rec)
+    static_by_path = {k: dict(v) for k, v in (static_records or {}).items()}
+    static_parts: list[list[dict]] = []
+    for phase in phases:
+        table = static_by_path.get(phase.static_path or "", {})
+        per_pair: list[dict] = [{} for _ in range(num_pairs)]
+        for key, value in table.items():
+            per_pair[part(key)][key] = value
+        static_parts.append(per_pair)
+
+    pairs_of = [
+        [p for p in range(num_pairs) if p % num_workers == w]
+        for w in range(num_workers)
+    ]
+
+    try:
+        ctx = multiprocessing.get_context(start_method or "fork")
+    except ValueError:  # pragma: no cover - non-POSIX fallback
+        ctx = multiprocessing.get_context(start_method)
+    coordinator_inbox = ctx.Queue()
+    worker_inboxes = [ctx.Queue() for _ in range(num_workers)]
+
+    # The blob is pickled explicitly (not via the spawn machinery) so the
+    # job's pickle round-trip is exercised under every start method.
+    blobs = [
+        WorkerConfig(
+            worker_id=w,
+            num_workers=num_workers,
+            num_pairs=num_pairs,
+            job=job,
+            state_parts={p: state_parts[p] for p in pairs_of[w]},
+            static_parts=[
+                {p: per_pair[p] for p in pairs_of[w]} for per_pair in static_parts
+            ],
+            send_state=send_state,
+            wait_verdict=wait_verdict,
+        ).to_blob()
+        for w in range(num_workers)
+    ]
+
+    procs = [
+        ctx.Process(
+            target=worker_main,
+            args=(blobs[w], worker_inboxes, coordinator_inbox, timeout),
+            name=f"imr-worker-{w}",
+            daemon=True,
+        )
+        for w in range(num_workers)
+    ]
+    for proc in procs:
+        proc.start()
+
+    try:
+        outcome = _coordinate(
+            job,
+            num_pairs,
+            num_workers,
+            coordinator_inbox,
+            worker_inboxes,
+            procs,
+            keep_history=keep_history,
+            timeout=timeout,
+        )
+    finally:
+        _shutdown(procs, [coordinator_inbox, *worker_inboxes])
+
+    outcome.num_workers = num_workers
+    outcome.num_pairs = num_pairs
+    outcome.worker_stats.sort(key=lambda s: s.get("worker", 0))
+    outcome.wall_seconds = _time.perf_counter() - started
+    return outcome
+
+
+def _recv(inbox, procs, timeout: float | None):
+    """One coordinator receive with liveness supervision."""
+    import queue as _queue
+
+    waited = 0.0
+    while True:
+        try:
+            return inbox.get(timeout=_POLL_SECONDS)
+        except _queue.Empty:
+            dead = [p.name for p in procs if not p.is_alive() and p.exitcode != 0]
+            if dead:
+                raise ParallelExecutionError(
+                    f"worker(s) died without reporting: {', '.join(dead)}"
+                )
+            waited += _POLL_SECONDS
+            if timeout is not None and waited >= timeout:
+                raise ParallelExecutionError(
+                    f"no worker message within {timeout:.0f}s"
+                )
+
+
+def _coordinate(
+    job: IterativeJob,
+    num_pairs: int,
+    num_workers: int,
+    inbox,
+    worker_inboxes,
+    procs,
+    *,
+    keep_history: bool,
+    timeout: float | None,
+) -> ParallelRunResult:
+    aux = job.aux
+    distance_fn = job.distance_fn
+    wait_verdict = aux is not None or job.threshold is not None
+    stream_reports = wait_verdict or distance_fn is not None or aux is not None or keep_history
+
+    aux_part = bind_partitioner(job.partitioner, aux.num_tasks) if aux else None
+    aux_map_state: list[dict] = [{} for _ in range(aux.num_tasks if aux else 0)]
+    aux_reduce_state: list[dict] = [{} for _ in range(aux.num_tasks if aux else 0)]
+
+    distances: list[float | None] = []
+    history: list[list[tuple[Any, Any]]] = []
+    finals: dict[int, dict] = {}
+    pending_iters: dict[int, dict[int, dict]] = {}
+    terminated_by = ""
+    iterations_seen = 0
+
+    def handle(msg) -> bool:
+        """Returns True when the message was a final report."""
+        nonlocal terminated_by
+        kind = msg[0]
+        if kind == ERROR_REPORT:
+            raise ParallelExecutionError(f"worker {msg[1]} failed:\n{msg[2]}")
+        if kind == FINAL_REPORT:
+            finals[msg[1]] = msg[2]
+            return True
+        if kind == ITER_REPORT:
+            _, wid, iteration, report = msg
+            pending_iters.setdefault(iteration, {})[wid] = report
+            return False
+        raise ParallelExecutionError(f"unexpected message kind {kind!r}")
+
+    def merge_iteration(iteration: int) -> tuple[float | None, bool]:
+        """Merge one completed iteration's reports: distance + aux."""
+        nonlocal iterations_seen
+        reports = pending_iters.pop(iteration)
+        iterations_seen = max(iterations_seen, iteration + 1)
+        distance: float | None = None
+        if distance_fn is not None:
+            # Pair-ascending partial merge — the distributed master's
+            # merge rule, bit-identical to run_local's accumulation.
+            partials: dict[int, float] = {}
+            for report in reports.values():
+                partials.update(report.get("distance", {}))
+            distance = 0.0
+            for p in range(num_pairs):
+                distance += partials.get(p, 0.0)
+        distances.append(distance)
+
+        aux_stop = False
+        if aux is not None or keep_history:
+            by_pair: dict[int, list] = {}
+            for report in reports.values():
+                by_pair.update(report.get("state", {}))
+            flat = [rec for p in range(num_pairs) for rec in by_pair.get(p, ())]
+            if keep_history:
+                history.append(sorted(flat, key=lambda kv: order_key(kv[0])))
+            if aux is not None and aux_part is not None:
+                aux_shuffled: list[list] = [[] for _ in range(aux.num_tasks)]
+                parts: list[list] = [[] for _ in range(aux.num_tasks)]
+                for rec in flat:
+                    parts[aux_part(rec[0])].append(rec)
+                for t in range(aux.num_tasks):
+                    actx = AuxContext(aux_map_state[t])
+                    for key, value in parts[t]:
+                        aux.map_fn(key, value, actx)
+                    for rec in actx.take():
+                        aux_shuffled[aux_part(rec[0])].append(rec)
+                for t in range(aux.num_tasks):
+                    actx = AuxContext(aux_reduce_state[t])
+                    for key, values in group_by_key(aux_shuffled[t]):
+                        aux.reduce_fn(key, values, actx)
+                    if actx.terminate_requested:
+                        aux_stop = True
+        return distance, aux_stop
+
+    if wait_verdict:
+        # Lock-step termination protocol (threshold and/or aux).
+        max_iterations = (
+            job.max_iterations if job.max_iterations is not None else 10**9
+        )
+        for iteration in range(max_iterations):
+            while len(pending_iters.get(iteration, {})) < num_workers:
+                handle(_recv(inbox, procs, timeout))
+            distance, aux_stop = merge_iteration(iteration)
+            verdict = CONTINUE
+            if aux_stop:
+                verdict = "aux"
+            elif (
+                job.threshold is not None
+                and distance is not None
+                and distance <= job.threshold
+            ):
+                verdict = "threshold"
+            elif iteration == max_iterations - 1:
+                # Let workers fall out of their loop naturally.
+                pass
+            for q in worker_inboxes:
+                q.put((VERDICT, iteration, verdict))
+            if verdict != CONTINUE:
+                terminated_by = verdict
+                break
+    # Collect finals (and, in free-run mode, any streamed reports).
+    while len(finals) < num_workers:
+        handle(_recv(inbox, procs, timeout))
+    if stream_reports and not wait_verdict:
+        for iteration in sorted(pending_iters):
+            merge_iteration(iteration)
+
+    if not terminated_by:
+        terminated_by = "maxiter"
+    iterations_run = max(f["iterations_run"] for f in finals.values())
+    # Free-running jobs with no distance to measure send no per-iteration
+    # reports; the serial executor still records one (None) entry per
+    # iteration, so pad for field-compatible results.
+    while len(distances) < iterations_run:
+        distances.append(None)
+    if any(f["iterations_run"] != iterations_run for f in finals.values()):
+        raise ParallelExecutionError(
+            "workers disagree on the iteration count: "
+            f"{sorted((w, f['iterations_run']) for w, f in finals.items())}"
+        )
+
+    by_pair: dict[int, list] = {}
+    worker_stats: list[dict] = []
+    for final in finals.values():
+        by_pair.update(final["state"])
+        worker_stats.append(final["stats"])
+    state = sorted(
+        (rec for p in range(num_pairs) for rec in by_pair.get(p, ())),
+        key=lambda kv: order_key(kv[0]),
+    )
+    return ParallelRunResult(
+        state=state,
+        iterations_run=iterations_run,
+        converged=terminated_by == "threshold",
+        terminated_by=terminated_by,
+        distances=distances,
+        history=history,
+        worker_stats=worker_stats,
+    )
+
+
+def _shutdown(procs, queues) -> None:
+    """Reap workers and release queue resources without ever hanging."""
+    for proc in procs:
+        proc.join(timeout=5.0)
+    for proc in procs:
+        if proc.is_alive():
+            proc.terminate()
+            proc.join(timeout=5.0)
+    for q in queues:
+        try:
+            q.cancel_join_thread()
+            q.close()
+        except Exception:  # pragma: no cover - best-effort cleanup
+            pass

@@ -1,0 +1,347 @@
+"""Worker-process side of the real multiprocess backend.
+
+One :func:`worker_main` process hosts a *set* of persistent map/reduce
+task pairs for the whole job (§3.1: tasks are assigned once and live
+for every iteration).  The static-data partitions for its pairs arrive
+in the init blob and are deserialized exactly once; only state batches
+cross process boundaries afterwards (§3.2's static/state separation).
+
+Data plane
+----------
+
+* pair → paired next-iteration map: in-process (the paper's persistent
+  local socket degenerates to a buffer when the pair is co-located);
+* cross-pair shuffle / multi-phase repartition / one2all broadcast:
+  a mesh of queues, one inbound queue per worker, every message tagged
+  ``(kind, iteration, phase, source worker)``.  A worker advances as
+  soon as *its own* inputs for the next step are complete — there is no
+  coordinator barrier on the data path, mirroring §3.3's asynchronous
+  map start (a pair's map for iteration k+1 begins the moment its
+  reduce output for k and the peer batches arrive, even while other
+  workers still finish iteration k).
+
+Control plane (coordinator queue): per-iteration distance partials and
+state snapshots (only when the job measures a distance, runs an aux
+phase, or keeps history), and the final state.  Jobs that terminate by
+``maxiter`` alone free-run: workers cross zero synchronization points
+per iteration beyond the data mesh itself.
+
+Determinism contract: every step processes pairs in ascending pair id
+and assembles incoming batches in ascending source-pair order, so
+reduce value lists — and therefore every float fold — are ordered
+exactly as :func:`~repro.imapreduce.localrun.run_local` orders them.
+The differential oracle can demand record-for-record equality.
+"""
+
+from __future__ import annotations
+
+import pickle
+import traceback
+from typing import Any
+
+from ..common.partition import bind_partitioner
+from ..common.records import group_by_key
+from ..mapreduce.api import Context
+from .localrun import map_pair, order_key, sorted_static
+
+__all__ = ["WorkerConfig", "worker_main"]
+
+#: Control-plane message kinds (worker → coordinator).
+ITER_REPORT = "iter"
+FINAL_REPORT = "final"
+ERROR_REPORT = "error"
+#: Coordinator → worker.
+VERDICT = "verdict"
+CONTINUE = "continue"
+#: Worker ↔ worker data-plane kinds.
+SHUFFLE = "shuffle"
+REPART = "repart"
+BCAST = "bcast"
+
+
+class WorkerConfig:
+    """Everything one worker needs, shipped as a single pickle blob.
+
+    The blob is pickled explicitly by the coordinator (not implicitly by
+    the spawn machinery) so the job's pickle round-trip is exercised on
+    every backend start regardless of the multiprocessing start method.
+    """
+
+    def __init__(
+        self,
+        worker_id: int,
+        num_workers: int,
+        num_pairs: int,
+        job,
+        state_parts: dict[int, list],
+        static_parts: list[dict[int, dict]],
+        send_state: bool,
+        wait_verdict: bool,
+    ):
+        self.worker_id = worker_id
+        self.num_workers = num_workers
+        self.num_pairs = num_pairs
+        self.job = job
+        self.state_parts = state_parts  # pair -> records (this worker's pairs)
+        self.static_parts = static_parts  # [phase] -> pair -> key->static
+        self.send_state = send_state
+        self.wait_verdict = wait_verdict
+
+    def to_blob(self) -> bytes:
+        return pickle.dumps(self, protocol=pickle.HIGHEST_PROTOCOL)
+
+    @staticmethod
+    def from_blob(blob: bytes) -> "WorkerConfig":
+        return pickle.loads(blob)
+
+
+def _owner(pair: int, num_workers: int) -> int:
+    """The static pair→worker assignment (round-robin, fixed for the job)."""
+    return pair % num_workers
+
+
+class _Inbox:
+    """Buffered receive with out-of-order stashing.
+
+    A fast worker may deliver its phase-``k+1`` batch while this worker
+    still waits on a slow peer's phase-``k`` batch; anything not yet
+    wanted is stashed under its ``(kind, iteration, phase)`` slot and
+    found there when the step catches up.
+    """
+
+    def __init__(self, queue, worker_id: int):
+        self._queue = queue
+        self._id = worker_id
+        self._stash: dict[tuple, dict[int, Any]] = {}
+        self._verdicts: dict[int, str] = {}
+
+    def _pump(self, timeout: float | None) -> None:
+        msg = self._queue.get(timeout=timeout)
+        kind = msg[0]
+        if kind == VERDICT:
+            _, iteration, verdict = msg
+            self._verdicts[iteration] = verdict
+        else:
+            kind, iteration, phase, src, payload = msg
+            self._stash.setdefault((kind, iteration, phase), {})[src] = payload
+
+    def gather(
+        self, kind: str, iteration: int, phase: int, sources: list[int],
+        timeout: float | None,
+    ) -> dict[int, Any]:
+        """Block until a ``kind`` batch from every source has arrived."""
+        if not sources:  # single worker: nothing to wait for
+            return {}
+        slot = (kind, iteration, phase)
+        while True:
+            have = self._stash.get(slot)
+            if have is not None and all(s in have for s in sources):
+                return self._stash.pop(slot)
+            self._pump(timeout)
+
+    def verdict(self, iteration: int, timeout: float | None) -> str:
+        while iteration not in self._verdicts:
+            self._pump(timeout)
+        return self._verdicts.pop(iteration)
+
+
+def worker_main(
+    blob: bytes, inboxes: list, coordinator, timeout: float | None = None
+) -> None:
+    """Process entry point: run every iteration for this worker's pairs."""
+    try:
+        _worker_loop(WorkerConfig.from_blob(blob), inboxes, coordinator, timeout)
+    except BaseException:
+        wid = -1
+        try:
+            wid = WorkerConfig.from_blob(blob).worker_id
+        except Exception:
+            pass
+        coordinator.put((ERROR_REPORT, wid, traceback.format_exc()))
+
+
+def _worker_loop(
+    cfg: WorkerConfig, inboxes: list, coordinator, timeout: float | None
+) -> None:
+    job = cfg.job
+    wid = cfg.worker_id
+    num_workers = cfg.num_workers
+    num_pairs = cfg.num_pairs
+    phases = job.phases
+    last_phase = len(phases) - 1
+    my_pairs = sorted(cfg.state_parts)
+    peers = [w for w in range(num_workers) if w != wid]
+    inbox = _Inbox(inboxes[wid], wid)
+    part = bind_partitioner(job.partitioner, num_pairs)
+    distance_fn = job.distance_fn
+
+    # Static data: deserialized from the init blob exactly once for the
+    # whole job; iterations only ever read it (§3.2.1).  ``static_loads``
+    # is the observable the wall-clock benchmark asserts on.
+    static_parts = cfg.static_parts
+    static_sorted = [
+        {p: sorted_static(per_pair[p]) for p in my_pairs}
+        if phase.mapping == "one2all"
+        else None
+        for phase, per_pair in zip(phases, static_parts)
+    ]
+    static_loads = 1
+    stats = {
+        "worker": wid,
+        "pairs": list(my_pairs),
+        "static_loads": static_loads,
+        "static_records": sum(len(d) for per in static_parts for d in per.values()),
+        "records_sent": 0,
+        "batches_sent": 0,
+    }
+
+    def send_batches(kind: str, iteration: int, phase: int, routed: dict[int, dict]):
+        """Ship per-destination-worker batches; empty batches still go so
+        receivers can count arrivals instead of timing out."""
+        for w in peers:
+            payload = routed.get(w) or {}
+            inboxes[w].put((kind, iteration, phase, wid, payload))
+            stats["batches_sent"] += 1
+            stats["records_sent"] += sum(
+                len(recs) for by_src in payload.values() for recs in by_src.values()
+            )
+        return routed.get(wid) or {}
+
+    current: dict[int, list] = {p: list(recs) for p, recs in cfg.state_parts.items()}
+    prev: dict[int, dict] | None = (
+        {p: dict(recs) for p, recs in current.items()}
+        if distance_fn is not None
+        else None
+    )
+
+    max_iterations = job.max_iterations if job.max_iterations is not None else 10**9
+    iterations_run = 0
+    terminated_by = ""
+
+    for iteration in range(max_iterations):
+        for phase_index, phase in enumerate(phases):
+            one2all = phase.mapping == "one2all"
+            broadcast = None
+            if one2all:
+                # All-gather the phase input so every map sees the full
+                # broadcast state, in the reference executor's order.
+                mine = {p: current.get(p, []) for p in my_pairs}
+                for w in peers:
+                    inboxes[w].put((BCAST, iteration, phase_index, wid, mine))
+                    stats["batches_sent"] += 1
+                gathered = inbox.gather(BCAST, iteration, phase_index, peers, timeout)
+                gathered[wid] = mine
+                by_pair: dict[int, list] = {}
+                for batch in gathered.values():
+                    by_pair.update(batch)
+                # Flatten in ascending pair order before sorting so ties
+                # under the (stable) sort match the serial executor.
+                broadcast = sorted(
+                    (
+                        rec
+                        for p in range(num_pairs)
+                        for rec in by_pair.get(p, ())
+                    ),
+                    key=lambda kv: order_key(kv[0]),
+                )
+
+            # ---- map (+ combiner), then route to the reduce side ----
+            routed: dict[int, dict[int, dict[int, list]]] = {}
+            phase_static = static_parts[phase_index]
+            phase_sorted = static_sorted[phase_index]
+            for p in my_pairs:
+                emitted = map_pair(
+                    phase,
+                    current.get(p, []),
+                    phase_static[p],
+                    phase_sorted[p] if phase_sorted is not None else None,
+                    broadcast,
+                    part,
+                )
+                for rec in emitted:
+                    q = part(rec[0])
+                    routed.setdefault(_owner(q, num_workers), {}).setdefault(
+                        q, {}
+                    ).setdefault(p, []).append(rec)
+            local = send_batches(SHUFFLE, iteration, phase_index, routed)
+            arrived = inbox.gather(SHUFFLE, iteration, phase_index, peers, timeout)
+            arrived[wid] = local
+
+            # ---- reduce ----
+            # Reduce inputs are concatenated in ascending source-pair
+            # order (not arrival order): float folds must see values in
+            # the serial executor's sequence.
+            out_parts: dict[int, list] = {}
+            for q in my_pairs:
+                records: list = []
+                for src_pair in range(num_pairs):
+                    by_src = arrived.get(_owner(src_pair, num_workers))
+                    if by_src:
+                        records.extend(by_src.get(q, {}).get(src_pair, ()))
+                ctx = Context()
+                for key, values in group_by_key(records):
+                    phase.reduce_fn(key, values, ctx)
+                out_parts[q] = ctx.take()
+
+            if phase_index == last_phase:
+                # Persistent pair channel: reduce k's output is map k+1's
+                # input for the same pair, never leaving this process.
+                current = out_parts
+            else:
+                # Multi-phase routing (§5.2): repartition to the next
+                # phase's maps across the mesh.
+                routed = {}
+                for q in my_pairs:
+                    for rec in out_parts[q]:
+                        dest = part(rec[0])
+                        routed.setdefault(_owner(dest, num_workers), {}).setdefault(
+                            dest, {}
+                        ).setdefault(q, []).append(rec)
+                local = send_batches(REPART, iteration, phase_index, routed)
+                arrived = inbox.gather(REPART, iteration, phase_index, peers, timeout)
+                arrived[wid] = local
+                current = {}
+                for p in my_pairs:
+                    records = []
+                    for src_pair in range(num_pairs):
+                        by_src = arrived.get(_owner(src_pair, num_workers))
+                        if by_src:
+                            records.extend(by_src.get(p, {}).get(src_pair, ()))
+                    current[p] = records
+
+        iterations_run = iteration + 1
+
+        # ---- per-iteration control-plane report ----
+        report: dict[str, Any] = {}
+        if distance_fn is not None and prev is not None:
+            partials = {}
+            for p in my_pairs:
+                prev_get = prev[p].get
+                partial = 0.0
+                for key, value in current.get(p, []):
+                    partial += distance_fn(key, prev_get(key), value)
+                partials[p] = partial
+                prev[p] = dict(current.get(p, []))
+            report["distance"] = partials
+        if cfg.send_state:
+            report["state"] = {p: current.get(p, []) for p in my_pairs}
+        if report or cfg.wait_verdict:
+            coordinator.put((ITER_REPORT, wid, iteration, report))
+        if cfg.wait_verdict:
+            verdict = inbox.verdict(iteration, timeout)
+            if verdict != CONTINUE:
+                terminated_by = verdict
+                break
+
+    coordinator.put(
+        (
+            FINAL_REPORT,
+            wid,
+            {
+                "state": {p: current.get(p, []) for p in my_pairs},
+                "iterations_run": iterations_run,
+                "terminated_by": terminated_by,
+                "stats": stats,
+            },
+        )
+    )

@@ -21,8 +21,10 @@ from .oracles import (
     ALL_ORACLES,
     OracleViolation,
     evaluate_oracles,
+    records_identical,
     states_match,
     values_close,
+    values_identical,
 )
 from .runner import (
     CampaignFailure,
@@ -41,8 +43,10 @@ __all__ = [
     "ALL_ORACLES",
     "OracleViolation",
     "evaluate_oracles",
+    "records_identical",
     "states_match",
     "values_close",
+    "values_identical",
     "CampaignFailure",
     "CampaignOutcome",
     "ChaosReport",

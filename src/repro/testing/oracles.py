@@ -23,9 +23,12 @@ from ..metrics.trace import check_well_formed
 __all__ = [
     "OracleViolation",
     "values_close",
+    "values_identical",
+    "records_identical",
     "states_match",
     "oracle_termination",
     "oracle_differential",
+    "oracle_parallel_differential",
     "oracle_checkpoint_rollback",
     "oracle_trace_well_formed",
     "ALL_ORACLES",
@@ -75,6 +78,37 @@ def values_close(a: Any, b: Any, rtol: float = RTOL, atol: float = ATOL) -> bool
             return True
         return bool(np.isclose(a, b, rtol=rtol, atol=atol, equal_nan=True))
     return a == b
+
+
+def values_identical(a: Any, b: Any) -> bool:
+    """Bit-exact structural equality (no tolerance), numpy-safe.
+
+    ``a == b`` on records whose values hold numpy arrays raises (array
+    truth value); this walks containers and compares arrays with
+    ``array_equal`` instead.
+    """
+    import numpy as np
+
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        return (
+            type(a) is type(b)
+            and a.dtype == b.dtype
+            and bool(np.array_equal(a, b))
+        )
+    if isinstance(a, (list, tuple)):
+        return (
+            type(a) is type(b)
+            and len(a) == len(b)
+            and all(values_identical(x, y) for x, y in zip(a, b))
+        )
+    return type(a) is type(b) and a == b
+
+
+def records_identical(
+    a: list[tuple[Any, Any]], b: list[tuple[Any, Any]]
+) -> bool:
+    """Record-for-record equality of two final states."""
+    return values_identical(list(a), list(b))
 
 
 def states_match(
@@ -164,6 +198,55 @@ def oracle_differential(spec, outcome) -> list[OracleViolation]:
     return v
 
 
+def oracle_parallel_differential(spec, outcome) -> list[OracleViolation]:
+    """The real multiprocess backend reproduces the serial reference
+    *record for record* — no float tolerance.
+
+    ``run_parallel`` shares the per-pair map/combine code path with
+    ``run_local`` and orders every reduce input and distance fold
+    identically, so its results are bit-equal by construction; any
+    drift, however small, is a routing or ordering bug.  The oracle is
+    inert unless the campaign ran in ``parallel`` mode.
+    """
+    v: list[OracleViolation] = []
+    if outcome.parallel_error is not None:
+        v.append(
+            OracleViolation(
+                "parallel-differential",
+                f"run_parallel raised "
+                f"{type(outcome.parallel_error).__name__}: "
+                f"{outcome.parallel_error}",
+            )
+        )
+        return v
+    par = outcome.parallel_result
+    if par is None:
+        return v
+    ref = outcome.reference
+    if par.terminated_by != ref.terminated_by:
+        v.append(
+            OracleViolation(
+                "parallel-differential",
+                f"terminated_by={par.terminated_by!r}, reference says "
+                f"{ref.terminated_by!r}",
+            )
+        )
+    if par.iterations_run != ref.iterations_run:
+        v.append(
+            OracleViolation(
+                "parallel-differential",
+                f"ran {par.iterations_run} iterations, reference ran "
+                f"{ref.iterations_run}",
+            )
+        )
+    if not records_identical(par.state, ref.state):
+        detail = "; ".join(states_match(par.state, ref.state)) or (
+            "states compare close but not record-identical"
+        )
+        v.append(OracleViolation("parallel-differential", detail))
+    return v
+
+
 def oracle_checkpoint_rollback(spec, outcome) -> list[OracleViolation]:
     """Recovery never resumes from a newer iteration than the last
     durable checkpoint, and durable checkpoints only move forward."""
@@ -217,6 +300,7 @@ def oracle_trace_well_formed(spec, outcome) -> list[OracleViolation]:
 ALL_ORACLES: dict[str, Callable] = {
     "termination": oracle_termination,
     "differential": oracle_differential,
+    "parallel-differential": oracle_parallel_differential,
     "checkpoint": oracle_checkpoint_rollback,
     "trace": oracle_trace_well_formed,
 }

@@ -29,6 +29,7 @@ from ..imapreduce import (
     IMapReduceRuntime,
     LoadBalanceConfig,
     run_local,
+    run_parallel,
 )
 from ..metrics.trace import TraceEvent, Tracer
 from ..simulation import Engine
@@ -62,6 +63,10 @@ class CampaignOutcome:
     error: BaseException | None = None
     violations: list[OracleViolation] = field(default_factory=list)
     wall_seconds: float = 0.0
+    #: Set when the campaign also ran the real multiprocess backend
+    #: (``parallel`` mode): its result, or the exception it died with.
+    parallel_result: Any = None  # ParallelRunResult | None
+    parallel_error: BaseException | None = None
 
     @property
     def ok(self) -> bool:
@@ -168,12 +173,23 @@ def _build_cluster(spec: CampaignSpec, engine: Engine) -> Cluster:
 
 # -------------------------------------------------------------- running --
 def run_campaign(
-    spec: CampaignSpec, knobs: ChaosKnobs | None = None
+    spec: CampaignSpec,
+    knobs: ChaosKnobs | None = None,
+    *,
+    parallel: bool = False,
+    parallel_workers: int = 2,
 ) -> CampaignOutcome:
     """Run one campaign end to end and evaluate every oracle.
 
     ``knobs`` deliberately breaks the runtime (harness self-test): a
     correct harness must report violations for a broken runtime.
+
+    ``parallel`` is a run-time dimension, not part of the spec (pinned
+    campaign seeds keep generating byte-identical specs): the same
+    workload additionally runs on the real multiprocess backend and the
+    ``parallel-differential`` oracle demands record-for-record equality
+    with the serial reference.  Campaign workloads never use thresholds
+    or aux phases, so the comparison is float-exact by construction.
     """
     started = time.perf_counter()
     spec.validate()
@@ -222,6 +238,18 @@ def run_campaign(
         job, state, static_map, num_pairs=spec.num_pairs
     )
     outcome.reference.state.sort(key=lambda kv: repr(kv[0]))
+    if parallel:
+        try:
+            outcome.parallel_result = run_parallel(
+                job,
+                state,
+                static_map,
+                num_pairs=spec.num_pairs,
+                num_workers=parallel_workers,
+            )
+            outcome.parallel_result.state.sort(key=lambda kv: repr(kv[0]))
+        except Exception as exc:  # judged by the parallel oracle
+            outcome.parallel_error = exc
     outcome.trace_events = list(tracer.events)
     outcome.violations = evaluate_oracles(spec, outcome)
     outcome.wall_seconds = time.perf_counter() - started
@@ -232,10 +260,12 @@ def campaign_fails(
     spec: CampaignSpec,
     knobs: ChaosKnobs | None = None,
     oracles: set[str] | None = None,
+    *,
+    parallel: bool = False,
 ) -> bool:
     """Shrinking predicate: does ``spec`` still violate (the given) oracles?"""
     try:
-        outcome = run_campaign(spec, knobs)
+        outcome = run_campaign(spec, knobs, parallel=parallel)
     except Exception:
         # A spec the runner itself cannot execute (shrinker stepped
         # outside the envelope) does not count as a reproduction.
@@ -253,6 +283,7 @@ def run_chaos(
     knobs: ChaosKnobs | None = None,
     shrink_failures: bool = True,
     strip_net_faults: bool = False,
+    parallel: bool = False,
     log: Callable[[str], None] | None = None,
 ) -> ChaosReport:
     """Run a battery of ``campaigns`` seeded campaigns.
@@ -269,7 +300,7 @@ def run_chaos(
         spec = generate_campaign(campaign_seed, workloads)
         if strip_net_faults:
             spec = spec.but(net_faults=())
-        outcome = run_campaign(spec, knobs)
+        outcome = run_campaign(spec, knobs, parallel=parallel)
         report.campaigns += 1
         if outcome.ok:
             report.passed += 1
@@ -292,7 +323,10 @@ def run_chaos(
         if shrink_failures:
             failed_oracles = {v.oracle for v in outcome.violations}
             failure.shrunk, failure.shrink_attempts = shrink(
-                spec, lambda s: campaign_fails(s, knobs, failed_oracles)
+                spec,
+                lambda s: campaign_fails(
+                    s, knobs, failed_oracles, parallel=parallel
+                ),
             )
             if log and failure.shrunk != spec:
                 log(f"  shrunk to: {failure.shrunk.describe()}")

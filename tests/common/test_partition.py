@@ -84,3 +84,45 @@ def test_stable_hash_is_process_independent():
     assert stable_hash(0) == stable_hash(0)
     pinned = {stable_hash("node-1") % 8, stable_hash("node-1") % 8}
     assert len(pinned) == 1
+
+
+# ------------------------------------------------------- bound fast paths --
+def test_bind_matches_call_for_all_partitioners():
+    from repro.common import bind_partitioner
+
+    keys = [0, 1, -3, 17, 2**40, True, False, "node-1", 3.5, None, (1, 2)]
+    for part in (HashPartitioner(), ModPartitioner(), RangePartitioner(100)):
+        for n in (1, 3, 8):
+            bound = bind_partitioner(part, n)
+            for key in keys:
+                if isinstance(part, RangePartitioner) and not isinstance(
+                    key, (int, float)
+                ):
+                    continue
+                assert bound(key) == part(key, n), (type(part).__name__, key, n)
+
+
+def test_bind_partitioner_rejects_zero_partitions():
+    from repro.common import bind_partitioner
+
+    with pytest.raises(ValueError):
+        bind_partitioner(ModPartitioner(), 0)
+
+
+def test_bind_partitioner_wraps_plain_callables():
+    from repro.common import bind_partitioner
+
+    bound = bind_partitioner(lambda key, n: (key + 1) % n, 4)
+    assert bound(2) == 3
+    assert bound(3) == 0
+
+
+def test_mod_bind_int_fast_path_excludes_bool():
+    """``True % n`` would be valid Python but bools must keep going
+    through ``stable_hash`` so they land where they always landed."""
+    from repro.common import bind_partitioner
+
+    part = ModPartitioner()
+    bound = bind_partitioner(part, 8)
+    assert bound(True) == part(True, 8)
+    assert bound(False) == part(False, 8)

@@ -94,3 +94,46 @@ def test_total_size_additive_over_concatenation(pairs):
 @given(value_strategy)
 def test_size_is_deterministic(value):
     assert sizeof_value(value) == sizeof_value(value)
+
+
+# ------------------------------------------------------------ memoization --
+def test_memo_distinguishes_equal_but_differently_typed_values():
+    """``1 == 1.0 == True`` yet their sizes differ by type: the memo key
+    must never collide them."""
+    assert sizeof_value(1) == 9
+    assert sizeof_value(1.0) == 9
+    assert sizeof_value(True) == 1
+    # Repeat in reverse order: cached answers must stay type-correct.
+    assert sizeof_value(True) == 1
+    assert sizeof_value(1.0) == 9
+    assert sizeof_value(1) == 9
+
+
+def test_memo_hits_return_identical_sizes():
+    from repro.common import serialization
+
+    probes = [7, 3.14, "node", ("a", 1, 2.0), None, (), ("x", (1, 2))]
+    first = [sizeof_value(p) for p in probes]
+    second = [sizeof_value(p) for p in probes]
+    assert first == second
+    assert first == [serialization._sizeof_uncached(p) for p in probes]
+
+
+def test_memo_skips_uncacheable_values():
+    from repro.common import serialization
+
+    long_string = "x" * 1000
+    big_tuple = tuple(range(100))
+    array = np.arange(8)
+    for value in (long_string, big_tuple, array):
+        assert serialization._memo_key(value) is None
+        assert sizeof_value(value) == serialization._sizeof_uncached(value)
+
+
+def test_memo_nested_tuple_keys_recurse():
+    from repro.common import serialization
+
+    key = serialization._memo_key((1, (2.0, "s")))
+    assert key is not None
+    # A tuple containing an uncacheable leaf is itself uncacheable.
+    assert serialization._memo_key((1, "y" * 1000)) is None

@@ -1,0 +1,45 @@
+"""Quick-mode smoke for the wall-clock benchmark library.
+
+Tiny problem sizes, one repeat: exercises the whole suite path —
+workload builders, serial/parallel timing, integrity checks, the sizeof
+micro-benchmark, and the JSON writer — in a few seconds.
+"""
+
+import json
+
+from repro.experiments.wallclock import (
+    build_cases,
+    run_suite,
+    sizeof_microbench,
+    time_case,
+)
+
+
+def test_quick_suite_writes_json(tmp_path):
+    out = tmp_path / "bench.json"
+    results = run_suite(out_path=str(out), workers=(1, 2), quick=True)
+    loaded = json.loads(out.read_text())
+    assert loaded == results
+    assert loaded["meta"]["quick"] is True
+    assert loaded["meta"]["workers"] == [1, 2]
+    assert len(loaded["workloads"]) == 3
+    for workload in loaded["workloads"]:
+        assert workload["record_identical"], workload["name"]
+        assert [p["workers"] for p in workload["parallel"]] == [1, 2]
+        for point in workload["parallel"]:
+            assert point["static_loads"] == point["workers"]
+            assert point["seconds"] >= 0.0
+
+
+def test_suite_runs_without_output_file():
+    case = build_cases(quick=True)[1]  # sssp: cheapest
+    row = time_case(case, workers=(2,), repeats=1)
+    assert row["record_identical"]
+    assert row["parallel"][0]["workers"] == 2
+
+
+def test_sizeof_microbench_reports_speedup():
+    micro = sizeof_microbench(calls=5_000)
+    assert micro["calls"] > 0
+    assert micro["uncached_seconds"] >= 0.0
+    assert micro["memoized_seconds"] >= 0.0

@@ -1,0 +1,263 @@
+"""Differential tests: the real multiprocess backend vs the serial oracle.
+
+``run_parallel`` promises *record-for-record* equality with
+``run_local`` — same final state (bit-identical floats), same iteration
+count, same termination reason, same per-iteration distances — across
+every job shape the engine supports: free-running maxiter jobs,
+threshold termination, one2all broadcast, aux-phase termination,
+multi-phase iterations, and combiners.  These tests pin that promise on
+all five algorithms plus the worker-count edge cases.
+"""
+
+import pickle
+
+import pytest
+
+from repro.algorithms import (
+    components,
+    jacobi,
+    kmeans,
+    matrixpower,
+    pagerank,
+    sssp,
+)
+from repro.common import IterKeys, JobConf
+from repro.data.lastfm import load_lastfm
+from repro.graph.generators import pagerank_graph, sssp_graph
+from repro.imapreduce import (
+    IterativeJob,
+    ParallelExecutionError,
+    run_local,
+    run_parallel,
+)
+from repro.testing.oracles import records_identical
+
+STATE = "/t/state"
+STATIC = "/t/static"
+OUT = "/t/out"
+
+
+def assert_record_identical(job, state, static_map, *, num_pairs, num_workers,
+                            keep_history=False):
+    """Run both backends and demand bit-for-bit equal results."""
+    ref = run_local(job, state, static_map, num_pairs=num_pairs,
+                    keep_history=keep_history)
+    par = run_parallel(job, state, static_map, num_pairs=num_pairs,
+                       num_workers=num_workers, keep_history=keep_history)
+    assert records_identical(par.state, ref.state)  # exact, not approximate
+    assert par.iterations_run == ref.iterations_run
+    assert par.terminated_by == ref.terminated_by
+    assert par.converged == ref.converged
+    assert par.distances == ref.distances  # bit-identical float folds
+    if keep_history:
+        assert len(par.history) == len(ref.history)
+        for mine, theirs in zip(par.history, ref.history):
+            assert records_identical(mine, theirs)
+    assert par.num_workers == min(num_workers, num_pairs)
+    # §3.2: every worker deserializes its static partitions exactly once.
+    assert par.static_loads == par.num_workers
+    return par
+
+
+# ----------------------------------------------------------- five algos --
+@pytest.mark.parametrize("combiner", [False, True])
+@pytest.mark.parametrize("num_workers", [1, 3])
+def test_sssp_free_run(combiner, num_workers):
+    graph = sssp_graph(24, seed=11)
+    job = sssp.build_imr_job(
+        state_path=STATE, static_path=STATIC, output_path=OUT,
+        max_iterations=4, num_pairs=5, combiner=combiner,
+    )
+    assert_record_identical(
+        job, sssp.initial_state(graph, source=0),
+        {STATIC: sssp.static_records(graph)},
+        num_pairs=5, num_workers=num_workers,
+    )
+
+
+def test_pagerank_threshold_termination():
+    graph = pagerank_graph(30, seed=3)
+    job = pagerank.build_imr_job(
+        30, state_path=STATE, static_path=STATIC, output_path=OUT,
+        max_iterations=60, threshold=1e-3, num_pairs=4, combiner=True,
+    )
+    par = assert_record_identical(
+        job, pagerank.initial_state(graph),
+        {STATIC: pagerank.static_records(graph)},
+        num_pairs=4, num_workers=2,
+    )
+    assert par.terminated_by == "threshold"
+    assert par.converged
+
+
+def test_kmeans_one2all_aux_termination():
+    data = load_lastfm(num_users=30, num_artists=6, num_tastes=2, seed=5)
+    state = kmeans.initial_centroids(data, 3, seed=9)
+    job = kmeans.build_imr_job(
+        state_path=STATE, static_path=STATIC, output_path=OUT,
+        max_iterations=25, num_pairs=3, track_membership=True,
+        aux=kmeans.make_convergence_aux(move_threshold=1),
+    )
+    par = assert_record_identical(
+        job, state, {STATIC: data.user_records()},
+        num_pairs=3, num_workers=2,
+    )
+    assert par.terminated_by == "aux"
+
+
+def test_matrixpower_multi_phase():
+    import numpy as np
+
+    rng = np.random.default_rng(7)
+    m = rng.uniform(-1, 1, size=(6, 6))
+    job = matrixpower.build_imr_job(
+        state_path=STATE, static_path=STATIC, output_path=OUT,
+        max_iterations=3, num_pairs=4,
+    )
+    par = assert_record_identical(
+        job, matrixpower.matrix_to_state_records(m),
+        {STATIC: matrixpower.matrix_to_column_records(m)},
+        num_pairs=4, num_workers=3,
+    )
+    got = matrixpower.records_to_matrix(par.state, (6, 6))
+    assert np.allclose(got, np.linalg.matrix_power(m, 4))
+
+
+def test_jacobi_one2all_threshold():
+    import numpy as np
+
+    rng = np.random.default_rng(13)
+    n = 10
+    a = rng.uniform(-1, 1, size=(n, n)) + np.eye(n) * n  # diag dominant
+    b = rng.uniform(-1, 1, size=n)
+    job = jacobi.build_imr_job(
+        state_path=STATE, static_path=STATIC, output_path=OUT,
+        max_iterations=50, threshold=1e-8, num_pairs=3,
+    )
+    par = assert_record_identical(
+        job, jacobi.initial_state(n),
+        {STATIC: jacobi.system_to_static_records(a, b)},
+        num_pairs=3, num_workers=3,
+    )
+    assert par.terminated_by == "threshold"
+
+
+def test_components_zero_threshold():
+    graph = sssp_graph(20, seed=21)
+    job = components.build_imr_job(
+        state_path=STATE, static_path=STATIC, output_path=OUT,
+        max_iterations=30, num_pairs=4,
+    )
+    par = assert_record_identical(
+        job, components.initial_state(graph),
+        {STATIC: components.static_records(graph)},
+        num_pairs=4, num_workers=2,
+    )
+    assert par.terminated_by == "threshold"  # stops when no label moves
+
+
+# -------------------------------------------------------------- shapes --
+def test_history_parity():
+    graph = pagerank_graph(16, seed=1)
+    job = pagerank.build_imr_job(
+        16, state_path=STATE, static_path=STATIC, output_path=OUT,
+        max_iterations=3, num_pairs=3,
+    )
+    assert_record_identical(
+        job, pagerank.initial_state(graph),
+        {STATIC: pagerank.static_records(graph)},
+        num_pairs=3, num_workers=2, keep_history=True,
+    )
+
+
+def test_more_workers_than_pairs_clamps():
+    graph = sssp_graph(12, seed=2)
+    job = sssp.build_imr_job(
+        state_path=STATE, static_path=STATIC, output_path=OUT,
+        max_iterations=2, num_pairs=2,
+    )
+    par = assert_record_identical(
+        job, sssp.initial_state(graph, source=0),
+        {STATIC: sssp.static_records(graph)},
+        num_pairs=2, num_workers=8,
+    )
+    assert par.num_workers == 2
+
+
+def _boom_map(key, state, static, ctx):
+    raise RuntimeError("boom in worker")
+
+
+def _identity_reduce(key, values, ctx):
+    ctx.emit(key, values[0])
+
+
+def test_worker_error_propagates():
+    job = IterativeJob.single_phase(
+        "boom", _boom_map, _identity_reduce,
+        conf=JobConf({IterKeys.STATE_PATH: STATE, IterKeys.MAX_ITER: 2}),
+        output_path=OUT,
+    )
+    with pytest.raises(ParallelExecutionError, match="boom in worker"):
+        run_parallel(job, [(i, 1.0) for i in range(4)],
+                     num_pairs=2, num_workers=2)
+
+
+# ------------------------------------------------------------- pickling --
+def _every_job():
+    graph = sssp_graph(8, seed=1)
+    yield "sssp", sssp.build_imr_job(
+        state_path=STATE, static_path=STATIC, output_path=OUT,
+        max_iterations=2, combiner=True, threshold=0.5,
+    )
+    yield "pagerank", pagerank.build_imr_job(
+        8, state_path=STATE, static_path=STATIC, output_path=OUT,
+        max_iterations=2, combiner=True, threshold=0.5,
+    )
+    yield "kmeans", kmeans.build_imr_job(
+        state_path=STATE, static_path=STATIC, output_path=OUT,
+        max_iterations=2, combiner=True, track_membership=True,
+        aux=kmeans.make_convergence_aux(move_threshold=1),
+    )
+    yield "matrixpower", matrixpower.build_imr_job(
+        state_path=STATE, static_path=STATIC, output_path=OUT,
+        max_iterations=2,
+    )
+    yield "jacobi", jacobi.build_imr_job(
+        state_path=STATE, static_path=STATIC, output_path=OUT,
+        max_iterations=2, threshold=0.5,
+    )
+    yield "components", components.build_imr_job(
+        state_path=STATE, static_path=STATIC, output_path=OUT,
+        max_iterations=2,
+    )
+
+
+@pytest.mark.parametrize("name,job", list(_every_job()),
+                         ids=lambda v: v if isinstance(v, str) else "")
+def test_every_job_is_picklable(name, job):
+    """The parallel backend ships jobs as pickle blobs: every algorithm's
+    ``build_imr_job`` result must survive the round trip."""
+    clone = pickle.loads(pickle.dumps(job))
+    assert clone.name == job.name
+    assert len(clone.phases) == len(job.phases)
+    assert (clone.aux is None) == (job.aux is None)
+
+
+# ----------------------------------------------------------- campaigns --
+@pytest.mark.parametrize("campaign_seed", [97, 4242])
+def test_seeded_campaign_parallel_mode(campaign_seed):
+    """The chaos harness's ``parallel`` dimension: the same seeded
+    workload runs on the multiprocess backend and the
+    ``parallel-differential`` oracle demands record equality."""
+    from repro.testing import generate_campaign
+    from repro.testing.runner import run_campaign
+
+    spec = generate_campaign(campaign_seed).but(net_faults=())
+    outcome = run_campaign(spec, parallel=True)
+    assert outcome.parallel_error is None
+    assert outcome.parallel_result is not None
+    parallel_violations = [
+        v for v in outcome.violations if v.oracle == "parallel-differential"
+    ]
+    assert parallel_violations == []

@@ -61,3 +61,43 @@ def test_module_entrypoint_smoke():
     )
     assert proc.returncode == 0
     assert "fig4" in proc.stdout
+
+
+def test_run_serial_backend(capsys):
+    assert main([
+        "run", "sssp", "--dataset", "dblp", "--iterations", "2",
+        "--backend", "serial", "--pairs", "3",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "serial (3 pairs)" in out and "2 iterations" in out
+
+
+def test_run_parallel_backend(capsys):
+    assert main([
+        "run", "sssp", "--dataset", "dblp", "--iterations", "2",
+        "--backend", "parallel", "--pairs", "4", "--workers", "2",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "parallel (2 workers, 4 pairs)" in out and "2 iterations" in out
+
+
+def test_bench_quick(tmp_path, capsys):
+    out_path = tmp_path / "bench.json"
+    assert main(["bench", "--quick", "--workers", "1,2",
+                 "--out", str(out_path)]) == 0
+    out = capsys.readouterr().out
+    assert out_path.exists()
+    assert "sizeof_value memoization" in out
+
+
+def test_bench_rejects_bad_workers(tmp_path, capsys):
+    assert main(["bench", "--quick", "--workers", "two",
+                 "--out", str(tmp_path / "b.json")]) == 2
+    assert "bad --workers" in capsys.readouterr().err
+
+
+def test_chaos_parallel_replay(capsys):
+    assert main([
+        "chaos", "--campaign-seed", "97", "--no-net-faults", "--parallel",
+    ]) == 0
+    assert "all oracles passed" in capsys.readouterr().out

@@ -11,10 +11,13 @@ from repro.testing.oracles import (
     evaluate_oracles,
     oracle_checkpoint_rollback,
     oracle_differential,
+    oracle_parallel_differential,
     oracle_termination,
     oracle_trace_well_formed,
+    records_identical,
     states_match,
     values_close,
+    values_identical,
 )
 
 
@@ -33,6 +36,8 @@ def outcome(**kw):
         ),
         final_state=[],
         trace_events=[],
+        parallel_result=None,
+        parallel_error=None,
     )
     base.update(kw)
     return SimpleNamespace(**base)
@@ -178,6 +183,71 @@ def test_trace_oracle_flags_time_reversal():
 
 # -------------------------------------------------------------- evaluate --
 def test_evaluate_runs_every_oracle():
-    assert set(ALL_ORACLES) == {"termination", "differential", "checkpoint", "trace"}
+    assert set(ALL_ORACLES) == {
+        "termination", "differential", "parallel-differential",
+        "checkpoint", "trace",
+    }
     v = evaluate_oracles(spec(), outcome(error=RuntimeError("boom")))
     assert [x.oracle for x in v] == ["termination"]
+
+
+# -------------------------------------------- parallel-differential oracle --
+def _par(state, iterations_run=3, terminated_by="max-iterations"):
+    return SimpleNamespace(
+        state=state, iterations_run=iterations_run, terminated_by=terminated_by
+    )
+
+
+def test_parallel_oracle_inert_without_parallel_run():
+    assert oracle_parallel_differential(spec(), outcome()) == []
+
+
+def test_parallel_oracle_reports_backend_error():
+    v = oracle_parallel_differential(
+        spec(), outcome(parallel_error=RuntimeError("worker died"))
+    )
+    assert len(v) == 1 and "worker died" in v[0].detail
+
+
+def test_parallel_oracle_demands_exact_equality():
+    ref = SimpleNamespace(
+        iterations_run=3, terminated_by="max-iterations",
+        state=[(0, 1.0), (1, 2.0)],
+    )
+    ok = outcome(reference=ref, parallel_result=_par([(0, 1.0), (1, 2.0)]))
+    assert oracle_parallel_differential(spec(), ok) == []
+    # Even a 1-ulp float drift is a violation: no tolerance.
+    drift = outcome(
+        reference=ref,
+        parallel_result=_par([(0, 1.0), (1, 2.0 + 2**-50)]),
+    )
+    v = oracle_parallel_differential(spec(), drift)
+    assert v and v[0].oracle == "parallel-differential"
+
+
+def test_parallel_oracle_checks_iterations_and_termination():
+    ref = SimpleNamespace(
+        iterations_run=3, terminated_by="max-iterations", state=[]
+    )
+    v = oracle_parallel_differential(
+        spec(),
+        outcome(reference=ref,
+                parallel_result=_par([], iterations_run=2,
+                                     terminated_by="threshold")),
+    )
+    assert {x.oracle for x in v} == {"parallel-differential"}
+    assert len(v) == 2
+
+
+def test_values_identical_is_exact_and_numpy_safe():
+    assert values_identical((1, 2.0), (1, 2.0))
+    assert not values_identical((1, 2.0), (1, 2.0 + 2**-50))
+    assert not values_identical(1, 1.0)  # type-exact
+    assert not values_identical(1, True)
+    assert values_identical(np.array([1.0]), np.array([1.0]))
+    assert not values_identical(np.array([1.0]), np.array([1.0 + 2**-50]))
+    assert not values_identical(np.array([1.0]), [1.0])
+    assert records_identical([(0, np.array([1.0, 2.0]))],
+                             [(0, np.array([1.0, 2.0]))])
+    assert not records_identical([(0, np.array([1.0]))],
+                                 [(0, np.array([2.0]))])
