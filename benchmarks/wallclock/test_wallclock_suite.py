@@ -33,9 +33,17 @@ def test_wallclock_suite():
     assert {w["name"] for w in loaded["workloads"]} == {
         "pagerank", "sssp", "kmeans"
     }
+    total_batches = total_dense = 0
     for workload in results["workloads"]:
         assert workload["record_identical"], workload["name"]
         for point in workload["parallel"]:
             assert point["static_loads"] == point["workers"]
+            assert point["counters"]["batches_sent"] <= point["dense_batches"]
+            total_batches += point["counters"]["batches_sent"]
+            total_dense += point["dense_batches"]
+    # The skip-empty mesh plus the hoisted one2all broadcast must ship
+    # strictly fewer batches than the dense PR4 protocol overall.
+    assert total_batches < total_dense
+    assert set(results["phase_breakdown"]) == {"pagerank", "sssp", "kmeans"}
     micro = results["sizeof_microbench"]
     assert micro["speedup"] is not None and micro["speedup"] > 1.0

@@ -112,12 +112,19 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench = sub.add_parser(
         "bench", help="wall-clock benchmark: run_local vs run_parallel"
     )
-    p_bench.add_argument("--out", default="BENCH_PR4.json",
-                         help="output JSON path (default BENCH_PR4.json)")
+    p_bench.add_argument("--out", default="BENCH_PR5.json",
+                         help="output JSON path (default BENCH_PR5.json)")
     p_bench.add_argument("--workers", default=None,
                          help="comma-separated worker counts, e.g. 1,2,4")
     p_bench.add_argument("--quick", action="store_true",
                          help="tiny problem sizes (CI smoke)")
+    p_bench.add_argument("--profile", action="store_true",
+                         help="print the phase-level profiler breakdown "
+                              "(map/combine/serialize/send/wait/reduce)")
+    p_bench.add_argument("--check", default=None, metavar="BASELINE.json",
+                         help="gate data-plane counters (records/batches/"
+                              "bytes pickled) against a committed baseline; "
+                              "exit 1 on any regression")
     return parser
 
 
@@ -229,7 +236,14 @@ def _run_real_backend(args, dataset: str) -> int:
 
 
 def _cmd_bench(args) -> int:
-    from .experiments.wallclock import DEFAULT_WORKERS, run_suite
+    import json
+
+    from .experiments.wallclock import (
+        DEFAULT_WORKERS,
+        compare_counters,
+        format_phase_breakdown,
+        run_suite,
+    )
 
     workers = DEFAULT_WORKERS
     if args.workers:
@@ -243,6 +257,8 @@ def _cmd_bench(args) -> int:
     results = run_suite(
         out_path=args.out, workers=workers, quick=args.quick, log=print
     )
+    if args.profile:
+        print(format_phase_breakdown(results))
     micro = results["sizeof_microbench"]
     print(
         f"sizeof_value memoization: {micro['speedup']}x over "
@@ -251,6 +267,22 @@ def _cmd_bench(args) -> int:
     print(
         f"wrote {args.out} (cpu_count={results['meta']['cpu_count']})"
     )
+    if args.check:
+        try:
+            with open(args.check) as fh:
+                baseline = json.load(fh)
+        except (OSError, ValueError) as exc:
+            print(f"cannot read baseline {args.check!r}: {exc}",
+                  file=sys.stderr)
+            return 2
+        problems = compare_counters(results, baseline)
+        if problems:
+            print(f"data-plane counter regressions vs {args.check}:",
+                  file=sys.stderr)
+            for problem in problems:
+                print(f"  {problem}", file=sys.stderr)
+            return 1
+        print(f"data-plane counters OK vs {args.check}")
     return 0
 
 

@@ -11,8 +11,21 @@ on every run that the parallel result is record-for-record identical to
 the serial one and that each worker deserialized its static partitions
 exactly once (§3.2's static-data residency).
 
+Beyond wall time, every parallel point records the mesh's data-plane
+counters — ``records_sent``, ``batches_sent``, ``manifest_frames``,
+``bytes_pickled`` — next to ``dense_batches``, the message count the
+pre-manifest dense protocol (every peer, every phase, every iteration)
+would have shipped for the same run; and the phase-level profiler's
+``phase_seconds`` wall-time split (map, combine, serialize, deserialize,
+send, wait, reduce, report), aggregated into the JSON's top-level
+``phase_breakdown`` section.  The counters are deterministic for a given
+workload (seeded builders, pinned pickle protocol), which is what lets
+CI gate on them: :func:`compare_counters` fails the bench leg if any
+counter regresses against the committed ``BENCH_PR5.json`` baseline,
+while wall-clock numbers stay informational.
+
 ``run_suite`` writes the JSON trajectory consumed by CI (uploaded as the
-``BENCH_PR4.json`` artifact) and by ``repro bench``.
+``BENCH_PR5.json`` artifact) and by ``repro bench``.
 """
 
 from __future__ import annotations
@@ -35,10 +48,17 @@ __all__ = [
     "build_cases",
     "build_backend_workload",
     "time_case",
+    "dense_batches",
     "sizeof_microbench",
     "run_suite",
+    "compare_counters",
+    "format_phase_breakdown",
     "DEFAULT_WORKERS",
+    "COUNTERS",
 ]
+
+#: Data-plane counters recorded per parallel point and gated by CI.
+COUNTERS = ("records_sent", "batches_sent", "manifest_frames", "bytes_pickled")
 
 STATE = "/bench/state"
 STATIC = "/bench/static"
@@ -167,6 +187,24 @@ def build_backend_workload(
     raise ValueError(f"unknown algorithm {algorithm!r}")
 
 
+def dense_batches(job, iterations: int, num_workers: int) -> int:
+    """Batches the PR4 dense protocol shipped for the same run: every
+    worker messaged every peer on every phase of every iteration (shuffle
+    + per-phase repartition + all-gather broadcast), empty or not."""
+    if num_workers <= 1:
+        return 0
+    edges = num_workers * (num_workers - 1)
+    per_iter = 0
+    last = len(job.phases) - 1
+    for index, phase in enumerate(job.phases):
+        per_iter += edges  # shuffle
+        if index != last:
+            per_iter += edges  # repartition
+        if phase.mapping == "one2all":
+            per_iter += edges  # all-gather broadcast
+    return per_iter * iterations
+
+
 def time_case(
     case: WallclockCase,
     workers: tuple[int, ...] = DEFAULT_WORKERS,
@@ -213,6 +251,14 @@ def time_case(
             "seconds": round(best, 4),
             "speedup": round(serial / best, 3) if best > 0 else None,
             "static_loads": par.static_loads,
+            # Data-plane counters are deterministic per (workload,
+            # workers): seeded builders + pinned frame protocol.  CI
+            # gates on these, not on wall time.
+            "counters": {name: par.counter(name) for name in COUNTERS},
+            "dense_batches": dense_batches(
+                job, par.iterations_run, par.num_workers
+            ),
+            "phase_seconds": par.phase_breakdown(),
         })
     return row
 
@@ -253,7 +299,7 @@ def sizeof_microbench(calls: int = 200_000) -> dict:
 
 
 def run_suite(
-    out_path: str | None = "BENCH_PR4.json",
+    out_path: str | None = "BENCH_PR5.json",
     workers: tuple[int, ...] = DEFAULT_WORKERS,
     quick: bool = False,
     log: Callable[[str], None] | None = None,
@@ -270,6 +316,7 @@ def run_suite(
             "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
         },
         "workloads": [],
+        "phase_breakdown": {},
         "sizeof_microbench": sizeof_microbench(
             calls=20_000 if quick else 200_000
         ),
@@ -277,6 +324,10 @@ def run_suite(
     for case in build_cases(quick=quick):
         row = time_case(case, workers=workers, repeats=1 if quick else 2)
         results["workloads"].append(row)
+        results["phase_breakdown"][row["name"]] = {
+            str(point["workers"]): point["phase_seconds"]
+            for point in row["parallel"]
+        }
         if log:
             speedups = ", ".join(
                 f"{p['workers']}w={p['speedup']}x" for p in row["parallel"]
@@ -290,3 +341,69 @@ def run_suite(
             json.dump(results, fh, indent=2)
             fh.write("\n")
     return results
+
+
+#: Headroom multiplier for the byte counter when gating: pickle output
+#: for the same records can drift a little across numpy point releases.
+_BYTES_TOLERANCE = 1.02
+
+
+def compare_counters(results: dict, baseline: dict) -> list[str]:
+    """Gate the data plane against a committed baseline.
+
+    Returns one message per regression: a (workload, workers) point
+    whose ``records_sent``/``batches_sent``/``bytes_pickled`` exceeds
+    the baseline's (bytes get 2% headroom for pickle drift).  Wall-clock
+    numbers are never compared — they belong to the host, the counters
+    belong to the protocol.  Points absent from the baseline (new
+    workloads, new worker counts) pass silently.
+    """
+    baseline_points: dict[tuple[str, int], dict] = {}
+    for row in baseline.get("workloads", ()):
+        for point in row.get("parallel", ()):
+            if "counters" in point:
+                baseline_points[(row["name"], point["workers"])] = point["counters"]
+
+    problems: list[str] = []
+    for row in results.get("workloads", ()):
+        for point in row.get("parallel", ()):
+            base = baseline_points.get((row["name"], point["workers"]))
+            if base is None:
+                continue
+            now = point["counters"]
+            for name in ("records_sent", "batches_sent"):
+                if name in base and now[name] > base[name]:
+                    problems.append(
+                        f"{row['name']}@{point['workers']}w: {name} "
+                        f"{now[name]} > baseline {base[name]}"
+                    )
+            if "bytes_pickled" in base and (
+                now["bytes_pickled"] > base["bytes_pickled"] * _BYTES_TOLERANCE
+            ):
+                problems.append(
+                    f"{row['name']}@{point['workers']}w: bytes_pickled "
+                    f"{now['bytes_pickled']} > baseline "
+                    f"{base['bytes_pickled']} (+2% headroom)"
+                )
+    return problems
+
+
+def format_phase_breakdown(results: dict) -> str:
+    """Render the profiler section as an aligned text table."""
+    from ..imapreduce.workerproc import PHASE_COUNTERS
+
+    lines = [
+        "phase breakdown (seconds, summed over workers):",
+        "  {:<10} {:>3}  ".format("workload", "w")
+        + "".join(f"{name:>12}" for name in PHASE_COUNTERS),
+    ]
+    for name, per_workers in results.get("phase_breakdown", {}).items():
+        for w, phases in per_workers.items():
+            lines.append(
+                f"  {name:<10} {w:>3}  "
+                + "".join(
+                    f"{phases.get(counter, 0.0):>12.4f}"
+                    for counter in PHASE_COUNTERS
+                )
+            )
+    return "\n".join(lines)

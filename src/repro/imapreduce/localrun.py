@@ -19,6 +19,7 @@ its differential oracle can demand record-for-record equality.
 
 from __future__ import annotations
 
+import time
 from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable
@@ -63,6 +64,7 @@ def map_pair(
     static_sorted: list[tuple[Any, Any]] | None,
     broadcast: list | None,
     part: Callable[[Any], int],
+    timings: dict[str, float] | None = None,
 ) -> list[tuple[Any, Any]]:
     """Run one pair's map task for one phase; returns its emissions.
 
@@ -70,7 +72,11 @@ def map_pair(
     ``static_sorted``/``broadcast`` are set for one2all phases.  Both the
     serial and the multiprocess executor call exactly this function, so
     emission content *and order* are identical across backends.
+
+    ``timings`` is the multiprocess backend's phase profiler: when given,
+    wall-time accumulates into its ``map`` and ``combine`` counters.
     """
+    started = time.perf_counter() if timings is not None else 0.0
     ctx = Context()
     if broadcast is not None:
         for key, static_value in static_sorted or ():
@@ -80,7 +86,10 @@ def map_pair(
         for key, state_value in records:
             phase.map_fn(key, state_value, static_get(key), ctx)
     emitted = ctx.take()
+    if timings is not None:
+        timings["map"] += time.perf_counter() - started
     if phase.combiner is not None:
+        started = time.perf_counter() if timings is not None else 0.0
         parts: dict[int, list] = defaultdict(list)
         for rec in emitted:
             parts[part(rec[0])].append(rec)
@@ -90,6 +99,8 @@ def map_pair(
             for key, values in group_by_key(part_recs):
                 phase.combiner(key, values, cctx)
             emitted.extend(cctx.take())
+        if timings is not None:
+            timings["combine"] += time.perf_counter() - started
     return emitted
 
 
@@ -220,10 +231,12 @@ def run_local(
             for p in range(num_pairs):
                 prev_get = prev_parts[p].get
                 partial = 0.0
-                for key, value in state_parts[p]:
+                new_prev = {}  # built during the distance pass — no
+                for key, value in state_parts[p]:  # second full rebuild
                     partial += distance_fn(key, prev_get(key), value)
+                    new_prev[key] = value
                 distance += partial
-                prev_parts[p] = dict(state_parts[p])
+                prev_parts[p] = new_prev
         distances.append(distance)
 
         # ---- auxiliary phase (§5.3) ----

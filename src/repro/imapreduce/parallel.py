@@ -11,10 +11,19 @@ core mechanisms for real:
   every iteration; no per-iteration process/task setup;
 * **static/state separation** (§3.2) — each worker deserializes its
   static-data partitions once at start and keeps them resident; only
-  pickled state batches cross process boundaries afterwards;
+  protocol-5 state frames cross process boundaries afterwards;
 * **asynchronous map start** (§3.3) — the data plane is a worker mesh
   with no global barrier: a pair's map for iteration k+1 starts as soon
   as its own reduce for k finished and its peer batches arrived.
+
+The mesh and both control planes run on point-to-point OS pipes
+(:func:`multiprocessing.Pipe`); the coordinator blocks in
+:func:`multiprocessing.connection.wait` over the workers' report pipes
+*and their process sentinels*, so a verdict round-trip costs
+microseconds and a worker death — any exit code, with or without a
+final report — is detected the instant the OS reaps it instead of on a
+poll interval or timeout.  See :mod:`.workerproc` for the frame format,
+the skip-empty manifest protocol, and the zero-copy buffer path.
 
 Supported job surface: combiners, one2all broadcast (§5.1), multi-phase
 iterations (§5.2), the auxiliary phase (§5.3), and distance/threshold
@@ -37,7 +46,9 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+from collections import deque
 from dataclasses import dataclass, field
+from multiprocessing.connection import wait as _conn_wait
 from typing import Any, Iterable
 
 from ..common.errors import JobError
@@ -53,13 +64,12 @@ from .workerproc import (
     ITER_REPORT,
     VERDICT,
     WorkerConfig,
+    encode_frame,
+    read_frame,
     worker_main,
 )
 
 __all__ = ["ParallelRunResult", "ParallelExecutionError", "run_parallel"]
-
-#: Coordinator-side liveness-poll interval while waiting on workers, s.
-_POLL_SECONDS = 1.0
 
 
 class ParallelExecutionError(JobError):
@@ -83,7 +93,8 @@ class ParallelRunResult:
     wall_seconds: float = 0.0
     #: Per-worker counters: pairs hosted, static_loads (always 1 per
     #: worker — asserted by the wall-clock benchmark), records/batches
-    #: shipped over the mesh.
+    #: shipped over the mesh, bytes pickled, and the phase-level
+    #: profiler's ``phase_seconds`` wall-time breakdown.
     worker_stats: list[dict] = field(default_factory=list)
 
     def state_dict(self) -> dict:
@@ -93,6 +104,19 @@ class ParallelRunResult:
     def static_loads(self) -> int:
         """Total static-partition deserializations across the run."""
         return sum(s.get("static_loads", 0) for s in self.worker_stats)
+
+    def counter(self, name: str) -> int:
+        """Sum one mesh counter (``records_sent``, ``batches_sent``,
+        ``manifest_frames``, ``bytes_pickled``) across workers."""
+        return sum(s.get(name, 0) for s in self.worker_stats)
+
+    def phase_breakdown(self) -> dict[str, float]:
+        """Aggregate the per-worker profiler into one wall-time dict."""
+        totals: dict[str, float] = {}
+        for stats in self.worker_stats:
+            for phase, seconds in stats.get("phase_seconds", {}).items():
+                totals[phase] = round(totals.get(phase, 0.0) + seconds, 6)
+        return totals
 
 
 def _pick_workers(num_workers: int | None, num_pairs: int) -> int:
@@ -131,7 +155,6 @@ def run_parallel(
     num_workers = _pick_workers(num_workers, num_pairs)
     phases = job.phases
     part = bind_partitioner(job.partitioner, num_pairs)
-    distance_fn = job.distance_fn
     aux = job.aux
     # Workers stream per-iteration state only when someone consumes it.
     send_state = aux is not None or keep_history
@@ -161,8 +184,20 @@ def run_parallel(
         ctx = multiprocessing.get_context(start_method or "fork")
     except ValueError:  # pragma: no cover - non-POSIX fallback
         ctx = multiprocessing.get_context(start_method)
-    coordinator_inbox = ctx.Queue()
-    worker_inboxes = [ctx.Queue() for _ in range(num_workers)]
+
+    # ---- wire the pipe mesh: one pipe per ordered worker pair, plus a
+    # verdict pipe to and a report pipe from every worker ----
+    peer_recv: list[dict[int, Any]] = [{} for _ in range(num_workers)]
+    peer_send: list[dict[int, Any]] = [{} for _ in range(num_workers)]
+    for src in range(num_workers):
+        for dst in range(num_workers):
+            if src == dst:
+                continue
+            recv_end, send_end = ctx.Pipe(duplex=False)
+            peer_recv[dst][src] = recv_end
+            peer_send[src][dst] = send_end
+    verdict_pipes = [ctx.Pipe(duplex=False) for _ in range(num_workers)]
+    report_pipes = [ctx.Pipe(duplex=False) for _ in range(num_workers)]
 
     # The blob is pickled explicitly (not via the spawn machinery) so the
     # job's pickle round-trip is exercised under every start method.
@@ -185,7 +220,15 @@ def run_parallel(
     procs = [
         ctx.Process(
             target=worker_main,
-            args=(blobs[w], worker_inboxes, coordinator_inbox, timeout),
+            args=(
+                w,
+                blobs[w],
+                peer_recv[w],
+                peer_send[w],
+                verdict_pipes[w][0],
+                report_pipes[w][1],
+                timeout,
+            ),
             name=f"imr-worker-{w}",
             daemon=True,
         )
@@ -194,19 +237,33 @@ def run_parallel(
     for proc in procs:
         proc.start()
 
+    # The coordinator only ever writes verdicts and reads reports; its
+    # copies of the workers' pipe ends can go immediately (start() has
+    # already shipped them, under fork and spawn alike).
+    worker_ends = [
+        *(conn for ends in peer_recv for conn in ends.values()),
+        *(conn for ends in peer_send for conn in ends.values()),
+        *(recv for recv, _ in verdict_pipes),
+        *(send for _, send in report_pipes),
+    ]
+    for conn in worker_ends:
+        conn.close()
+    verdict_conns = [send for _, send in verdict_pipes]
+    report_conns = {w: recv for w, (recv, _) in enumerate(report_pipes)}
+
     try:
         outcome = _coordinate(
             job,
             num_pairs,
             num_workers,
-            coordinator_inbox,
-            worker_inboxes,
+            report_conns,
+            verdict_conns,
             procs,
             keep_history=keep_history,
             timeout=timeout,
         )
     finally:
-        _shutdown(procs, [coordinator_inbox, *worker_inboxes])
+        _shutdown(procs, [*verdict_conns, *report_conns.values()])
 
     outcome.num_workers = num_workers
     outcome.num_pairs = num_pairs
@@ -215,34 +272,93 @@ def run_parallel(
     return outcome
 
 
-def _recv(inbox, procs, timeout: float | None):
-    """One coordinator receive with liveness supervision."""
-    import queue as _queue
+class _CoordinatorInbox:
+    """Readiness-based coordinator receive with liveness supervision.
 
-    waited = 0.0
-    while True:
-        try:
-            return inbox.get(timeout=_POLL_SECONDS)
-        except _queue.Empty:
-            dead = [p.name for p in procs if not p.is_alive() and p.exitcode != 0]
-            if dead:
+    One :func:`multiprocessing.connection.wait` call covers every live
+    worker's report pipe *and* its process sentinel.  A frame wakes the
+    coordinator immediately; a death wakes it just as fast, and any dead
+    worker whose pipe holds no final report — a clean ``exit(0)``
+    included — raises :class:`ParallelExecutionError` on the spot
+    instead of stalling until the run timeout.
+    """
+
+    def __init__(self, report_conns: dict[int, Any], procs: list):
+        self._conns = dict(report_conns)
+        self._wid_of = {conn: w for w, conn in report_conns.items()}
+        self._procs = dict(enumerate(procs))
+        self._dead: dict[int, Any] = {}  # died before their final arrived
+        self._frames: deque = deque()
+
+    def mark_final(self, wid: int) -> None:
+        """A worker's final report arrived: stop supervising it."""
+        conn = self._conns.pop(wid, None)
+        if conn is not None:
+            self._wid_of.pop(conn, None)
+        self._procs.pop(wid, None)
+        self._dead.pop(wid, None)
+
+    def _drain(self, wid: int) -> None:
+        """Pull every frame still buffered in a dead worker's pipe."""
+        conn = self._conns.pop(wid, None)
+        if conn is None:
+            return
+        self._wid_of.pop(conn, None)
+        while True:
+            try:
+                if not conn.poll(0):
+                    break
+                self._frames.append(read_frame(conn))
+            except (EOFError, OSError):
+                break
+
+    def recv(self, timeout: float | None):
+        while True:
+            if self._frames:
+                return self._frames.popleft()
+            for wid, proc in list(self._procs.items()):
+                if not proc.is_alive():
+                    # Pull any frames still buffered in the pipe — the
+                    # final report may simply not have been read yet.
+                    self._drain(wid)
+                    self._procs.pop(wid, None)
+                    self._dead[wid] = proc
+            if self._frames:
+                return self._frames.popleft()
+            if self._dead:
+                wid, proc = next(iter(self._dead.items()))
                 raise ParallelExecutionError(
-                    f"worker(s) died without reporting: {', '.join(dead)}"
+                    f"worker {proc.name} exited (code {proc.exitcode}) "
+                    "without a final report"
                 )
-            waited += _POLL_SECONDS
-            if timeout is not None and waited >= timeout:
+            waitables = list(self._conns.values())
+            waitables += [p.sentinel for p in self._procs.values()]
+            if not waitables:
+                raise ParallelExecutionError(
+                    "all workers gone before the run completed"
+                )
+            ready = _conn_wait(waitables, timeout)
+            if not ready:
                 raise ParallelExecutionError(
                     f"no worker message within {timeout:.0f}s"
                 )
+            for obj in ready:
+                wid = self._wid_of.get(obj)
+                if wid is None:
+                    continue  # a sentinel: handled at the top of the loop
+                try:
+                    self._frames.append(read_frame(obj))
+                except (EOFError, OSError):
+                    self._drain(wid)
 
 
 def _coordinate(
     job: IterativeJob,
     num_pairs: int,
     num_workers: int,
-    inbox,
-    worker_inboxes,
-    procs,
+    report_conns: dict[int, Any],
+    verdict_conns: list,
+    procs: list,
     *,
     keep_history: bool,
     timeout: float | None,
@@ -250,7 +366,7 @@ def _coordinate(
     aux = job.aux
     distance_fn = job.distance_fn
     wait_verdict = aux is not None or job.threshold is not None
-    stream_reports = wait_verdict or distance_fn is not None or aux is not None or keep_history
+    stream_reports = wait_verdict or distance_fn is not None or keep_history
 
     aux_part = bind_partitioner(job.partitioner, aux.num_tasks) if aux else None
     aux_map_state: list[dict] = [{} for _ in range(aux.num_tasks if aux else 0)]
@@ -261,28 +377,25 @@ def _coordinate(
     finals: dict[int, dict] = {}
     pending_iters: dict[int, dict[int, dict]] = {}
     terminated_by = ""
-    iterations_seen = 0
+    inbox = _CoordinatorInbox(report_conns, procs)
 
-    def handle(msg) -> bool:
-        """Returns True when the message was a final report."""
-        nonlocal terminated_by
-        kind = msg[0]
+    def handle(frame) -> bool:
+        """Returns True when the frame was a final report."""
+        kind, iteration, _phase, wid, payload, _nbytes = frame
         if kind == ERROR_REPORT:
-            raise ParallelExecutionError(f"worker {msg[1]} failed:\n{msg[2]}")
+            raise ParallelExecutionError(f"worker {wid} failed:\n{payload}")
         if kind == FINAL_REPORT:
-            finals[msg[1]] = msg[2]
+            finals[wid] = payload
+            inbox.mark_final(wid)
             return True
         if kind == ITER_REPORT:
-            _, wid, iteration, report = msg
-            pending_iters.setdefault(iteration, {})[wid] = report
+            pending_iters.setdefault(iteration, {})[wid] = payload
             return False
         raise ParallelExecutionError(f"unexpected message kind {kind!r}")
 
     def merge_iteration(iteration: int) -> tuple[float | None, bool]:
         """Merge one completed iteration's reports: distance + aux."""
-        nonlocal iterations_seen
         reports = pending_iters.pop(iteration)
-        iterations_seen = max(iterations_seen, iteration + 1)
         distance: float | None = None
         if distance_fn is not None:
             # Pair-ascending partial merge — the distributed master's
@@ -329,7 +442,7 @@ def _coordinate(
         )
         for iteration in range(max_iterations):
             while len(pending_iters.get(iteration, {})) < num_workers:
-                handle(_recv(inbox, procs, timeout))
+                handle(inbox.recv(timeout))
             distance, aux_stop = merge_iteration(iteration)
             verdict = CONTINUE
             if aux_stop:
@@ -343,14 +456,19 @@ def _coordinate(
             elif iteration == max_iterations - 1:
                 # Let workers fall out of their loop naturally.
                 pass
-            for q in worker_inboxes:
-                q.put((VERDICT, iteration, verdict))
+            parts, _ = encode_frame(VERDICT, iteration, 0, -1, verdict)
+            for conn in verdict_conns:
+                try:
+                    for part in parts:
+                        conn.send_bytes(part)
+                except OSError:  # a dead worker: the next recv reports it
+                    pass
             if verdict != CONTINUE:
                 terminated_by = verdict
                 break
     # Collect finals (and, in free-run mode, any streamed reports).
     while len(finals) < num_workers:
-        handle(_recv(inbox, procs, timeout))
+        handle(inbox.recv(timeout))
     if stream_reports and not wait_verdict:
         for iteration in sorted(pending_iters):
             merge_iteration(iteration)
@@ -389,17 +507,16 @@ def _coordinate(
     )
 
 
-def _shutdown(procs, queues) -> None:
-    """Reap workers and release queue resources without ever hanging."""
+def _shutdown(procs, conns) -> None:
+    """Reap workers and release pipe resources without ever hanging."""
     for proc in procs:
         proc.join(timeout=5.0)
     for proc in procs:
         if proc.is_alive():
             proc.terminate()
             proc.join(timeout=5.0)
-    for q in queues:
+    for conn in conns:
         try:
-            q.cancel_join_thread()
-            q.close()
+            conn.close()
         except Exception:  # pragma: no cover - best-effort cleanup
             pass

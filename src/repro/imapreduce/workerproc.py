@@ -9,22 +9,51 @@ cross process boundaries afterwards (§3.2's static/state separation).
 Data plane
 ----------
 
-* pair → paired next-iteration map: in-process (the paper's persistent
-  local socket degenerates to a buffer when the pair is co-located);
-* cross-pair shuffle / multi-phase repartition / one2all broadcast:
-  a mesh of queues, one inbound queue per worker, every message tagged
-  ``(kind, iteration, phase, source worker)``.  A worker advances as
-  soon as *its own* inputs for the next step are complete — there is no
-  coordinator barrier on the data path, mirroring §3.3's asynchronous
-  map start (a pair's map for iteration k+1 begins the moment its
-  reduce output for k and the peer batches arrive, even while other
-  workers still finish iteration k).
+The mesh is a set of point-to-point OS pipes — one
+:class:`multiprocessing.connection.Connection` per ordered worker pair —
+plus a verdict pipe from and a report pipe to the coordinator.  On the
+wire every logical message is a *frame*:
 
-Control plane (coordinator queue): per-iteration distance partials and
-state snapshots (only when the job measures a distance, runs an aux
-phase, or keeps history), and the final state.  Jobs that terminate by
-``maxiter`` alone free-run: workers cross zero synchronization points
-per iteration beyond the data mesh itself.
+* a small pickled header ``(kind, iteration, phase, src, buf_sizes)``;
+* for data frames, one payload pickle (protocol 5) whose large leaves
+  (numpy state: centroids, coordinate vectors) are split out by
+  ``buffer_callback`` and written as raw out-of-band parts straight from
+  the array memory — the array bytes are never copied into the pickle
+  stream, and the receiver reads them into fresh writable storage with
+  ``recv_bytes_into`` (one unavoidable pipe copy, nothing else);
+* header-only *manifest* frames (``buf_sizes is None``) replace the
+  empty batches the dense protocol used to pickle and ship to every
+  peer on every phase: a sender that feeds a destination ships data, a
+  sender that does not ships the 60-byte manifest, and receivers count
+  arrivals (data or manifest) against the peer set instead of timing
+  out.  ``batches_sent`` counts only data frames.
+
+Shuffle payloads are a flat ``[(dest_pair, src_pair, records), ...]``
+list — one pickle per destination worker — instead of the old nested
+``pair → src_pair → list`` dict-of-dicts.  Route decisions
+(``part(key) → (owner_worker, pair)``) are memoized per worker: the key
+universe of graph workloads is stable, so after the first iteration the
+partitioner is never re-evaluated on the hot path.
+
+The one2all broadcast (§5.1) is hoisted: every worker sends its state
+parts to pair-0's owner, which flattens in ascending pair order, sorts
+*once*, and ships the sorted broadcast back — ``2(W-1)`` messages and
+one sort per iteration instead of ``W(W-1)`` messages and ``W`` sorts.
+
+All sends go through a per-worker feeder thread, so the main thread
+never blocks on a full pipe (two workers exchanging batches larger than
+the pipe buffer would otherwise deadlock); serialization stays on the
+main thread so the profiler can attribute it.
+
+Control plane: per-iteration distance partials and state snapshots
+(only when the job measures a distance, runs an aux phase, or keeps
+history), and the final state.  Jobs that terminate by ``maxiter``
+alone free-run: workers cross zero synchronization points per
+iteration beyond the data mesh itself.
+
+Profiler: every worker accumulates wall-time per phase of its loop —
+``map, combine, serialize, deserialize, send, wait, reduce, report`` —
+into ``stats["phase_seconds"]``, surfaced by ``repro bench --profile``.
 
 Determinism contract: every step processes pairs in ascending pair id
 and assembles incoming batches in ascending source-pair order, so
@@ -36,7 +65,11 @@ The differential oracle can demand record-for-record equality.
 from __future__ import annotations
 
 import pickle
+import queue
+import threading
+import time
 import traceback
+from multiprocessing.connection import wait as _conn_wait
 from typing import Any
 
 from ..common.partition import bind_partitioner
@@ -44,7 +77,7 @@ from ..common.records import group_by_key
 from ..mapreduce.api import Context
 from .localrun import map_pair, order_key, sorted_static
 
-__all__ = ["WorkerConfig", "worker_main"]
+__all__ = ["WorkerConfig", "worker_main", "PHASE_COUNTERS"]
 
 #: Control-plane message kinds (worker → coordinator).
 ITER_REPORT = "iter"
@@ -57,6 +90,80 @@ CONTINUE = "continue"
 SHUFFLE = "shuffle"
 REPART = "repart"
 BCAST = "bcast"
+BCAST_SORTED = "bcast+"
+
+#: Wire pickle protocol: 5 for out-of-band buffer support.
+_PROTOCOL = 5
+
+#: The profiler's wall-time counters, in reporting order.
+PHASE_COUNTERS = (
+    "map",
+    "combine",
+    "serialize",
+    "deserialize",
+    "send",
+    "wait",
+    "reduce",
+    "report",
+)
+
+#: Sender-side marker for a header-only manifest frame (never pickled).
+_NO_PAYLOAD = object()
+
+
+# ------------------------------------------------------------- framing --
+def encode_frame(kind, iteration: int, phase: int, src: int, payload):
+    """Build one wire frame; returns ``(parts, nbytes)``.
+
+    ``parts`` is the list of byte-likes to ship with consecutive
+    ``send_bytes`` calls on one connection: header, then (for data
+    frames) the payload pickle, then each out-of-band buffer written
+    directly from its source memory.
+    """
+    if payload is _NO_PAYLOAD:
+        header = pickle.dumps(
+            (kind, iteration, phase, src, None), protocol=_PROTOCOL
+        )
+        return [header], len(header)
+    buffers: list = []
+    data = pickle.dumps(payload, protocol=_PROTOCOL, buffer_callback=buffers.append)
+    try:
+        raws = [b.raw() for b in buffers]
+    except BufferError:  # pragma: no cover - non-contiguous exotic buffer
+        data = pickle.dumps(payload, protocol=_PROTOCOL)
+        raws = []
+    sizes = tuple(r.nbytes for r in raws)
+    header = pickle.dumps(
+        (kind, iteration, phase, src, sizes), protocol=_PROTOCOL
+    )
+    nbytes = len(header) + len(data) + sum(sizes)
+    return [header, data, *raws], nbytes
+
+
+def read_frame(conn):
+    """Read one frame; returns ``(kind, iteration, phase, src, payload,
+    nbytes)`` — ``payload is None`` for header-only manifest frames.
+
+    Out-of-band buffers are received into fresh ``bytearray`` storage so
+    reconstructed numpy arrays stay writable.
+    """
+    header = conn.recv_bytes()
+    kind, iteration, phase, src, sizes = pickle.loads(header)
+    if sizes is None:
+        return kind, iteration, phase, src, None, len(header)
+    data = conn.recv_bytes()
+    nbytes = len(header) + len(data)
+    if sizes:
+        buffers = []
+        for size in sizes:
+            buf = bytearray(size)
+            conn.recv_bytes_into(buf)
+            buffers.append(buf)
+            nbytes += size
+        payload = pickle.loads(data, buffers=buffers)
+    else:
+        payload = pickle.loads(data)
+    return kind, iteration, phase, src, payload, nbytes
 
 
 class WorkerConfig:
@@ -100,36 +207,96 @@ def _owner(pair: int, num_workers: int) -> int:
     return pair % num_workers
 
 
-class _Inbox:
-    """Buffered receive with out-of-order stashing.
+class _Feeder(threading.Thread):
+    """Per-worker sender thread: the main thread frames and enqueues,
+    the feeder performs the (possibly blocking) pipe writes.
 
-    A fast worker may deliver its phase-``k+1`` batch while this worker
-    still waits on a slow peer's phase-``k`` batch; anything not yet
-    wanted is stashed under its ``(kind, iteration, phase)`` slot and
-    found there when the step catches up.
+    Decoupling sends from the worker loop is what makes the pipe mesh
+    deadlock-free: main threads only ever block *reading*, so some
+    receiver is always draining and every blocked write eventually
+    completes.  ``seconds`` accumulates actual write wall-time for the
+    profiler's ``send`` counter (read after :meth:`flush`).
     """
 
-    def __init__(self, queue, worker_id: int):
-        self._queue = queue
-        self._id = worker_id
+    def __init__(self, worker_id: int):
+        super().__init__(name=f"imr-feeder-{worker_id}", daemon=True)
+        self._q: queue.Queue = queue.Queue()
+        self.seconds = 0.0
+        self.error: BaseException | None = None
+
+    def run(self) -> None:
+        while True:
+            item = self._q.get()
+            if item is None:
+                self._q.task_done()
+                return
+            conn, parts = item
+            started = time.perf_counter()
+            try:
+                for part in parts:
+                    conn.send_bytes(part)
+            except BaseException as exc:  # surfaced on the next send/flush
+                if self.error is None:
+                    self.error = exc
+            self.seconds += time.perf_counter() - started
+            self._q.task_done()
+
+    def send(self, conn, parts) -> None:
+        if self.error is not None:
+            raise self.error
+        self._q.put((conn, parts))
+
+    def flush(self) -> None:
+        """Block until every enqueued frame hit the pipe."""
+        self._q.join()
+        if self.error is not None:
+            raise self.error
+
+    def stop(self) -> None:
+        self._q.put(None)
+        self.join(timeout=10.0)
+
+
+class _Inbox:
+    """Readiness-based receive with out-of-order stashing.
+
+    Blocks in :func:`multiprocessing.connection.wait` over every inbound
+    connection (peer mesh pipes + the coordinator's verdict pipe), so a
+    ready message costs microseconds, not a poll interval.  A fast
+    worker may deliver its phase-``k+1`` frame while this worker still
+    waits on a slow peer's phase-``k`` frame; anything not yet wanted is
+    stashed under its ``(kind, iteration, phase)`` slot and found there
+    when the step catches up.
+    """
+
+    def __init__(self, conns: list, timings: dict[str, float]):
+        self._conns = list(conns)
+        self._timings = timings
         self._stash: dict[tuple, dict[int, Any]] = {}
         self._verdicts: dict[int, str] = {}
 
     def _pump(self, timeout: float | None) -> None:
-        msg = self._queue.get(timeout=timeout)
-        kind = msg[0]
-        if kind == VERDICT:
-            _, iteration, verdict = msg
-            self._verdicts[iteration] = verdict
-        else:
-            kind, iteration, phase, src, payload = msg
-            self._stash.setdefault((kind, iteration, phase), {})[src] = payload
+        timings = self._timings
+        started = time.perf_counter()
+        ready = _conn_wait(self._conns, timeout)
+        timings["wait"] += time.perf_counter() - started
+        if not ready:
+            raise TimeoutError(f"no mesh message within {timeout}s")
+        for conn in ready:
+            started = time.perf_counter()
+            kind, iteration, phase, src, payload, _ = read_frame(conn)
+            timings["deserialize"] += time.perf_counter() - started
+            if kind == VERDICT:
+                self._verdicts[iteration] = payload
+            else:
+                self._stash.setdefault((kind, iteration, phase), {})[src] = payload
 
     def gather(
         self, kind: str, iteration: int, phase: int, sources: list[int],
         timeout: float | None,
     ) -> dict[int, Any]:
-        """Block until a ``kind`` batch from every source has arrived."""
+        """Block until a frame (data or manifest) from every source
+        arrived; manifest senders appear with a ``None`` payload."""
         if not sources:  # single worker: nothing to wait for
             return {}
         slot = (kind, iteration, phase)
@@ -146,22 +313,51 @@ class _Inbox:
 
 
 def worker_main(
-    blob: bytes, inboxes: list, coordinator, timeout: float | None = None
+    worker_id: int,
+    blob: bytes,
+    peer_recv: dict[int, Any],
+    peer_send: dict[int, Any],
+    verdict_conn,
+    report_conn,
+    timeout: float | None = None,
 ) -> None:
-    """Process entry point: run every iteration for this worker's pairs."""
+    """Process entry point: run every iteration for this worker's pairs.
+
+    ``worker_id`` travels as its own argument (not only inside ``blob``)
+    so the error path never has to re-unpickle the whole config — job
+    plus static partitions — just to label a traceback.
+    """
+    feeder: _Feeder | None = None
     try:
-        _worker_loop(WorkerConfig.from_blob(blob), inboxes, coordinator, timeout)
+        cfg = WorkerConfig.from_blob(blob)
+        feeder = _Feeder(worker_id)
+        feeder.start()
+        _worker_loop(
+            cfg, peer_recv, peer_send, verdict_conn, report_conn, feeder, timeout
+        )
+        feeder.flush()
+        feeder.stop()
     except BaseException:
-        wid = -1
+        parts, _ = encode_frame(ERROR_REPORT, 0, 0, worker_id, traceback.format_exc())
         try:
-            wid = WorkerConfig.from_blob(blob).worker_id
-        except Exception:
-            pass
-        coordinator.put((ERROR_REPORT, wid, traceback.format_exc()))
+            if feeder is not None and feeder.is_alive() and feeder.error is None:
+                feeder.send(report_conn, parts)
+                feeder.stop()
+            else:
+                for part in parts:
+                    report_conn.send_bytes(part)
+        except Exception:  # pragma: no cover - coordinator gone; sentinel
+            pass  # detection still reports the death
 
 
 def _worker_loop(
-    cfg: WorkerConfig, inboxes: list, coordinator, timeout: float | None
+    cfg: WorkerConfig,
+    peer_recv: dict[int, Any],
+    peer_send: dict[int, Any],
+    verdict_conn,
+    report_conn,
+    feeder: _Feeder,
+    timeout: float | None,
 ) -> None:
     job = cfg.job
     wid = cfg.worker_id
@@ -170,10 +366,13 @@ def _worker_loop(
     phases = job.phases
     last_phase = len(phases) - 1
     my_pairs = sorted(cfg.state_parts)
-    peers = [w for w in range(num_workers) if w != wid]
-    inbox = _Inbox(inboxes[wid], wid)
+    peers = sorted(peer_recv)
     part = bind_partitioner(job.partitioner, num_pairs)
     distance_fn = job.distance_fn
+    perf = time.perf_counter
+
+    timings = {name: 0.0 for name in PHASE_COUNTERS}
+    inbox = _Inbox([*peer_recv.values(), verdict_conn], timings)
 
     # Static data: deserialized from the init blob exactly once for the
     # whole job; iterations only ever read it (§3.2.1).  ``static_loads``
@@ -185,27 +384,78 @@ def _worker_loop(
         else None
         for phase, per_pair in zip(phases, static_parts)
     ]
-    static_loads = 1
-    stats = {
+    stats: dict[str, Any] = {
         "worker": wid,
         "pairs": list(my_pairs),
-        "static_loads": static_loads,
+        "static_loads": 1,
         "static_records": sum(len(d) for per in static_parts for d in per.values()),
         "records_sent": 0,
         "batches_sent": 0,
+        "manifest_frames": 0,
+        "bytes_pickled": 0,
     }
 
-    def send_batches(kind: str, iteration: int, phase: int, routed: dict[int, dict]):
-        """Ship per-destination-worker batches; empty batches still go so
-        receivers can count arrivals instead of timing out."""
-        for w in peers:
-            payload = routed.get(w) or {}
-            inboxes[w].put((kind, iteration, phase, wid, payload))
+    # part(key) -> (owner worker, pair), memoized for the job's stable
+    # key universe: after iteration 0 the partitioner never runs again
+    # on the shuffle hot path.
+    route_cache: dict[Any, tuple[int, int]] = {}
+    cached_route = route_cache.get
+
+    def ship(kind: str, iteration: int, phase: int, dest: int, payload) -> None:
+        started = perf()
+        parts, nbytes = encode_frame(kind, iteration, phase, wid, payload)
+        timings["serialize"] += perf() - started
+        stats["bytes_pickled"] += nbytes
+        if payload is _NO_PAYLOAD:
+            stats["manifest_frames"] += 1
+        else:
             stats["batches_sent"] += 1
-            stats["records_sent"] += sum(
-                len(recs) for by_src in payload.values() for recs in by_src.values()
-            )
-        return routed.get(wid) or {}
+        feeder.send(peer_send[dest], parts)
+
+    def exchange(
+        kind: str, iteration: int, phase_index: int,
+        routed: dict[int, dict[tuple[int, int], list]],
+    ) -> dict[int, dict[int, list]]:
+        """Skip-empty send + gather; returns ``dest_pair → src_pair →
+        records`` merged over local and remote batches."""
+        for v in peers:
+            batch = routed.get(v)
+            if batch:
+                flat = [(q, src, recs) for (q, src), recs in batch.items()]
+                ship(kind, iteration, phase_index, v, flat)
+                stats["records_sent"] += sum(len(recs) for _, _, recs in flat)
+            else:
+                ship(kind, iteration, phase_index, v, _NO_PAYLOAD)
+        merged: dict[int, dict[int, list]] = {}
+        local = routed.get(wid)
+        if local:
+            for (q, src), recs in local.items():
+                merged.setdefault(q, {})[src] = recs
+        arrived = inbox.gather(kind, iteration, phase_index, peers, timeout)
+        for batch in arrived.values():
+            if batch:
+                for q, src, recs in batch:
+                    merged.setdefault(q, {})[src] = recs
+        return merged
+
+    def route(out_records: dict[int, list]) -> dict[int, dict[tuple[int, int], list]]:
+        """Group emissions as ``dest_worker → (dest_pair, src_pair) →
+        records`` through the memoized route cache."""
+        routed: dict[int, dict[tuple[int, int], list]] = {}
+        for src_pair, records in out_records.items():
+            for rec in records:
+                key = rec[0]
+                hop = cached_route(key)
+                if hop is None:
+                    q = part(key)
+                    hop = route_cache[key] = (_owner(q, num_workers), q)
+                dest = routed.setdefault(hop[0], {})
+                slot = (hop[1], src_pair)
+                bucket = dest.get(slot)
+                if bucket is None:
+                    bucket = dest[slot] = []
+                bucket.append(rec)
+        return routed
 
     current: dict[int, list] = {p: list(recs) for p, recs in cfg.state_parts.items()}
     prev: dict[int, dict] | None = (
@@ -217,71 +467,84 @@ def _worker_loop(
     max_iterations = job.max_iterations if job.max_iterations is not None else 10**9
     iterations_run = 0
     terminated_by = ""
+    sorter = _owner(0, num_workers)  # hoisted one2all sort runs here
 
     for iteration in range(max_iterations):
         for phase_index, phase in enumerate(phases):
-            one2all = phase.mapping == "one2all"
             broadcast = None
-            if one2all:
-                # All-gather the phase input so every map sees the full
-                # broadcast state, in the reference executor's order.
-                mine = {p: current.get(p, []) for p in my_pairs}
-                for w in peers:
-                    inboxes[w].put((BCAST, iteration, phase_index, wid, mine))
-                    stats["batches_sent"] += 1
-                gathered = inbox.gather(BCAST, iteration, phase_index, peers, timeout)
-                gathered[wid] = mine
-                by_pair: dict[int, list] = {}
-                for batch in gathered.values():
-                    by_pair.update(batch)
-                # Flatten in ascending pair order before sorting so ties
-                # under the (stable) sort match the serial executor.
-                broadcast = sorted(
-                    (
-                        rec
-                        for p in range(num_pairs)
-                        for rec in by_pair.get(p, ())
-                    ),
-                    key=lambda kv: order_key(kv[0]),
-                )
+            if phase.mapping == "one2all":
+                # Hoisted all-gather: pair-0's owner flattens in
+                # ascending pair order and sorts once; everyone else
+                # receives the broadcast pre-sorted (§5.1).
+                mine = [(p, current.get(p, [])) for p in my_pairs]
+                if wid == sorter:
+                    gathered = inbox.gather(BCAST, iteration, phase_index, peers, timeout)
+                    by_pair = dict(mine)
+                    for batch in gathered.values():
+                        if batch:
+                            for p, recs in batch:
+                                by_pair[p] = recs
+                    started = perf()
+                    broadcast = sorted(
+                        (
+                            rec
+                            for p in range(num_pairs)
+                            for rec in by_pair.get(p, ())
+                        ),
+                        key=lambda kv: order_key(kv[0]),
+                    )
+                    timings["map"] += perf() - started
+                    for v in peers:
+                        ship(BCAST_SORTED, iteration, phase_index, v, broadcast)
+                        stats["records_sent"] += len(broadcast)
+                else:
+                    if any(recs for _, recs in mine):
+                        ship(BCAST, iteration, phase_index, sorter, mine)
+                        stats["records_sent"] += sum(len(r) for _, r in mine)
+                    else:
+                        ship(BCAST, iteration, phase_index, sorter, _NO_PAYLOAD)
+                    got = inbox.gather(
+                        BCAST_SORTED, iteration, phase_index, [sorter], timeout
+                    )
+                    broadcast = got[sorter]
 
             # ---- map (+ combiner), then route to the reduce side ----
-            routed: dict[int, dict[int, dict[int, list]]] = {}
             phase_static = static_parts[phase_index]
             phase_sorted = static_sorted[phase_index]
+            emitted_by_pair: dict[int, list] = {}
             for p in my_pairs:
-                emitted = map_pair(
+                emitted_by_pair[p] = map_pair(
                     phase,
                     current.get(p, []),
                     phase_static[p],
                     phase_sorted[p] if phase_sorted is not None else None,
                     broadcast,
                     part,
+                    timings=timings,
                 )
-                for rec in emitted:
-                    q = part(rec[0])
-                    routed.setdefault(_owner(q, num_workers), {}).setdefault(
-                        q, {}
-                    ).setdefault(p, []).append(rec)
-            local = send_batches(SHUFFLE, iteration, phase_index, routed)
-            arrived = inbox.gather(SHUFFLE, iteration, phase_index, peers, timeout)
-            arrived[wid] = local
+            merged = exchange(
+                SHUFFLE, iteration, phase_index, route(emitted_by_pair)
+            )
 
             # ---- reduce ----
             # Reduce inputs are concatenated in ascending source-pair
             # order (not arrival order): float folds must see values in
             # the serial executor's sequence.
+            started = perf()
             out_parts: dict[int, list] = {}
             for q in my_pairs:
                 records: list = []
-                for src_pair in range(num_pairs):
-                    by_src = arrived.get(_owner(src_pair, num_workers))
-                    if by_src:
-                        records.extend(by_src.get(q, {}).get(src_pair, ()))
+                by_src = merged.get(q)
+                if by_src:
+                    for src_pair in range(num_pairs):
+                        recs = by_src.get(src_pair)
+                        if recs:
+                            records.extend(recs)
                 ctx = Context()
                 for key, values in group_by_key(records):
                     phase.reduce_fn(key, values, ctx)
                 out_parts[q] = ctx.take()
+            timings["reduce"] += perf() - started
 
             if phase_index == last_phase:
                 # Persistent pair channel: reduce k's output is map k+1's
@@ -290,58 +553,57 @@ def _worker_loop(
             else:
                 # Multi-phase routing (§5.2): repartition to the next
                 # phase's maps across the mesh.
-                routed = {}
-                for q in my_pairs:
-                    for rec in out_parts[q]:
-                        dest = part(rec[0])
-                        routed.setdefault(_owner(dest, num_workers), {}).setdefault(
-                            dest, {}
-                        ).setdefault(q, []).append(rec)
-                local = send_batches(REPART, iteration, phase_index, routed)
-                arrived = inbox.gather(REPART, iteration, phase_index, peers, timeout)
-                arrived[wid] = local
+                merged = exchange(REPART, iteration, phase_index, route(out_parts))
                 current = {}
                 for p in my_pairs:
                     records = []
-                    for src_pair in range(num_pairs):
-                        by_src = arrived.get(_owner(src_pair, num_workers))
-                        if by_src:
-                            records.extend(by_src.get(p, {}).get(src_pair, ()))
+                    by_src = merged.get(p)
+                    if by_src:
+                        for src_pair in range(num_pairs):
+                            recs = by_src.get(src_pair)
+                            if recs:
+                                records.extend(recs)
                     current[p] = records
 
         iterations_run = iteration + 1
 
         # ---- per-iteration control-plane report ----
+        started = perf()
         report: dict[str, Any] = {}
         if distance_fn is not None and prev is not None:
             partials = {}
             for p in my_pairs:
                 prev_get = prev[p].get
                 partial = 0.0
-                for key, value in current.get(p, []):
+                new_prev = {}  # built during the distance pass: no
+                for key, value in current.get(p, ()):  # second rebuild
                     partial += distance_fn(key, prev_get(key), value)
+                    new_prev[key] = value
                 partials[p] = partial
-                prev[p] = dict(current.get(p, []))
+                prev[p] = new_prev
             report["distance"] = partials
         if cfg.send_state:
             report["state"] = {p: current.get(p, []) for p in my_pairs}
         if report or cfg.wait_verdict:
-            coordinator.put((ITER_REPORT, wid, iteration, report))
+            parts, nbytes = encode_frame(ITER_REPORT, iteration, 0, wid, report)
+            stats["bytes_pickled"] += nbytes
+            feeder.send(report_conn, parts)
+        timings["report"] += perf() - started
         if cfg.wait_verdict:
             verdict = inbox.verdict(iteration, timeout)
             if verdict != CONTINUE:
                 terminated_by = verdict
                 break
 
-    coordinator.put(
-        (
-            FINAL_REPORT,
-            wid,
-            {
-                "state": {p: current.get(p, []) for p in my_pairs},
-                "iterations_run": iterations_run,
-                "terminated_by": terminated_by,
-                "stats": stats,
-            },
-        )
-    )
+    feeder.flush()  # pick up the feeder's write time before reporting
+    timings["send"] = feeder.seconds
+    stats["phase_seconds"] = {k: round(v, 6) for k, v in timings.items()}
+    stats["route_cache_size"] = len(route_cache)
+    final = {
+        "state": {p: current.get(p, []) for p in my_pairs},
+        "iterations_run": iterations_run,
+        "terminated_by": terminated_by,
+        "stats": stats,
+    }
+    parts, _ = encode_frame(FINAL_REPORT, iterations_run, 0, wid, final)
+    feeder.send(report_conn, parts)

@@ -178,6 +178,7 @@ def run_campaign(
     *,
     parallel: bool = False,
     parallel_workers: int = 2,
+    parallel_start_method: str | None = None,
 ) -> CampaignOutcome:
     """Run one campaign end to end and evaluate every oracle.
 
@@ -190,6 +191,8 @@ def run_campaign(
     ``parallel-differential`` oracle demands record-for-record equality
     with the serial reference.  Campaign workloads never use thresholds
     or aux phases, so the comparison is float-exact by construction.
+    ``parallel_start_method`` pins the multiprocessing start method
+    (the differential matrix exercises ``spawn`` as well as ``fork``).
     """
     started = time.perf_counter()
     spec.validate()
@@ -246,6 +249,7 @@ def run_campaign(
                 static_map,
                 num_pairs=spec.num_pairs,
                 num_workers=parallel_workers,
+                start_method=parallel_start_method,
             )
             outcome.parallel_result.state.sort(key=lambda kv: repr(kv[0]))
         except Exception as exc:  # judged by the parallel oracle

@@ -8,11 +8,14 @@ micro-benchmark, and the JSON writer — in a few seconds.
 import json
 
 from repro.experiments.wallclock import (
+    COUNTERS,
     build_cases,
+    compare_counters,
     run_suite,
     sizeof_microbench,
     time_case,
 )
+from repro.imapreduce.workerproc import PHASE_COUNTERS
 
 
 def test_quick_suite_writes_json(tmp_path):
@@ -23,12 +26,30 @@ def test_quick_suite_writes_json(tmp_path):
     assert loaded["meta"]["quick"] is True
     assert loaded["meta"]["workers"] == [1, 2]
     assert len(loaded["workloads"]) == 3
+    assert set(loaded["phase_breakdown"]) == {
+        w["name"] for w in loaded["workloads"]
+    }
+    total_batches = total_dense = 0
     for workload in loaded["workloads"]:
         assert workload["record_identical"], workload["name"]
         assert [p["workers"] for p in workload["parallel"]] == [1, 2]
         for point in workload["parallel"]:
             assert point["static_loads"] == point["workers"]
             assert point["seconds"] >= 0.0
+            assert set(point["counters"]) == set(COUNTERS)
+            assert set(point["phase_seconds"]) == set(PHASE_COUNTERS)
+            # The mesh never ships more batches than the dense PR4
+            # plane; a worker with nothing for a peer sends a manifest.
+            assert point["counters"]["batches_sent"] <= point["dense_batches"]
+            if point["workers"] == 1:
+                assert point["counters"]["batches_sent"] == 0
+            total_batches += point["counters"]["batches_sent"]
+            total_dense += point["dense_batches"]
+        breakdown = loaded["phase_breakdown"][workload["name"]]
+        assert set(breakdown) == {"1", "2"}
+    # Across the suite the skip-empty contract saves real messages
+    # (sssp's frontier leaves some peers unfed even at smoke sizes).
+    assert total_batches < total_dense
 
 
 def test_suite_runs_without_output_file():
@@ -36,6 +57,25 @@ def test_suite_runs_without_output_file():
     row = time_case(case, workers=(2,), repeats=1)
     assert row["record_identical"]
     assert row["parallel"][0]["workers"] == 2
+
+
+def test_compare_counters_flags_regressions(tmp_path):
+    out = tmp_path / "bench.json"
+    results = run_suite(out_path=str(out), workers=(2,), quick=True)
+    # Data-plane counters are deterministic: a run is its own baseline.
+    assert compare_counters(results, results) == []
+    worse = json.loads(json.dumps(results))
+    point = worse["workloads"][0]["parallel"][0]
+    point["counters"]["batches_sent"] += 1
+    point["counters"]["bytes_pickled"] = int(
+        point["counters"]["bytes_pickled"] * 2
+    )
+    regressions = compare_counters(worse, results)
+    assert len(regressions) == 2
+    assert any("batches_sent" in line for line in regressions)
+    assert any("bytes_pickled" in line for line in regressions)
+    # A baseline missing the point passes (new workloads are additive).
+    assert compare_counters(results, {"workloads": []}) == []
 
 
 def test_sizeof_microbench_reports_speedup():

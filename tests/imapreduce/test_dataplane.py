@@ -1,0 +1,192 @@
+"""Unit and protocol tests for the multiprocess backend's data plane.
+
+Covers the wire layer introduced with the fast data plane: protocol-5
+frames with out-of-band buffers (numpy state never copied into the
+pickle stream, received writable), header-only manifest frames, the
+skip-empty contract under a single-hot-pair workload where most workers
+feed no peers, route-cache observability, immediate detection of a
+worker that dies with exit code 0 before its final report, and the
+phase-level profiler's counters.
+"""
+
+import multiprocessing
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.common import IterKeys, JobConf
+from repro.common.partition import ModPartitioner
+from repro.graph.generators import sssp_graph
+from repro.imapreduce import (
+    IterativeJob,
+    ParallelExecutionError,
+    run_local,
+    run_parallel,
+)
+from repro.imapreduce.workerproc import (
+    PHASE_COUNTERS,
+    encode_frame,
+    read_frame,
+)
+from repro.testing.oracles import records_identical
+
+STATE = "/dp/state"
+OUT = "/dp/out"
+
+
+# -------------------------------------------------------------- framing --
+def _pipe_roundtrip(parts):
+    recv_end, send_end = multiprocessing.Pipe(duplex=False)
+    try:
+        for part in parts:
+            send_end.send_bytes(part)
+        return read_frame(recv_end)
+    finally:
+        recv_end.close()
+        send_end.close()
+
+
+def test_frame_roundtrip_plain_payload():
+    payload = [(3, 1, [(7, 0.5), (9, 1.25)])]
+    parts, nbytes = encode_frame("shuffle", 4, 0, 2, payload)
+    assert nbytes == sum(len(p) for p in parts)
+    kind, iteration, phase, src, got, read_bytes = _pipe_roundtrip(parts)
+    assert (kind, iteration, phase, src) == ("shuffle", 4, 0, 2)
+    assert got == payload
+    assert read_bytes == nbytes
+
+
+def test_frame_numpy_state_goes_out_of_band():
+    centroid = np.arange(64, dtype=np.float64)
+    payload = [(0, 2, [(1, centroid)])]
+    parts, _ = encode_frame("shuffle", 0, 0, 1, payload)
+    # header + payload pickle + one raw buffer part: the 512 array bytes
+    # are written straight from the array memory, not into the pickle.
+    assert len(parts) == 3
+    assert parts[2].nbytes == centroid.nbytes
+    assert len(parts[1]) < centroid.nbytes  # pickle stream stays small
+    *_, got, _ = _pipe_roundtrip(parts)
+    arr = got[0][2][0][1]
+    np.testing.assert_array_equal(arr, centroid)
+    # Buffers are received into fresh bytearray storage: still writable.
+    assert arr.flags.writeable
+    arr[0] = -1.0  # must not raise
+
+
+def test_manifest_frame_is_header_only():
+    from repro.imapreduce.workerproc import _NO_PAYLOAD
+
+    parts, nbytes = encode_frame("shuffle", 2, 1, 0, _NO_PAYLOAD)
+    assert len(parts) == 1
+    assert nbytes < 100  # tiny: kind + coordinates, no payload pickle
+    *_, payload, _ = _pipe_roundtrip(parts)
+    assert payload is None
+
+
+# ---------------------------------------------------- skip-empty routing --
+def _hot_map(key, state, static, ctx):
+    ctx.emit(0, state)  # every record routes to pair 0
+
+
+def _sum_reduce(key, values, ctx):
+    ctx.emit(key, sum(values))
+
+
+def _hot_pair_job(max_iterations=3):
+    return IterativeJob.single_phase(
+        "hot-pair", _hot_map, _sum_reduce,
+        conf=JobConf({IterKeys.STATE_PATH: STATE,
+                      IterKeys.MAX_ITER: max_iterations}),
+        output_path=OUT,
+        partitioner=ModPartitioner(),
+    )
+
+
+@pytest.mark.parametrize("start_method", ["fork", "spawn"])
+def test_single_hot_pair_skips_empty_batches(start_method):
+    """After iteration 1 all state lives in pair 0: three of four
+    workers feed no peers, so the mesh ships manifests, not batches."""
+    job = _hot_pair_job()
+    state = [(i, 1.0) for i in range(16)]
+    ref = run_local(job, state, num_pairs=4)
+    par = run_parallel(job, state, num_pairs=4, num_workers=4,
+                       start_method=start_method)
+    assert records_identical(par.state, ref.state)
+    assert par.iterations_run == ref.iterations_run
+
+    from repro.experiments.wallclock import dense_batches
+
+    dense = dense_batches(job, par.iterations_run, par.num_workers)
+    batches = par.counter("batches_sent")
+    manifests = par.counter("manifest_frames")
+    # Iteration 0: the initial state is spread over all pairs, so every
+    # worker feeds pair 0's owner (3 batches).  Afterwards only
+    # manifests cross the mesh.
+    assert batches < dense
+    assert batches == 3
+    assert manifests == dense - batches
+    assert par.counter("records_sent") == 12  # iteration 0 only
+
+
+def test_counters_and_profiler_surface_in_stats():
+    graph = sssp_graph(20, seed=3)
+    from repro.algorithms import sssp
+
+    job = sssp.build_imr_job(
+        state_path=STATE, static_path="/dp/static", output_path=OUT,
+        max_iterations=3, num_pairs=4, combiner=True,
+    )
+    par = run_parallel(
+        job, sssp.initial_state(graph, source=0),
+        {"/dp/static": sssp.static_records(graph)},
+        num_pairs=4, num_workers=2,
+    )
+    for stats in par.worker_stats:
+        assert set(stats["phase_seconds"]) == set(PHASE_COUNTERS)
+        assert all(v >= 0.0 for v in stats["phase_seconds"].values())
+        # The route cache covers the worker's emitted key universe and
+        # is bounded by the number of distinct keys in the workload.
+        assert 0 < stats["route_cache_size"] <= 20
+    assert set(par.phase_breakdown()) == set(PHASE_COUNTERS)
+    assert par.counter("bytes_pickled") > 0
+    assert par.counter("batches_sent") > 0
+
+
+def test_dense_batches_formula():
+    from repro.algorithms import kmeans
+    from repro.experiments.wallclock import dense_batches
+
+    job = _hot_pair_job(max_iterations=5)  # 1 phase, one2one
+    assert dense_batches(job, 5, 1) == 0
+    assert dense_batches(job, 5, 4) == 4 * 3 * 5
+    kjob = kmeans.build_imr_job(  # 1 phase, one2all: shuffle + bcast
+        state_path=STATE, static_path="/dp/static", output_path=OUT,
+        max_iterations=2,
+    )
+    assert dense_batches(kjob, 2, 3) == 2 * (3 * 2 + 3 * 2)
+
+
+# ------------------------------------------------------------- liveness --
+def _exit_zero_map(key, state, static, ctx):
+    if key == 0:
+        os._exit(0)  # silent clean death: no traceback, no final report
+    ctx.emit(key, state)
+
+
+def test_worker_clean_exit_without_final_detected_immediately():
+    """A worker that dies with exit code 0 before its FINAL_REPORT used
+    to be invisible to the dead-check and stalled the coordinator until
+    the full run timeout; the sentinel wait reports it at once."""
+    job = IterativeJob.single_phase(
+        "exit-zero", _exit_zero_map, _sum_reduce,
+        conf=JobConf({IterKeys.STATE_PATH: STATE, IterKeys.MAX_ITER: 3}),
+        output_path=OUT,
+        partitioner=ModPartitioner(),
+    )
+    started = time.perf_counter()
+    with pytest.raises(ParallelExecutionError, match="without a final report"):
+        run_parallel(job, [(i, 1.0) for i in range(8)],
+                     num_pairs=4, num_workers=2, timeout=600.0)
+    assert time.perf_counter() - started < 30.0

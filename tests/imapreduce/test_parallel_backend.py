@@ -38,12 +38,13 @@ OUT = "/t/out"
 
 
 def assert_record_identical(job, state, static_map, *, num_pairs, num_workers,
-                            keep_history=False):
+                            keep_history=False, start_method=None):
     """Run both backends and demand bit-for-bit equal results."""
     ref = run_local(job, state, static_map, num_pairs=num_pairs,
                     keep_history=keep_history)
     par = run_parallel(job, state, static_map, num_pairs=num_pairs,
-                       num_workers=num_workers, keep_history=keep_history)
+                       num_workers=num_workers, keep_history=keep_history,
+                       start_method=start_method)
     assert records_identical(par.state, ref.state)  # exact, not approximate
     assert par.iterations_run == ref.iterations_run
     assert par.terminated_by == ref.terminated_by
@@ -156,6 +157,39 @@ def test_components_zero_threshold():
     assert par.terminated_by == "threshold"  # stops when no label moves
 
 
+# ---------------------------------------------------------- start methods --
+@pytest.mark.parametrize("start_method", ["fork", "spawn"])
+def test_sssp_free_run_spawn_matrix(start_method):
+    """The differential promise holds under ``spawn`` (pipes, config
+    blobs and jobs all travel through the spawn machinery) exactly as
+    under ``fork``."""
+    graph = sssp_graph(20, seed=8)
+    job = sssp.build_imr_job(
+        state_path=STATE, static_path=STATIC, output_path=OUT,
+        max_iterations=3, num_pairs=4, combiner=True,
+    )
+    assert_record_identical(
+        job, sssp.initial_state(graph, source=0),
+        {STATIC: sssp.static_records(graph)},
+        num_pairs=4, num_workers=2, start_method=start_method,
+    )
+
+
+def test_pagerank_threshold_spawn():
+    """Verdict round-trips (lock-step termination) under ``spawn``."""
+    graph = pagerank_graph(24, seed=6)
+    job = pagerank.build_imr_job(
+        24, state_path=STATE, static_path=STATIC, output_path=OUT,
+        max_iterations=40, threshold=1e-3, num_pairs=3, combiner=True,
+    )
+    par = assert_record_identical(
+        job, pagerank.initial_state(graph),
+        {STATIC: pagerank.static_records(graph)},
+        num_pairs=3, num_workers=2, start_method="spawn",
+    )
+    assert par.terminated_by == "threshold"
+
+
 # -------------------------------------------------------------- shapes --
 def test_history_parity():
     graph = pagerank_graph(16, seed=1)
@@ -261,3 +295,17 @@ def test_seeded_campaign_parallel_mode(campaign_seed):
         v for v in outcome.violations if v.oracle == "parallel-differential"
     ]
     assert parallel_violations == []
+
+
+def test_seeded_campaign_parallel_mode_spawn():
+    """The parallel-differential oracle stays exact when the campaign's
+    multiprocess run uses the ``spawn`` start method."""
+    from repro.testing import generate_campaign
+    from repro.testing.runner import run_campaign
+
+    spec = generate_campaign(97).but(net_faults=())
+    outcome = run_campaign(spec, parallel=True, parallel_start_method="spawn")
+    assert outcome.parallel_error is None
+    assert [
+        v for v in outcome.violations if v.oracle == "parallel-differential"
+    ] == []
