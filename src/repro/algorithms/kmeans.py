@@ -31,13 +31,14 @@ import numpy as np
 from ..common.config import IterKeys, JobConf
 from ..common.partition import ModPartitioner
 from ..data.lastfm import LastFmDataset
-from ..imapreduce import AuxPhase, IterativeJob
+from ..imapreduce import AuxPhase, IterativeJob, Kernel
 from ..mapreduce import Job
 from ..mapreduce.driver import IterativeSpec
 
 __all__ = [
     "initial_centroids",
     "assign",
+    "KMeansKernel",
     "build_imr_job",
     "build_mr_spec",
     "make_convergence_aux",
@@ -211,6 +212,96 @@ def make_convergence_aux(move_threshold: int, num_tasks: int = 1) -> AuxPhase:
     )
 
 
+class KMeansKernel(Kernel):
+    """Vectorized Lloyd step over a pair's static user partition.
+
+    Per iteration each non-empty pair computes every user's nearest
+    centroid in one distance-matrix expression (the engines' shared
+    ‖c‖² − 2·c·x + ‖x‖² formula) and emits one ``(A+1)``-wide partial
+    row per centroid id — dense play-count sums plus a trailing member
+    count.  The ``sum`` merge adds the partials; ``finalize`` divides by
+    the count, falling back to the previous centroid for empty clusters
+    (the record path's "keep" rule).  Ties break to the lowest cid in
+    both paths (broadcast keys are ascending; ``argmin`` returns the
+    first minimum).  Dot products run as one CSR sparse-dense matmul
+    over the partition's play matrix (built once in ``prepare``, §3.2
+    static residency), reassociated vs the record path's per-user
+    ``vec[ids] @ counts`` — hence tolerance oracle.
+    """
+
+    __slots__ = ("num_artists",)
+
+    merge = "sum"
+    needs_broadcast = True
+
+    def __init__(self, num_artists: int):
+        self.num_artists = num_artists
+
+    @property
+    def state_width(self) -> int:  # centroids are (A,) vectors
+        return self.num_artists
+
+    def prepare(self, pair, owned_keys, static_table):
+        uids = sorted(static_table)
+        entries = [static_table[u] for u in uids]
+        counts = np.array([len(ids) for ids, _ in entries], dtype=np.int64)
+        if entries:
+            aids = np.concatenate(
+                [np.asarray(ids, dtype=np.int64) for ids, _ in entries]
+            )
+            plays = np.concatenate(
+                [np.asarray(c, dtype=np.float64) for _, c in entries]
+            )
+        else:
+            aids = np.empty(0, dtype=np.int64)
+            plays = np.empty(0, dtype=np.float64)
+        user_row = np.repeat(np.arange(len(uids)), counts)
+        x_norm = np.array(
+            [_sq_norm(ids, c) for ids, c in entries], dtype=np.float64
+        )
+        from scipy import sparse  # runtime dep; keep module import light
+
+        indptr = np.concatenate([[0], np.cumsum(counts)])
+        plays_mat = sparse.csr_matrix(
+            (plays, aids, indptr), shape=(len(uids), self.num_artists)
+        )
+        return aids, plays, user_row, x_norm, plays_mat
+
+    def map_kernel(self, pair, keys, values, prepared, broadcast):
+        aids, plays, user_row, x_norm, plays_mat = prepared
+        a = self.num_artists
+        num_users = x_norm.size
+        if num_users == 0:
+            # No users in this static partition: the record map never
+            # runs here either, so nothing (not even keeps) is emitted.
+            return np.empty(0, dtype=np.int64), np.empty((0, a + 1))
+        bkeys, centroids = broadcast
+        k = bkeys.size
+        c_norm = np.einsum("ij,ij->i", centroids, centroids)
+        dots = plays_mat @ centroids.T  # CSR sparse-dense: the hot line
+        dist = c_norm[None, :] - 2.0 * dots + x_norm[:, None]
+        best = np.argmin(dist, axis=1)
+        # One flat bincount scatters every (cluster, artist) partial;
+        # column ``a`` is never hit by an artist id, then holds counts.
+        flat = best[user_row] * (a + 1) + aids
+        totals = np.bincount(
+            flat, weights=plays, minlength=k * (a + 1)
+        ).reshape(k, a + 1)
+        totals[:, a] = np.bincount(best, minlength=k)
+        return bkeys.copy(), totals
+
+    def finalize(self, pair, keys, merged, prev_values, prepared):
+        a = self.num_artists
+        counts = merged[:, a]
+        nonempty = counts > 0
+        out = prev_values.copy()  # empty clusters keep their centroid
+        out[nonempty] = merged[nonempty, :a] / counts[nonempty, None]
+        return out
+
+    def distance_partial(self, keys, prev, curr):
+        return float(np.abs(prev - curr).sum())
+
+
 def build_imr_job(
     *,
     state_path: str,
@@ -223,7 +314,16 @@ def build_imr_job(
     track_membership: bool = False,
     aux: AuxPhase | None = None,
     checkpoint_interval: int | None = None,
+    use_kernel: bool = False,
+    num_artists: int | None = None,
 ) -> IterativeJob:
+    if use_kernel:
+        if num_artists is None:
+            raise ValueError("use_kernel requires num_artists (state width)")
+        if track_membership:
+            raise ValueError(
+                "the kernel path does not track membership (tuple state)"
+            )
     conf = JobConf()
     conf.set(IterKeys.STATE_PATH, state_path)
     conf.set(IterKeys.STATIC_PATH, static_path)
@@ -246,6 +346,7 @@ def build_imr_job(
         combiner=mr_combiner if combiner else None,
         num_pairs=num_pairs,
         aux=aux,
+        kernel=KMeansKernel(num_artists) if use_kernel else None,
     )
 
 

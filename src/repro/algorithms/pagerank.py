@@ -15,7 +15,7 @@ import numpy as np
 from ..common.config import IterKeys, JobConf
 from ..common.partition import ModPartitioner
 from ..graph import Digraph
-from ..imapreduce import IterativeJob
+from ..imapreduce import IterativeJob, Kernel
 from ..mapreduce import Job
 from ..mapreduce.driver import IterativeSpec
 
@@ -26,6 +26,7 @@ __all__ = [
     "make_imr_map",
     "imr_reduce",
     "manhattan_distance",
+    "PageRankKernel",
     "build_imr_job",
     "mr_initial_records",
     "make_mr_mapper",
@@ -96,6 +97,48 @@ def manhattan_distance(key: Any, prev: float | None, curr: float) -> float:
     return abs(prev - curr)
 
 
+class PageRankKernel(Kernel):
+    """Vectorized PageRank: one array expression per pair per iteration.
+
+    ``prepare`` builds the pair's CSR-style out-adjacency once at
+    partition load (§3.2: static data is resident, never re-shuffled);
+    ``map_kernel`` evaluates every retain and share emission at once.
+    The share values are bitwise-equal to :class:`PageRankMap`'s
+    (``d·R(u)/|N⁺(u)|`` elementwise), but the ``sum`` merge reorders the
+    float additions, so the record path is a tolerance reference.
+    """
+
+    __slots__ = ("num_nodes", "damping")
+
+    merge = "sum"
+
+    def __init__(self, num_nodes: int, damping: float = DAMPING):
+        self.num_nodes = num_nodes
+        self.damping = damping
+
+    def prepare(self, pair, owned_keys, static_table):
+        neigh = [static_table.get(k) or () for k in owned_keys.tolist()]
+        counts = np.array([len(t) for t in neigh], dtype=np.int64)
+        total = int(counts.sum())
+        targets = np.fromiter(
+            (v for t in neigh for v in t), dtype=np.int64, count=total
+        )
+        src_local = np.repeat(np.arange(owned_keys.size), counts)
+        return counts, targets, src_local
+
+    def map_kernel(self, pair, keys, values, prepared, broadcast):
+        counts, targets, src_local = prepared
+        retain = np.full(keys.size, (1.0 - self.damping) / self.num_nodes)
+        shares = self.damping * values[src_local] / counts[src_local]
+        return (
+            np.concatenate([keys, targets]),
+            np.concatenate([retain, shares]),
+        )
+
+    def distance_partial(self, keys, prev, curr):
+        return float(np.abs(prev - curr).sum())
+
+
 def build_imr_job(
     graph_nodes: int,
     *,
@@ -110,6 +153,7 @@ def build_imr_job(
     combiner: bool = False,
     checkpoint_interval: int | None = None,
     buffer_records: int | None = None,
+    use_kernel: bool = False,
 ) -> IterativeJob:
     conf = JobConf()
     conf.set(IterKeys.STATE_PATH, state_path)
@@ -134,6 +178,7 @@ def build_imr_job(
         partitioner=ModPartitioner(),
         combiner=imr_combine if combiner else None,
         num_pairs=num_pairs,
+        kernel=PageRankKernel(graph_nodes, damping) if use_kernel else None,
     )
 
 

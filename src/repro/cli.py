@@ -112,15 +112,26 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench = sub.add_parser(
         "bench", help="wall-clock benchmark: run_local vs run_parallel"
     )
-    p_bench.add_argument("--out", default="BENCH_PR5.json",
-                         help="output JSON path (default BENCH_PR5.json)")
+    p_bench.add_argument("--out", default="BENCH_PR6.json",
+                         help="output JSON path (default BENCH_PR6.json)")
     p_bench.add_argument("--workers", default=None,
                          help="comma-separated worker counts, e.g. 1,2,4")
+    p_bench.add_argument("--workloads", default=None, metavar="NAME,...",
+                         help="run only the named workloads (e.g. "
+                              "pagerank-kernel); unknown names list the "
+                              "available set")
+    p_bench.add_argument("--backend-only", default=None,
+                         choices=("serial", "parallel"),
+                         help="serial: skip the multiprocess backend; "
+                              "parallel: time only the backend (the serial "
+                              "reference still runs once for the identity "
+                              "check)")
     p_bench.add_argument("--quick", action="store_true",
                          help="tiny problem sizes (CI smoke)")
     p_bench.add_argument("--profile", action="store_true",
                          help="print the phase-level profiler breakdown "
-                              "(map/combine/serialize/send/wait/reduce)")
+                              "(map/combine/kernel/serialize/send/wait/"
+                              "reduce)")
     p_bench.add_argument("--check", default=None, metavar="BASELINE.json",
                          help="gate data-plane counters (records/batches/"
                               "bytes pickled) against a committed baseline; "
@@ -240,6 +251,7 @@ def _cmd_bench(args) -> int:
 
     from .experiments.wallclock import (
         DEFAULT_WORKERS,
+        available_workloads,
         compare_counters,
         format_phase_breakdown,
         run_suite,
@@ -254,8 +266,19 @@ def _cmd_bench(args) -> int:
         except ValueError:
             print(f"bad --workers list: {args.workers!r}", file=sys.stderr)
             return 2
+    workloads = None
+    if args.workloads:
+        workloads = [w.strip() for w in args.workloads.split(",") if w.strip()]
+        unknown = [w for w in workloads if w not in available_workloads()]
+        if unknown:
+            print(f"unknown workload(s): {', '.join(unknown)}",
+                  file=sys.stderr)
+            print(f"available: {', '.join(available_workloads())}",
+                  file=sys.stderr)
+            return 2
     results = run_suite(
-        out_path=args.out, workers=workers, quick=args.quick, log=print
+        out_path=args.out, workers=workers, quick=args.quick, log=print,
+        workloads=workloads, backend_only=args.backend_only,
     )
     if args.profile:
         print(format_phase_breakdown(results))
@@ -263,6 +286,11 @@ def _cmd_bench(args) -> int:
     print(
         f"sizeof_value memoization: {micro['speedup']}x over "
         f"{micro['calls']} calls"
+    )
+    hot = results["hotpath_microbench"]
+    print(
+        f"group_by_key fast path: {hot['group_by_key']['speedup']}x; "
+        f"combiner context reuse: {hot['combiner_context']['speedup']}x"
     )
     print(
         f"wrote {args.out} (cpu_count={results['meta']['cpu_count']})"

@@ -116,6 +116,19 @@ class ModPartitioner:
 
         return part
 
+    def bind_array(self, num_partitions: int):
+        """Vectorized form over an int64 key array (the columnar kernel
+        path routes whole emission arrays in one modulo).  numpy's ``%``
+        is floor-mod like Python's, so it agrees with :meth:`bind` for
+        every int key, negative ones included."""
+        if num_partitions <= 0:
+            raise ValueError("num_partitions must be positive")
+
+        def part_array(keys, _n: int = num_partitions):
+            return keys % _n
+
+        return part_array
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return "ModPartitioner()"
 
@@ -153,6 +166,20 @@ class RangePartitioner:
             return min(int(key) // width, last)
 
         return part
+
+    def bind_array(self, num_partitions: int):
+        """Vectorized form over an int64 key array (columnar kernels)."""
+        if num_partitions <= 0:
+            raise ValueError("num_partitions must be positive")
+        width = -(-self.total_keys // num_partitions)
+        last = num_partitions - 1
+
+        def part_array(keys, _width: int = width, _last: int = last):
+            import numpy as np
+
+            return np.minimum(keys // _width, _last)
+
+        return part_array
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"RangePartitioner(total_keys={self.total_keys})"

@@ -71,11 +71,30 @@ def group_by_key(pairs: Iterable[tuple[Any, Any]]) -> list[tuple[Any, list[Any]]
     all values emitted for it, in emission order within the key.  Sorting
     matches Hadoop's sorted-shuffle contract (and iMapReduce's key-ordered
     join, §3.2.2).
+
+    Fast path: the engines' hot loops group homogeneous keys (all ints,
+    or all strings), where native tuple comparison sorts the bucket list
+    directly in C — no per-item ``_sort_key`` call or tuple allocation.
+    Unorderable key mixes (ints and tuples in the matrix-power job) fall
+    back to the type-name-prefixed total order.  The orders agree
+    whenever all keys share one type; an orderable *mix* (ints and
+    floats) would interleave numerically instead of grouping by type
+    name — no engine workload emits such a mix.
     """
     buckets: dict[Any, list[Any]] = {}
     for k, v in pairs:
         buckets.setdefault(k, []).append(v)
-    return sorted(buckets.items(), key=lambda item: _sort_key(item[0]))
+    items = list(buckets.items())
+    if len(items) <= 1:
+        return items
+    try:
+        # Keys are unique, so comparison never reaches the value lists.
+        items.sort()
+    except TypeError:
+        # A failed sort leaves ``items`` permuted but intact; re-sort
+        # under the heterogeneous total order.
+        items.sort(key=lambda item: _sort_key(item[0]))
+    return items
 
 
 def _sort_key(key: Any) -> Any:

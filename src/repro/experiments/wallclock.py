@@ -17,15 +17,28 @@ counters — ``records_sent``, ``batches_sent``, ``manifest_frames``,
 pre-manifest dense protocol (every peer, every phase, every iteration)
 would have shipped for the same run; and the phase-level profiler's
 ``phase_seconds`` wall-time split (map, combine, serialize, deserialize,
-send, wait, reduce, report), aggregated into the JSON's top-level
-``phase_breakdown`` section.  The counters are deterministic for a given
-workload (seeded builders, pinned pickle protocol), which is what lets
-CI gate on them: :func:`compare_counters` fails the bench leg if any
-counter regresses against the committed ``BENCH_PR5.json`` baseline,
-while wall-clock numbers stay informational.
+send, wait, reduce, report — and now ``kernel``, the columnar compute
+phase), aggregated into the JSON's top-level ``phase_breakdown``
+section.  The counters are deterministic for a given workload (seeded
+builders, pinned pickle protocol), which is what lets CI gate on them:
+:func:`compare_counters` fails the bench leg if any counter regresses
+against the committed ``BENCH_PR6.json`` baseline, while wall-clock
+numbers stay informational.
+
+Each record-path workload now has a ``<name>-kernel`` twin that runs the
+same seeded data through the columnar :class:`~repro.imapreduce.Kernel`
+path (PR6's tentpole).  The suite cross-links every kernel row to its
+record twin: ``speedup_vs_record`` is the serial record time over the
+serial kernel time, and ``kernel_matches_record`` verifies the two final
+states agree (record-identical for ``min`` merges, within the float
+tolerance for vectorized ``sum`` merges).  ``compare_counters`` also
+gates the headline acceptance number — a full-size run must keep
+``pagerank-kernel`` and ``kmeans-kernel`` at or above
+:data:`KERNEL_SPEEDUP_FLOOR` times the record path.
 
 ``run_suite`` writes the JSON trajectory consumed by CI (uploaded as the
-``BENCH_PR5.json`` artifact) and by ``repro bench``.
+``BENCH_PR6.json`` artifact) and by ``repro bench``; ``workloads`` /
+``backend_only`` filters let one algorithm be iterated on alone.
 """
 
 from __future__ import annotations
@@ -37,7 +50,7 @@ import time
 from dataclasses import dataclass
 from typing import Any, Callable
 
-from ..algorithms import kmeans, pagerank, sssp
+from ..algorithms import jacobi, kmeans, pagerank, sssp
 from ..common.serialization import sizeof_value
 from ..data.lastfm import load_lastfm
 from ..graph.generators import pagerank_graph, sssp_graph
@@ -46,19 +59,30 @@ from ..imapreduce import run_local, run_parallel
 __all__ = [
     "WallclockCase",
     "build_cases",
+    "available_workloads",
     "build_backend_workload",
     "time_case",
     "dense_batches",
     "sizeof_microbench",
+    "hotpath_microbench",
     "run_suite",
     "compare_counters",
     "format_phase_breakdown",
     "DEFAULT_WORKERS",
     "COUNTERS",
+    "KERNEL_SPEEDUP_FLOOR",
 ]
 
 #: Data-plane counters recorded per parallel point and gated by CI.
 COUNTERS = ("records_sent", "batches_sent", "manifest_frames", "bytes_pickled")
+
+#: Acceptance floor for the columnar path: on a full-size run, the
+#: serial kernel must beat the serial record path by at least this
+#: factor on the gated workloads.  ``compare_counters`` enforces it.
+KERNEL_SPEEDUP_FLOOR = 5.0
+
+#: Kernel rows whose ``speedup_vs_record`` the floor applies to.
+GATED_KERNEL_ROWS = ("pagerank-kernel", "kmeans-kernel")
 
 STATE = "/bench/state"
 STATIC = "/bench/static"
@@ -76,56 +100,92 @@ class WallclockCase:
     name: str
     num_pairs: int
     build: Callable[[], tuple[Any, list, dict]]
+    #: For ``<name>-kernel`` twins: the record-path row this case
+    #: accelerates.  ``run_suite`` cross-links the two to compute
+    #: ``speedup_vs_record`` and the kernel/record state comparison.
+    kernel_of: str | None = None
 
 
 def build_cases(quick: bool = False) -> list[WallclockCase]:
-    """The three headline workloads at honest (or CI-smoke) sizes."""
+    """The four record-path workloads plus their kernel twins, at honest
+    (or CI-smoke) sizes.  Twins share the record case's seeded data, so
+    their final states are comparable."""
     if quick:
         pr_nodes, sssp_nodes, users, iters = 60, 60, 40, 3
-        artists, k = 10, 4
+        artists, k, jac_n = 10, 4, 40
     else:
         # Sized so the serial run takes seconds, not milliseconds: the
         # per-iteration compute must dominate process-mesh overhead, or
         # speedups would measure pickling, not the backend.
         pr_nodes, sssp_nodes, users, iters = 30_000, 30_000, 8_000, 8
-        artists, k = 60, 8
+        artists, k, jac_n = 60, 8, 800
 
-    def _pagerank():
+    def _pagerank(use_kernel: bool = False):
         graph = pagerank_graph(pr_nodes, seed=42)
         job = pagerank.build_imr_job(
             pr_nodes, state_path=STATE, static_path=STATIC, output_path=OUT,
             max_iterations=iters, num_pairs=8, combiner=True,
+            use_kernel=use_kernel,
         )
         return job, pagerank.initial_state(graph), {
             STATIC: pagerank.static_records(graph)
         }
 
-    def _sssp():
+    def _sssp(use_kernel: bool = False):
         graph = sssp_graph(sssp_nodes, seed=42)
         job = sssp.build_imr_job(
             state_path=STATE, static_path=STATIC, output_path=OUT,
             max_iterations=iters, num_pairs=8, combiner=True,
+            use_kernel=use_kernel,
         )
         return job, sssp.initial_state(graph, source=0), {
             STATIC: sssp.static_records(graph)
         }
 
-    def _kmeans():
+    def _kmeans(use_kernel: bool = False):
         data = load_lastfm(num_users=users, num_artists=artists,
                            num_tastes=min(4, k), seed=42)
         job = kmeans.build_imr_job(
             state_path=STATE, static_path=STATIC, output_path=OUT,
             max_iterations=max(3, iters - 2), num_pairs=4,
+            use_kernel=use_kernel,
+            num_artists=artists if use_kernel else None,
         )
         return job, kmeans.initial_centroids(data, k, seed=42), {
             STATIC: data.user_records()
         }
 
+    def _jacobi(use_kernel: bool = False):
+        # The record map rebuilds a dict of the whole broadcast vector
+        # per row — the O(n²) hot spot the kernel's cached column index
+        # eliminates (see JacobiKernel).
+        a, b = jacobi.make_system(jac_n, density=0.05, seed=42)
+        job = jacobi.build_imr_job(
+            state_path=STATE, static_path=STATIC, output_path=OUT,
+            max_iterations=iters, num_pairs=4, use_kernel=use_kernel,
+        )
+        return job, jacobi.initial_state(jac_n), {
+            STATIC: jacobi.system_to_static_records(a, b)
+        }
+
+    def _kernel(build):
+        return lambda: build(use_kernel=True)
+
     return [
         WallclockCase("pagerank", 8, _pagerank),
         WallclockCase("sssp", 8, _sssp),
         WallclockCase("kmeans", 4, _kmeans),
+        WallclockCase("jacobi", 4, _jacobi),
+        WallclockCase("pagerank-kernel", 8, _kernel(_pagerank), kernel_of="pagerank"),
+        WallclockCase("sssp-kernel", 8, _kernel(_sssp), kernel_of="sssp"),
+        WallclockCase("kmeans-kernel", 4, _kernel(_kmeans), kernel_of="kmeans"),
+        WallclockCase("jacobi-kernel", 4, _kernel(_jacobi), kernel_of="jacobi"),
     ]
+
+
+def available_workloads() -> list[str]:
+    """Names ``run_suite``'s ``workloads`` filter accepts."""
+    return [case.name for case in build_cases(quick=True)]
 
 
 def build_backend_workload(
@@ -209,8 +269,15 @@ def time_case(
     case: WallclockCase,
     workers: tuple[int, ...] = DEFAULT_WORKERS,
     repeats: int = 2,
-) -> dict:
-    """Serial vs parallel timings for one workload (best of ``repeats``)."""
+) -> tuple[dict, Any, Any]:
+    """Serial vs parallel timings for one workload (best of ``repeats``).
+
+    Returns the JSON row, the serial result and the job — ``run_suite``
+    uses the latter two to compare a kernel twin's state against its
+    record row.  An empty ``workers`` tuple (``--backend-only serial``)
+    skips the multiprocess backend entirely; the serial run always
+    happens, both for its timing and as the correctness reference.
+    """
     job, state, static_map = case.build()
 
     serial = float("inf")
@@ -260,7 +327,7 @@ def time_case(
             ),
             "phase_seconds": par.phase_breakdown(),
         })
-    return row
+    return row, ref, job
 
 
 def sizeof_microbench(calls: int = 200_000) -> dict:
@@ -298,13 +365,117 @@ def sizeof_microbench(calls: int = 200_000) -> dict:
     }
 
 
+def hotpath_microbench(groups: int = 2_000, repeats: int = 20) -> dict:
+    """PR6's satellite hot-path wins, measured against the old code.
+
+    ``group_by_key``: the old implementation always sorted through a
+    ``(type_name, key)`` tuple built per item by a lambda; the new fast
+    path sorts natively and only falls back on a ``TypeError``.  The
+    probe shape mirrors a combiner's input: small int keys, a few values
+    each.
+
+    Combiner context: ``map_pair`` used to allocate a fresh ``Context``
+    per destination partition; it now reuses one, draining it with
+    ``take()``.  The probe replays both allocation patterns over the
+    same emission stream, shaped like the worst case for the old code —
+    many partitions with few emissions each, where the per-partition
+    allocation is the dominant cost.
+    """
+    from ..common.records import _sort_key, group_by_key
+    from ..mapreduce.api import Context
+
+    pairs = [(i % groups, float(i)) for i in range(groups * 4)]
+
+    def _old_group_by_key(ps):
+        buckets: dict[Any, list[Any]] = {}
+        for k, v in ps:
+            buckets.setdefault(k, []).append(v)
+        return sorted(buckets.items(), key=lambda item: _sort_key(item[0]))
+
+    def _best_of(fn):
+        # Best-of-N: min is far more noise-robust than a summed total
+        # on a shared/1-core host.
+        best = float("inf")
+        for _ in range(repeats):
+            started = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - started)
+        return best
+
+    old_group = _best_of(lambda: _old_group_by_key(pairs))
+    new_group = _best_of(lambda: group_by_key(pairs))
+
+    partitions = [[(k, k * 0.5) for k in range(p, p + 3)] for p in range(1024)]
+
+    def _per_partition_ctx():
+        emitted = []
+        for part in partitions:
+            cctx = Context()
+            for k, v in part:
+                cctx.emit(k, v)
+            emitted.extend(cctx.take())
+
+    def _reused_ctx():
+        emitted = []
+        cctx = Context()
+        for part in partitions:
+            for k, v in part:
+                cctx.emit(k, v)
+            emitted.extend(cctx.take())
+
+    old_ctx = _best_of(_per_partition_ctx)
+    new_ctx = _best_of(_reused_ctx)
+
+    return {
+        "group_by_key": {
+            "pairs": len(pairs),
+            "old_seconds": round(old_group, 5),
+            "new_seconds": round(new_group, 5),
+            "speedup": round(old_group / new_group, 2) if new_group else None,
+        },
+        "combiner_context": {
+            "emissions": sum(len(p) for p in partitions),
+            "per_partition_seconds": round(old_ctx, 5),
+            "reused_seconds": round(new_ctx, 5),
+            "speedup": round(old_ctx / new_ctx, 2) if new_ctx else None,
+        },
+    }
+
+
 def run_suite(
-    out_path: str | None = "BENCH_PR5.json",
+    out_path: str | None = "BENCH_PR6.json",
     workers: tuple[int, ...] = DEFAULT_WORKERS,
     quick: bool = False,
     log: Callable[[str], None] | None = None,
+    workloads: list[str] | None = None,
+    backend_only: str | None = None,
 ) -> dict:
-    """Run every case, plus the sizeof micro-benchmark; write JSON."""
+    """Run the selected cases plus the micro-benchmarks; write JSON.
+
+    ``workloads`` restricts the suite to the named cases (unknown names
+    raise ``ValueError`` listing the available set); ``backend_only``
+    is ``"serial"`` (skip the multiprocess backend) or ``"parallel"``
+    (time only the backend — the serial reference still runs once for
+    the identity check, with a single repeat).
+    """
+    cases = build_cases(quick=quick)
+    if workloads is not None:
+        known = [case.name for case in cases]
+        unknown = [name for name in workloads if name not in known]
+        if unknown:
+            raise ValueError(
+                f"unknown workload(s): {', '.join(unknown)}; "
+                f"available: {', '.join(known)}"
+            )
+        cases = [case for case in cases if case.name in workloads]
+    if backend_only not in (None, "serial", "parallel"):
+        raise ValueError(
+            f"backend_only must be 'serial' or 'parallel', "
+            f"not {backend_only!r}"
+        )
+    case_workers = () if backend_only == "serial" else workers
+    repeats = 1 if quick or backend_only == "parallel" else 2
+
     results = {
         "suite": "wallclock",
         "meta": {
@@ -312,7 +483,8 @@ def run_suite(
             "platform": platform.platform(),
             "python": platform.python_version(),
             "quick": quick,
-            "workers": list(workers),
+            "workers": list(case_workers),
+            "backend_only": backend_only,
             "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
         },
         "workloads": [],
@@ -320,9 +492,36 @@ def run_suite(
         "sizeof_microbench": sizeof_microbench(
             calls=20_000 if quick else 200_000
         ),
+        "hotpath_microbench": hotpath_microbench(
+            groups=200 if quick else 2_000, repeats=5 if quick else 20
+        ),
     }
-    for case in build_cases(quick=quick):
-        row = time_case(case, workers=workers, repeats=1 if quick else 2)
+    from ..testing.oracles import records_identical, states_match
+
+    rows: dict[str, dict] = {}
+    refs: dict[str, Any] = {}
+    for case in cases:
+        row, ref, job = time_case(case, workers=case_workers, repeats=repeats)
+        rows[case.name] = row
+        refs[case.name] = ref
+        if case.kernel_of is not None and case.kernel_of in rows:
+            base = rows[case.kernel_of]
+            row["kernel_of"] = case.kernel_of
+            row["speedup_vs_record"] = (
+                round(base["serial_seconds"] / row["serial_seconds"], 2)
+                if row["serial_seconds"] > 0 else None
+            )
+            # ``min`` merges replay the record path's float ops exactly;
+            # ``sum`` merges reorder additions, so compare in tolerance.
+            record_state = refs[case.kernel_of].state
+            if job.kernel.merge == "min":
+                row["kernel_matches_record"] = records_identical(
+                    ref.state, record_state
+                )
+            else:
+                row["kernel_matches_record"] = not states_match(
+                    ref.state, record_state
+                )
         results["workloads"].append(row)
         results["phase_breakdown"][row["name"]] = {
             str(point["workers"]): point["phase_seconds"]
@@ -332,9 +531,14 @@ def run_suite(
             speedups = ", ".join(
                 f"{p['workers']}w={p['speedup']}x" for p in row["parallel"]
             )
+            vs = (
+                f"; {row['speedup_vs_record']}x vs record path "
+                f"(matches={row['kernel_matches_record']})"
+                if "speedup_vs_record" in row else ""
+            )
             log(
                 f"{row['name']}: serial {row['serial_seconds']}s; {speedups}"
-                f" (identical={row['record_identical']})"
+                f" (identical={row['record_identical']}){vs}"
             )
     if out_path:
         with open(out_path, "w") as fh:
@@ -357,6 +561,12 @@ def compare_counters(results: dict, baseline: dict) -> list[str]:
     numbers are never compared — they belong to the host, the counters
     belong to the protocol.  Points absent from the baseline (new
     workloads, new worker counts) pass silently.
+
+    One wall-clock exception, because it is the PR6 acceptance number:
+    on a full-size run (``quick`` false) the gated kernel rows must keep
+    ``speedup_vs_record`` at or above :data:`KERNEL_SPEEDUP_FLOOR` — a
+    ratio of two timings on the *same* host, so it is load-tolerant in a
+    way absolute seconds are not.
     """
     baseline_points: dict[tuple[str, int], dict] = {}
     for row in baseline.get("workloads", ()):
@@ -385,6 +595,19 @@ def compare_counters(results: dict, baseline: dict) -> list[str]:
                     f"{now['bytes_pickled']} > baseline "
                     f"{base['bytes_pickled']} (+2% headroom)"
                 )
+    quick = bool(results.get("meta", {}).get("quick", False))
+    for row in results.get("workloads", ()):
+        speedup = row.get("speedup_vs_record")
+        if (not quick and row["name"] in GATED_KERNEL_ROWS
+                and speedup is not None and speedup < KERNEL_SPEEDUP_FLOOR):
+            problems.append(
+                f"{row['name']}: kernel speedup {speedup}x over the "
+                f"record path, floor is {KERNEL_SPEEDUP_FLOOR}x"
+            )
+        if row.get("kernel_matches_record") is False:
+            problems.append(
+                f"{row['name']}: kernel state diverged from the record path"
+            )
     return problems
 
 

@@ -1,6 +1,7 @@
 """The iMapReduce engine — the paper's contribution."""
 
 from .channels import IterationMailbox, ReliableConfig, StopIteration_
+from .columnar import Kernel, KernelContractError, kernel_enabled
 from .failure_detector import FailureDetector, FailureDetectorConfig
 from .job import AuxPhase, IterativeJob, IterativeRunResult, Phase
 from .localrun import LocalRunResult, run_local
@@ -11,6 +12,9 @@ __all__ = [
     "IterationMailbox",
     "ReliableConfig",
     "StopIteration_",
+    "Kernel",
+    "KernelContractError",
+    "kernel_enabled",
     "FailureDetector",
     "FailureDetectorConfig",
     "AuxPhase",

@@ -1,0 +1,424 @@
+"""Columnar execution path: vectorized per-pair kernels.
+
+The record-level executors (:func:`~repro.imapreduce.localrun.run_local`
+and the multiprocess backend) spend their time in per-record Python —
+``map_pair`` → ``group_by_key`` → ``reduce`` — which the PR5 phase
+profiler showed dominating wall clock by ~30× over serialization.  The
+hot algorithms don't need per-record generality: their updates are
+accumulative merges over a *fixed integer key space* (``sum`` for
+pagerank/jacobi/k-means partials, ``min`` for sssp/components), so a
+whole pair's iteration collapses into a handful of numpy array
+operations — the same structure Maiter exploits, and the same code shape
+as the ``reference_iterations`` oracles.
+
+Layout
+------
+
+A pair's state is two contiguous arrays instead of a list of records:
+
+* ``keys``   — int64, strictly ascending (the pair's *owned* key set,
+  fixed for the whole job: the initial state keys this pair's partition
+  received, mirroring §3.2's static task-pair assignment);
+* ``values`` — float64/int64, shape ``(n,)`` for scalar state or
+  ``(n, width)`` for vector state (k-means centroids), row-aligned with
+  ``keys``.
+
+A :class:`Kernel` carried by the job (``IterativeJob.kernel``) replaces
+the per-record loops:
+
+* ``prepare(pair, owned_keys, static_table)`` runs once at partition
+  load, building CSR-style static columns that stay resident across
+  iterations (§3.2.1 — the static data is never touched again);
+* ``map_kernel(pair, keys, values, prepared, broadcast)`` returns the
+  pair's whole emission set as ``(out_keys, out_values)`` arrays;
+* emissions are routed with one vectorized partition call
+  (``partitioner.bind_array``) and merged at the owning pair with
+  ``np.add.at`` / ``np.minimum.at`` — the reduce;
+* optional ``finalize`` post-processes the merged accumulator (k-means
+  divides sums by counts), and ``distance_partial`` supplies the
+  vectorized per-pair convergence contribution.
+
+Dispatch rules (:func:`kernel_enabled`): the job must carry a kernel,
+have exactly one phase, no aux phase, a partitioner with ``bind_array``,
+and the phase mapping must match the kernel's ``needs_broadcast``.
+Anything else falls back to the record path, on every backend, so both
+backends always agree on which path runs.
+
+Float-ordering caveat
+---------------------
+
+``min`` merges are order-independent, so sssp/components kernels are
+*bit-exact* against the record path.  ``sum`` merges reorder the float
+additions (``np.add.at`` accumulates in routed-concatenation order, the
+record path in ``group_by_key`` emission order), so summation kernels
+are compared with a tolerance oracle.  The worst-case error of summing
+``n`` floats in any order is bounded by ``(n-1)·eps·Σ|xᵢ|`` (Higham,
+*Accuracy and Stability of Numerical Algorithms*, §4.2); with
+``eps = 2⁻⁵³`` and the bench-scale fan-ins (n ≲ 10⁵, values ≲ 1) that is
+≲ 10⁻¹¹ absolute — six orders under the differential oracle's 1e-6
+relative tolerance.  Kernel-serial vs kernel-parallel stays bit-exact:
+both assemble merge inputs in ascending source-pair order and run the
+identical numpy reduction.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable
+
+import numpy as np
+
+from ..common.errors import JobError
+from ..common.partition import bind_partitioner
+
+__all__ = [
+    "Kernel",
+    "KernelContractError",
+    "kernel_enabled",
+    "encode_columnar",
+    "decode_columnar",
+    "route_columnar",
+    "merge_columnar",
+    "concat_broadcast",
+    "run_local_kernel",
+]
+
+
+class KernelContractError(JobError):
+    """A kernel violated the columnar contract (non-int keys, emission
+    to a key outside the job's key universe, or an owned key that
+    received no contribution)."""
+
+
+class Kernel:
+    """Base class for vectorized per-pair compute kernels.
+
+    Subclasses set the class attributes and implement ``map_kernel``
+    (and ``distance_partial`` when the job measures a distance).
+    Kernels ship to worker processes inside the job pickle, so they
+    must be picklable — plain classes with ``__slots__`` work.
+    """
+
+    #: ``"sum"`` (``np.add.at``) or ``"min"`` (``np.minimum.at``).
+    merge = "sum"
+    #: True for one2all jobs: ``map_kernel`` receives the full state as
+    #: a globally key-sorted ``(keys, values)`` broadcast.
+    needs_broadcast = False
+    #: dtype of the state value array (``"float64"`` or ``"int64"``).
+    state_dtype = "float64"
+    #: 0 for scalar state; otherwise the number of value columns.
+    state_width = 0
+
+    def prepare(self, pair: int, owned_keys: np.ndarray, static_table: dict):
+        """Build per-pair static columns once at partition load (§3.2)."""
+        return None
+
+    def map_kernel(
+        self,
+        pair: int,
+        keys: np.ndarray,
+        values: np.ndarray,
+        prepared: Any,
+        broadcast: tuple[np.ndarray, np.ndarray] | None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        raise NotImplementedError
+
+    def finalize(
+        self,
+        pair: int,
+        keys: np.ndarray,
+        merged: np.ndarray,
+        prev_values: np.ndarray,
+        prepared: Any,
+    ) -> np.ndarray:
+        """Post-process the merged accumulator into the new state values
+        (default: the accumulator *is* the new state)."""
+        return merged
+
+
+def kernel_enabled(job) -> bool:
+    """Does this job run on the columnar path?  Both backends call this
+    one predicate, so they always agree; anything unsupported falls
+    back to the record path silently."""
+    kernel = getattr(job, "kernel", None)
+    if kernel is None:
+        return False
+    if len(job.phases) != 1 or job.aux is not None:
+        return False
+    if getattr(job.partitioner, "bind_array", None) is None:
+        return False
+    if (job.phases[0].mapping == "one2all") != bool(kernel.needs_broadcast):
+        return False
+    if job.distance_fn is not None and not hasattr(kernel, "distance_partial"):
+        return False
+    return True
+
+
+# ------------------------------------------------------------- layout --
+def encode_columnar(
+    records: Iterable[tuple[int, Any]],
+    dtype: str = "float64",
+    width: int = 0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Records → ``(keys, values)`` arrays sorted by key.
+
+    ``width == 0`` encodes scalar values into shape ``(n,)``; otherwise
+    each value must be a length-``width`` vector and the result is
+    ``(n, width)``.  Keys must be Python ints (the columnar contract).
+    """
+    recs = list(records)
+    n = len(recs)
+    keys = np.empty(n, dtype=np.int64)
+    for i, (k, _v) in enumerate(recs):
+        if isinstance(k, bool) or not isinstance(k, int):
+            raise KernelContractError(
+                f"columnar keys must be ints, got {type(k).__name__}"
+            )
+        keys[i] = k
+    if width == 0:
+        values = np.empty(n, dtype=dtype)
+        for i, (_k, v) in enumerate(recs):
+            values[i] = v
+    else:
+        values = np.empty((n, width), dtype=dtype)
+        for i, (_k, v) in enumerate(recs):
+            values[i] = v
+    order = np.argsort(keys, kind="stable")
+    keys = keys[order]
+    if n > 1 and (keys[1:] == keys[:-1]).any():
+        raise KernelContractError("duplicate keys in columnar state")
+    return keys, values[order]
+
+
+def decode_columnar(
+    keys: np.ndarray, values: np.ndarray
+) -> list[tuple[int, Any]]:
+    """``(keys, values)`` → records with the record path's value types:
+    Python ints/floats for scalar state, per-row ndarray copies for
+    vector state (what the record-path reducers emit)."""
+    if values.ndim == 1:
+        if values.dtype.kind == "i":
+            return [(int(k), int(v)) for k, v in zip(keys.tolist(), values.tolist())]
+        return [(int(k), float(v)) for k, v in zip(keys.tolist(), values.tolist())]
+    return [(int(k), values[i].copy()) for i, k in enumerate(keys.tolist())]
+
+
+# ------------------------------------------------------------- routing --
+def route_columnar(
+    out_keys: np.ndarray,
+    out_values: np.ndarray,
+    part_array: Callable[[np.ndarray], np.ndarray],
+    num_pairs: int,
+) -> list[tuple[int, np.ndarray, np.ndarray]]:
+    """Split one pair's emissions by destination pair.
+
+    One vectorized partition call plus a stable argsort: within each
+    destination, emission order is preserved, so the serial and the
+    multiprocess executor concatenate identical per-source batches.
+    Empty destinations are skipped (the mesh's skip-empty contract).
+    """
+    if out_keys.size == 0:
+        return []
+    dest = part_array(out_keys)
+    order = np.argsort(dest, kind="stable")
+    ks = out_keys[order]
+    vs = out_values[order]
+    ds = dest[order]
+    bounds = np.searchsorted(ds, np.arange(num_pairs + 1))
+    return [
+        (q, ks[lo:hi], vs[lo:hi])
+        for q, (lo, hi) in enumerate(zip(bounds[:-1], bounds[1:]))
+        if hi > lo
+    ]
+
+
+# --------------------------------------------------------------- merge --
+def merge_columnar(
+    kernel: Kernel,
+    owned_keys: np.ndarray,
+    batches: list[tuple[np.ndarray, np.ndarray]],
+) -> np.ndarray:
+    """The vectorized reduce: fold arriving ``(keys, values)`` batches
+    (already in ascending source-pair order) into an accumulator aligned
+    with ``owned_keys``.
+
+    ``sum`` starts from zero and scatters with ``np.add.at``; ``min``
+    starts from the dtype's +∞ and uses ``np.minimum.at``.  Every owned
+    key must receive at least one contribution (all bundled kernels
+    self-emit), and no emission may target a key outside the owned set —
+    both violations raise :class:`KernelContractError`.
+    """
+    if not batches:
+        raise KernelContractError("no contributions arrived for a non-empty pair")
+    all_keys = np.concatenate([b[0] for b in batches])
+    all_vals = np.concatenate([b[1] for b in batches])
+    idx = np.searchsorted(owned_keys, all_keys)
+    clipped = np.minimum(idx, owned_keys.size - 1)
+    bad = (idx >= owned_keys.size) | (owned_keys[clipped] != all_keys)
+    if bad.any():
+        stray = all_keys[bad][:5].tolist()
+        raise KernelContractError(
+            f"kernel emitted to keys outside the owned set: {stray}"
+        )
+    shape = (owned_keys.size,) + all_vals.shape[1:]
+    if kernel.merge == "sum":
+        acc = np.zeros(shape, dtype=all_vals.dtype)
+        np.add.at(acc, idx, all_vals)
+    elif kernel.merge == "min":
+        if all_vals.dtype.kind == "i":
+            fill = np.iinfo(all_vals.dtype).max
+        else:
+            fill = np.inf
+        acc = np.full(shape, fill, dtype=all_vals.dtype)
+        np.minimum.at(acc, idx, all_vals)
+    else:
+        raise KernelContractError(f"unknown merge {kernel.merge!r}")
+    present = np.zeros(owned_keys.size, dtype=bool)
+    present[idx] = True
+    if not present.all():
+        missing = owned_keys[~present][:5].tolist()
+        raise KernelContractError(
+            f"owned keys received no contribution: {missing}"
+        )
+    return acc
+
+
+def concat_broadcast(
+    parts: list[tuple[np.ndarray, np.ndarray]],
+) -> tuple[np.ndarray, np.ndarray]:
+    """Assemble the one2all broadcast: concatenate per-pair state in
+    ascending pair order, then sort globally by key.  Keys are unique,
+    so the stable argsort is fully deterministic — the serial executor
+    and the parallel sorter worker produce identical arrays."""
+    keys = np.concatenate([p[0] for p in parts])
+    values = np.concatenate([p[1] for p in parts])
+    order = np.argsort(keys, kind="stable")
+    return keys[order], values[order]
+
+
+# ------------------------------------------------------ serial executor --
+def run_local_kernel(
+    job,
+    state_records: Iterable[tuple[Any, Any]],
+    static_records: dict[str, Iterable[tuple[Any, Any]]] | None = None,
+    *,
+    num_pairs: int = 4,
+    keep_history: bool = False,
+):
+    """Serial columnar executor — :func:`run_local`'s kernel dispatch
+    target.  Same result surface (:class:`LocalRunResult`), one
+    ``map_kernel`` + one vectorized merge per pair per iteration.
+    """
+    from .localrun import LocalRunResult, order_key  # avoid import cycle
+
+    kernel: Kernel = job.kernel
+    phase = job.phases[0]
+    one2all = phase.mapping == "one2all"
+    part = bind_partitioner(job.partitioner, num_pairs)
+    part_array = job.partitioner.bind_array(num_pairs)
+
+    g_keys, g_vals = encode_columnar(
+        state_records, kernel.state_dtype, kernel.state_width
+    )
+    empty_keys = g_keys[:0]
+    empty_vals = g_vals[:0]
+    owned: list[np.ndarray] = [empty_keys] * num_pairs
+    values: list[np.ndarray] = [empty_vals] * num_pairs
+    for p, ks, vs in route_columnar(g_keys, g_vals, part_array, num_pairs):
+        owned[p] = ks  # route preserves key order per destination: sorted
+        values[p] = vs
+
+    static_by_path = {k: dict(v) for k, v in (static_records or {}).items()}
+    table = static_by_path.get(phase.static_path or "", {})
+    static_tables: list[dict] = [{} for _ in range(num_pairs)]
+    for key, value in table.items():
+        static_tables[part(key)][key] = value
+    prepared = [
+        kernel.prepare(p, owned[p], static_tables[p]) for p in range(num_pairs)
+    ]
+
+    distance_fn = job.distance_fn
+    prev: list[np.ndarray] | None = (
+        [v.copy() for v in values] if distance_fn is not None else None
+    )
+
+    distances: list[float | None] = []
+    history: list[list[tuple[Any, Any]]] = []
+    iterations_run = 0
+    terminated_by = ""
+    max_iterations = job.max_iterations if job.max_iterations is not None else 10**9
+
+    for iteration in range(max_iterations):
+        broadcast = None
+        if one2all:
+            broadcast = concat_broadcast(
+                [(owned[p], values[p]) for p in range(num_pairs)]
+            )
+        # ---- map + route: inbox[q] holds batches in ascending src order --
+        inbox: list[list[tuple[np.ndarray, np.ndarray]]] = [
+            [] for _ in range(num_pairs)
+        ]
+        for p in range(num_pairs):
+            out_keys, out_vals = kernel.map_kernel(
+                p, owned[p], values[p], prepared[p], broadcast
+            )
+            for q, ks, vs in route_columnar(out_keys, out_vals, part_array, num_pairs):
+                inbox[q].append((ks, vs))
+        # ---- vectorized merge + finalize ----
+        for q in range(num_pairs):
+            if owned[q].size == 0:
+                continue
+            acc = merge_columnar(kernel, owned[q], inbox[q])
+            values[q] = kernel.finalize(q, owned[q], acc, values[q], prepared[q])
+        iterations_run = iteration + 1
+
+        if keep_history:
+            history.append(
+                sorted(
+                    (
+                        rec
+                        for p in range(num_pairs)
+                        for rec in decode_columnar(owned[p], values[p])
+                    ),
+                    key=lambda kv: order_key(kv[0]),
+                )
+            )
+
+        distance: float | None = None
+        if distance_fn is not None and prev is not None:
+            distance = 0.0
+            for p in range(num_pairs):
+                if owned[p].size:
+                    distance += kernel.distance_partial(
+                        owned[p], prev[p], values[p]
+                    )
+                prev[p] = values[p].copy()
+        distances.append(distance)
+
+        if (
+            job.threshold is not None
+            and distance is not None
+            and distance <= job.threshold
+        ):
+            terminated_by = "threshold"
+            break
+    else:
+        terminated_by = "maxiter"
+    if not terminated_by:
+        terminated_by = "maxiter"
+
+    final = sorted(
+        (
+            rec
+            for p in range(num_pairs)
+            for rec in decode_columnar(owned[p], values[p])
+        ),
+        key=lambda kv: order_key(kv[0]),
+    )
+    return LocalRunResult(
+        state=final,
+        iterations_run=iterations_run,
+        converged=terminated_by == "threshold",
+        terminated_by=terminated_by,
+        distances=distances,
+        history=history,
+    )

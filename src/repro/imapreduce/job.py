@@ -96,6 +96,14 @@ class IterativeJob:
     #: lets the runtime pick one pair per worker.
     num_pairs: int | None = None
     aux: AuxPhase | None = None
+    #: Optional vectorized compute kernel (see
+    #: :mod:`repro.imapreduce.columnar`).  When set — and the job shape
+    #: supports it (single phase, no aux, vectorizable partitioner) —
+    #: both executors replace the per-record map/combine/reduce loops
+    #: with one columnar ``map_kernel`` + merge per pair per iteration.
+    #: The record-level ``phases`` stay authoritative as the
+    #: differential reference.
+    kernel: Any | None = None
 
     def __post_init__(self):
         if not self.phases:
@@ -127,6 +135,7 @@ class IterativeJob:
         combiner: ReduceFn | None = None,
         num_pairs: int | None = None,
         aux: AuxPhase | None = None,
+        kernel: Any | None = None,
     ) -> "IterativeJob":
         """The common case: one map-reduce phase per iteration (§3)."""
         phase = Phase(
@@ -146,6 +155,7 @@ class IterativeJob:
             partitioner=partitioner or HashPartitioner(),
             num_pairs=num_pairs,
             aux=aux,
+            kernel=kernel,
         )
 
     # -- paper §5.2/§5.3 chaining sugar ------------------------------------------

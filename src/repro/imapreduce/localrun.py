@@ -93,9 +93,13 @@ def map_pair(
         parts: dict[int, list] = defaultdict(list)
         for rec in emitted:
             parts[part(rec[0])].append(rec)
+        # One Context reused across all destination groups: ``take()``
+        # drains the buffer between groups, and no combiner reads the
+        # context counters, so the emission stream is unchanged while the
+        # per-group allocation disappears from the hot path.
+        cctx = Context()
         emitted = []
         for part_recs in parts.values():
-            cctx = Context()
             for key, values in group_by_key(part_recs):
                 phase.combiner(key, values, cctx)
             emitted.extend(cctx.take())
@@ -121,7 +125,23 @@ def run_local(
 
     ``state_records`` is the initial state; ``static_records`` maps each
     phase's ``static_path`` to its records (the DFS is not involved).
+
+    Jobs carrying a vectorized kernel (``job.kernel``) dispatch to the
+    columnar executor when the job shape supports it — same result
+    surface, one ``map_kernel`` + merge per pair per iteration instead
+    of the per-record loops below.
     """
+    from .columnar import kernel_enabled, run_local_kernel
+
+    if kernel_enabled(job):
+        return run_local_kernel(
+            job,
+            state_records,
+            static_records,
+            num_pairs=num_pairs,
+            keep_history=keep_history,
+        )
+
     static_by_path = {k: dict(v) for k, v in (static_records or {}).items()}
     phases = job.phases
     part = bind_partitioner(job.partitioner, num_pairs)

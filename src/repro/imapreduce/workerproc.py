@@ -75,6 +75,14 @@ from typing import Any
 from ..common.partition import bind_partitioner
 from ..common.records import group_by_key
 from ..mapreduce.api import Context
+from .columnar import (
+    concat_broadcast,
+    decode_columnar,
+    encode_columnar,
+    kernel_enabled,
+    merge_columnar,
+    route_columnar,
+)
 from .localrun import map_pair, order_key, sorted_static
 
 __all__ = ["WorkerConfig", "worker_main", "PHASE_COUNTERS"]
@@ -95,10 +103,14 @@ BCAST_SORTED = "bcast+"
 #: Wire pickle protocol: 5 for out-of-band buffer support.
 _PROTOCOL = 5
 
-#: The profiler's wall-time counters, in reporting order.
+#: The profiler's wall-time counters, in reporting order.  ``kernel``
+#: attributes the columnar path's compute (prepare + map_kernel + merge
+#: + finalize + broadcast assembly); it stays zero on the record path,
+#: whose compute lands in ``map``/``combine``/``reduce``.
 PHASE_COUNTERS = (
     "map",
     "combine",
+    "kernel",
     "serialize",
     "deserialize",
     "send",
@@ -332,7 +344,8 @@ def worker_main(
         cfg = WorkerConfig.from_blob(blob)
         feeder = _Feeder(worker_id)
         feeder.start()
-        _worker_loop(
+        loop = _worker_loop_kernel if kernel_enabled(cfg.job) else _worker_loop
+        loop(
             cfg, peer_recv, peer_send, verdict_conn, report_conn, feeder, timeout
         )
         feeder.flush()
@@ -601,6 +614,206 @@ def _worker_loop(
     stats["route_cache_size"] = len(route_cache)
     final = {
         "state": {p: current.get(p, []) for p in my_pairs},
+        "iterations_run": iterations_run,
+        "terminated_by": terminated_by,
+        "stats": stats,
+    }
+    parts, _ = encode_frame(FINAL_REPORT, iterations_run, 0, wid, final)
+    feeder.send(report_conn, parts)
+
+
+def _worker_loop_kernel(
+    cfg: WorkerConfig,
+    peer_recv: dict[int, Any],
+    peer_send: dict[int, Any],
+    verdict_conn,
+    report_conn,
+    feeder: _Feeder,
+    timeout: float | None,
+) -> None:
+    """The columnar twin of :func:`_worker_loop` for kernel-enabled jobs.
+
+    State lives as per-pair ``(keys, values)`` arrays; each iteration is
+    one ``map_kernel`` + one vectorized merge per pair.  Cross-pair
+    traffic stays columnar end-to-end: shuffle payloads are flat
+    ``[(dest_pair, src_pair, keys, values), ...]`` lists whose arrays
+    ride the protocol-5 out-of-band buffer frames without per-record
+    pickling.  The determinism contract is the serial columnar
+    executor's: merges concatenate batches in ascending source-pair
+    order and broadcast assembly sorts the same unique key array, so
+    kernel-parallel results are bit-equal to kernel-serial ones.
+    Control-plane reports decode to records, so the coordinator is
+    path-agnostic.
+    """
+    job = cfg.job
+    kernel = job.kernel
+    wid = cfg.worker_id
+    num_workers = cfg.num_workers
+    num_pairs = cfg.num_pairs
+    phase = job.phases[0]
+    one2all = phase.mapping == "one2all"
+    my_pairs = sorted(cfg.state_parts)
+    peers = sorted(peer_recv)
+    part_array = job.partitioner.bind_array(num_pairs)
+    distance_fn = job.distance_fn
+    perf = time.perf_counter
+
+    timings = {name: 0.0 for name in PHASE_COUNTERS}
+    inbox = _Inbox([*peer_recv.values(), verdict_conn], timings)
+
+    # ---- columnar partition load: encode state, build static columns --
+    started = perf()
+    owned: dict[int, Any] = {}
+    values: dict[int, Any] = {}
+    for p in my_pairs:
+        owned[p], values[p] = encode_columnar(
+            cfg.state_parts[p], kernel.state_dtype, kernel.state_width
+        )
+    static_tables = cfg.static_parts[0]
+    prepared = {p: kernel.prepare(p, owned[p], static_tables[p]) for p in my_pairs}
+    timings["kernel"] += perf() - started
+
+    stats: dict[str, Any] = {
+        "worker": wid,
+        "pairs": list(my_pairs),
+        "static_loads": 1,
+        "static_records": sum(
+            len(d) for per in cfg.static_parts for d in per.values()
+        ),
+        "records_sent": 0,
+        "batches_sent": 0,
+        "manifest_frames": 0,
+        "bytes_pickled": 0,
+    }
+
+    def ship(kind: str, iteration: int, dest: int, payload) -> None:
+        started = perf()
+        parts, nbytes = encode_frame(kind, iteration, 0, wid, payload)
+        timings["serialize"] += perf() - started
+        stats["bytes_pickled"] += nbytes
+        if payload is _NO_PAYLOAD:
+            stats["manifest_frames"] += 1
+        else:
+            stats["batches_sent"] += 1
+        feeder.send(peer_send[dest], parts)
+
+    def decoded_state() -> dict[int, list]:
+        return {p: decode_columnar(owned[p], values[p]) for p in my_pairs}
+
+    prev: dict[int, Any] | None = (
+        {p: values[p].copy() for p in my_pairs}
+        if distance_fn is not None
+        else None
+    )
+
+    max_iterations = job.max_iterations if job.max_iterations is not None else 10**9
+    iterations_run = 0
+    terminated_by = ""
+    sorter = _owner(0, num_workers)
+
+    for iteration in range(max_iterations):
+        broadcast = None
+        if one2all:
+            # Hoisted all-gather, columnar: pair-0's owner concatenates
+            # every pair's (keys, values) and sorts the unique key array
+            # once; the sorted broadcast ships back as two arrays.
+            mine = [(p, owned[p], values[p]) for p in my_pairs]
+            if wid == sorter:
+                gathered = inbox.gather(BCAST, iteration, 0, peers, timeout)
+                parts_by_pair = {p: (k, v) for p, k, v in mine}
+                for batch in gathered.values():
+                    if batch:
+                        for p, k, v in batch:
+                            parts_by_pair[p] = (k, v)
+                started = perf()
+                broadcast = concat_broadcast(
+                    [parts_by_pair[p] for p in sorted(parts_by_pair)]
+                )
+                timings["kernel"] += perf() - started
+                for v in peers:
+                    ship(BCAST_SORTED, iteration, v, broadcast)
+                    stats["records_sent"] += int(broadcast[0].size)
+            else:
+                if any(k.size for _, k, _ in mine):
+                    ship(BCAST, iteration, sorter, mine)
+                    stats["records_sent"] += sum(int(k.size) for _, k, _ in mine)
+                else:
+                    ship(BCAST, iteration, sorter, _NO_PAYLOAD)
+                got = inbox.gather(BCAST_SORTED, iteration, 0, [sorter], timeout)
+                broadcast = got[sorter]
+
+        # ---- map + route (columnar) ----
+        started = perf()
+        routed: dict[int, list] = {}  # dest worker -> [(q, src, keys, vals)]
+        for p in my_pairs:
+            out_keys, out_vals = kernel.map_kernel(
+                p, owned[p], values[p], prepared[p], broadcast
+            )
+            for q, ks, vs in route_columnar(out_keys, out_vals, part_array, num_pairs):
+                routed.setdefault(_owner(q, num_workers), []).append((q, p, ks, vs))
+        timings["kernel"] += perf() - started
+
+        # ---- skip-empty exchange ----
+        for v in peers:
+            batch = routed.get(v)
+            if batch:
+                ship(SHUFFLE, iteration, v, batch)
+                stats["records_sent"] += sum(int(ks.size) for _, _, ks, _ in batch)
+            else:
+                ship(SHUFFLE, iteration, v, _NO_PAYLOAD)
+        merged: dict[int, dict[int, tuple]] = {}  # q -> src -> (keys, vals)
+        for q, src, ks, vs in routed.get(wid, ()):
+            merged.setdefault(q, {})[src] = (ks, vs)
+        arrived = inbox.gather(SHUFFLE, iteration, 0, peers, timeout)
+        for batch in arrived.values():
+            if batch:
+                for q, src, ks, vs in batch:
+                    merged.setdefault(q, {})[src] = (ks, vs)
+
+        # ---- vectorized merge + finalize, ascending source order ----
+        started = perf()
+        for q in my_pairs:
+            if owned[q].size == 0:
+                continue
+            by_src = merged.get(q, {})
+            batches = [by_src[s] for s in range(num_pairs) if s in by_src]
+            acc = merge_columnar(kernel, owned[q], batches)
+            values[q] = kernel.finalize(q, owned[q], acc, values[q], prepared[q])
+        timings["kernel"] += perf() - started
+        iterations_run = iteration + 1
+
+        # ---- per-iteration control-plane report ----
+        started = perf()
+        report: dict[str, Any] = {}
+        if distance_fn is not None and prev is not None:
+            partials = {}
+            for p in my_pairs:
+                partials[p] = (
+                    kernel.distance_partial(owned[p], prev[p], values[p])
+                    if owned[p].size
+                    else 0.0
+                )
+                prev[p] = values[p].copy()
+            report["distance"] = partials
+        if cfg.send_state:
+            report["state"] = decoded_state()
+        if report or cfg.wait_verdict:
+            parts, nbytes = encode_frame(ITER_REPORT, iteration, 0, wid, report)
+            stats["bytes_pickled"] += nbytes
+            feeder.send(report_conn, parts)
+        timings["report"] += perf() - started
+        if cfg.wait_verdict:
+            verdict = inbox.verdict(iteration, timeout)
+            if verdict != CONTINUE:
+                terminated_by = verdict
+                break
+
+    feeder.flush()
+    timings["send"] = feeder.seconds
+    stats["phase_seconds"] = {k: round(v, 6) for k, v in timings.items()}
+    stats["route_cache_size"] = 0  # no per-key routing on the kernel path
+    final = {
+        "state": decoded_state(),
         "iterations_run": iterations_run,
         "terminated_by": terminated_by,
         "stats": stats,

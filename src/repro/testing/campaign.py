@@ -62,6 +62,10 @@ class CampaignSpec:
     faults: tuple[FaultEvent, ...] = ()
     #: Link-level misbehaviour windows (loss, delay, transient partitions).
     net_faults: tuple[LinkFault, ...] = ()
+    #: Exercise the columnar kernel path: the campaign additionally runs
+    #: the kernel-enabled job through the executors and the kernel
+    #: differential oracle compares it against the record-path reference.
+    use_kernels: bool = False
 
     # -- derived -----------------------------------------------------------
     def machine_names(self) -> list[str]:
@@ -190,6 +194,8 @@ class CampaignSpec:
             modes.append("migration")
         if self.speeds is not None:
             modes.append("hetero")
+        if self.use_kernels:
+            modes.append("kernels")
         return (
             f"{self.workload} n={self.input_size} on {self.cluster_nodes} nodes, "
             f"{self.num_pairs} pairs, {self.max_iterations} iters, "
@@ -315,6 +321,9 @@ def generate_campaign(
     # Drawn strictly after every other field so adding the network fault
     # dimension left all previously pinned campaign seeds intact.
     net_faults = _random_net_faults(rng, names, horizon, num_pairs, faults)
+    # Same precedent again: the kernel dimension draws after net_faults,
+    # keeping every previously pinned campaign seed byte-identical.
+    use_kernels = rng.random() < 0.4
 
     spec = CampaignSpec(
         seed=seed,
@@ -331,6 +340,7 @@ def generate_campaign(
         buffer_records=buffer_records,
         faults=faults,
         net_faults=net_faults,
+        use_kernels=use_kernels,
     )
     spec.validate()
     return spec

@@ -28,6 +28,7 @@ __all__ = [
     "states_match",
     "oracle_termination",
     "oracle_differential",
+    "oracle_kernel_differential",
     "oracle_parallel_differential",
     "oracle_checkpoint_rollback",
     "oracle_trace_well_formed",
@@ -198,15 +199,73 @@ def oracle_differential(spec, outcome) -> list[OracleViolation]:
     return v
 
 
+def oracle_kernel_differential(spec, outcome) -> list[OracleViolation]:
+    """The columnar kernel run agrees with the record-path reference.
+
+    ``min``-merge workloads (sssp) must match record for record — the
+    kernel performs the identical float additions and ``min`` is
+    order-independent.  ``sum``-merge workloads (pagerank, kmeans) are
+    compared within :data:`RTOL`/:data:`ATOL`: vectorized accumulation
+    reorders the float additions, bounded by ``(n−1)·eps·Σ|xᵢ|`` — orders
+    of magnitude inside the tolerance at campaign scale.  Inert unless
+    ``spec.use_kernels``.
+    """
+    if not getattr(spec, "use_kernels", False):
+        return []
+    v: list[OracleViolation] = []
+    if outcome.kernel_error is not None:
+        v.append(
+            OracleViolation(
+                "kernel-differential",
+                f"kernel run raised {type(outcome.kernel_error).__name__}: "
+                f"{outcome.kernel_error}",
+            )
+        )
+        return v
+    ker = outcome.kernel_result
+    if ker is None:
+        return v
+    ref = outcome.reference
+    if ker.terminated_by != ref.terminated_by:
+        v.append(
+            OracleViolation(
+                "kernel-differential",
+                f"terminated_by={ker.terminated_by!r}, reference says "
+                f"{ref.terminated_by!r}",
+            )
+        )
+    if ker.iterations_run != ref.iterations_run:
+        v.append(
+            OracleViolation(
+                "kernel-differential",
+                f"ran {ker.iterations_run} iterations, reference ran "
+                f"{ref.iterations_run}",
+            )
+        )
+    if spec.workload == "sssp":
+        if not records_identical(ker.state, ref.state):
+            detail = "; ".join(states_match(ker.state, ref.state)) or (
+                "states compare close but not record-identical"
+            )
+            v.append(OracleViolation("kernel-differential", detail))
+    else:
+        for problem in states_match(ker.state, ref.state):
+            v.append(OracleViolation("kernel-differential", problem))
+    return v
+
+
 def oracle_parallel_differential(spec, outcome) -> list[OracleViolation]:
-    """The real multiprocess backend reproduces the serial reference
+    """The real multiprocess backend reproduces its serial twin
     *record for record* — no float tolerance.
 
     ``run_parallel`` shares the per-pair map/combine code path with
     ``run_local`` and orders every reduce input and distance fold
     identically, so its results are bit-equal by construction; any
-    drift, however small, is a routing or ordering bug.  The oracle is
-    inert unless the campaign ran in ``parallel`` mode.
+    drift, however small, is a routing or ordering bug.  With
+    ``spec.use_kernels`` the backend ran the kernel job, and the serial
+    twin is the *columnar* run (same ordering argument, vectorized); the
+    comparison stays bit-exact.  The oracle is inert unless the campaign
+    ran in ``parallel`` mode.
     """
     v: list[OracleViolation] = []
     if outcome.parallel_error is not None:
@@ -223,6 +282,10 @@ def oracle_parallel_differential(spec, outcome) -> list[OracleViolation]:
     if par is None:
         return v
     ref = outcome.reference
+    if getattr(spec, "use_kernels", False):
+        ref = outcome.kernel_result
+        if ref is None:  # kernel run failed; its own oracle reports that
+            return v
     if par.terminated_by != ref.terminated_by:
         v.append(
             OracleViolation(
@@ -300,6 +363,7 @@ def oracle_trace_well_formed(spec, outcome) -> list[OracleViolation]:
 ALL_ORACLES: dict[str, Callable] = {
     "termination": oracle_termination,
     "differential": oracle_differential,
+    "kernel-differential": oracle_kernel_differential,
     "parallel-differential": oracle_parallel_differential,
     "checkpoint": oracle_checkpoint_rollback,
     "trace": oracle_trace_well_formed,

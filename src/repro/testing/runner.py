@@ -67,6 +67,12 @@ class CampaignOutcome:
     #: (``parallel`` mode): its result, or the exception it died with.
     parallel_result: Any = None  # ParallelRunResult | None
     parallel_error: BaseException | None = None
+    #: Set when ``spec.use_kernels``: the kernel-enabled job's serial
+    #: columnar run (or the exception it died with).  In ``parallel``
+    #: mode the multiprocess backend runs the kernel job too, and the
+    #: parallel oracle compares against this result bit-for-bit.
+    kernel_result: Any = None  # LocalRunResult | None
+    kernel_error: BaseException | None = None
 
     @property
     def ok(self) -> bool:
@@ -107,8 +113,13 @@ class ChaosReport:
 
 
 # ------------------------------------------------------------ workloads --
-def _build_workload(spec: CampaignSpec):
-    """Spec → (job, state_records, static_records_by_path)."""
+def _build_workload(spec: CampaignSpec, use_kernel: bool = False):
+    """Spec → (job, state_records, static_records_by_path).
+
+    ``use_kernel`` builds the same workload with its vectorized columnar
+    kernel attached (the ``use_kernels`` campaign dimension); inputs and
+    record-level phases are identical either way.
+    """
     if spec.workload == "sssp":
         graph = sssp_graph(spec.input_size, seed=stable_seed(spec.seed, "graph"))
         state = sssp.initial_state(graph, source=0)
@@ -123,6 +134,7 @@ def _build_workload(spec: CampaignSpec):
             combiner=spec.combiner,
             checkpoint_interval=spec.checkpoint_interval,
             buffer_records=spec.buffer_records,
+            use_kernel=use_kernel,
         )
     elif spec.workload == "pagerank":
         graph = pagerank_graph(spec.input_size, seed=stable_seed(spec.seed, "graph"))
@@ -139,6 +151,7 @@ def _build_workload(spec: CampaignSpec):
             combiner=spec.combiner,
             checkpoint_interval=spec.checkpoint_interval,
             buffer_records=spec.buffer_records,
+            use_kernel=use_kernel,
         )
     elif spec.workload == "kmeans":
         data = load_lastfm(
@@ -158,6 +171,8 @@ def _build_workload(spec: CampaignSpec):
             num_pairs=spec.num_pairs,
             combiner=spec.combiner,
             checkpoint_interval=spec.checkpoint_interval,
+            use_kernel=use_kernel,
+            num_artists=8 if use_kernel else None,
         )
     else:  # pragma: no cover - validate() rejects earlier
         raise ValueError(f"unknown workload {spec.workload!r}")
@@ -241,10 +256,28 @@ def run_campaign(
         job, state, static_map, num_pairs=spec.num_pairs
     )
     outcome.reference.state.sort(key=lambda kv: repr(kv[0]))
+    kernel_job = None
+    if spec.use_kernels:
+        # The same workload with its columnar kernel attached: the serial
+        # columnar run is judged against the record-path reference by the
+        # kernel-differential oracle.
+        kernel_job, _, _ = _build_workload(spec, use_kernel=True)
+        try:
+            outcome.kernel_result = run_local(
+                kernel_job, state, static_map, num_pairs=spec.num_pairs
+            )
+            outcome.kernel_result.state.sort(key=lambda kv: repr(kv[0]))
+        except Exception as exc:  # judged by the kernel oracle
+            outcome.kernel_error = exc
     if parallel:
+        # With kernels on, the multiprocess backend runs the kernel job
+        # and must reproduce the *serial columnar* run bit-for-bit (both
+        # paths order every merge identically); otherwise it runs the
+        # record job against the record reference, as before.
+        par_job = kernel_job if (spec.use_kernels and kernel_job is not None) else job
         try:
             outcome.parallel_result = run_parallel(
-                job,
+                par_job,
                 state,
                 static_map,
                 num_pairs=spec.num_pairs,

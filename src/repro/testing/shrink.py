@@ -88,6 +88,8 @@ def shrink_candidates(spec: CampaignSpec) -> Iterator[CampaignSpec]:
         yield spec.but(migration=False)
     if spec.combiner:
         yield spec.but(combiner=False)
+    if spec.use_kernels:
+        yield spec.but(use_kernels=False)
     if spec.buffer_records != NEUTRAL_BUFFER:
         yield spec.but(buffer_records=NEUTRAL_BUFFER)
 

@@ -25,7 +25,15 @@ def test_quick_suite_writes_json(tmp_path):
     assert loaded == results
     assert loaded["meta"]["quick"] is True
     assert loaded["meta"]["workers"] == [1, 2]
-    assert len(loaded["workloads"]) == 3
+    # Four record workloads plus their four kernel twins.
+    assert len(loaded["workloads"]) == 8
+    twins = [w for w in loaded["workloads"] if w.get("kernel_of")]
+    assert {w["name"] for w in twins} == {
+        "pagerank-kernel", "sssp-kernel", "kmeans-kernel", "jacobi-kernel"
+    }
+    for twin in twins:
+        assert twin["kernel_matches_record"] is True, twin["name"]
+        assert twin["speedup_vs_record"] > 0.0
     assert set(loaded["phase_breakdown"]) == {
         w["name"] for w in loaded["workloads"]
     }
@@ -54,9 +62,10 @@ def test_quick_suite_writes_json(tmp_path):
 
 def test_suite_runs_without_output_file():
     case = build_cases(quick=True)[1]  # sssp: cheapest
-    row = time_case(case, workers=(2,), repeats=1)
+    row, ref, job = time_case(case, workers=(2,), repeats=1)
     assert row["record_identical"]
     assert row["parallel"][0]["workers"] == 2
+    assert ref.state and job.kernel is None
 
 
 def test_compare_counters_flags_regressions(tmp_path):

@@ -1,0 +1,194 @@
+"""Kernel-vs-record differential tests for the four bundled kernels.
+
+Two promises, tested separately:
+
+1. **Kernel vs record path** (serial): the columnar executor computes
+   the same answer as the per-record reference.  ``min`` merges (sssp,
+   components) must be *bit-exact* — the kernel performs the identical
+   float additions and ``min`` is order-independent.  ``sum`` merges
+   (pagerank, kmeans, jacobi) reorder the float additions, so they are
+   compared within the differential oracle's tolerance; the worst-case
+   reordering error is ``(n-1)·eps·Σ|xᵢ|`` (Higham §4.2) ≈ 1e-11 at
+   these sizes, six orders under the 1e-6 relative tolerance.
+
+2. **Kernel-serial vs kernel-parallel**: the multiprocess backend on a
+   kernel job must be *record-for-record identical* to the serial
+   columnar executor — both assemble every merge input in ascending
+   source-pair order and run the same numpy reductions — across
+   num_pairs × workers × fork/spawn.
+"""
+
+import pickle
+
+import pytest
+
+from repro.algorithms import components, jacobi, kmeans, pagerank, sssp
+from repro.data.lastfm import load_lastfm
+from repro.graph.generators import pagerank_graph, sssp_graph
+from repro.imapreduce import kernel_enabled, run_local, run_parallel
+from repro.testing.oracles import records_identical, states_match
+
+STATE = "/t/state"
+STATIC = "/t/static"
+OUT = "/t/out"
+
+
+def _pagerank(use_kernel):
+    graph = pagerank_graph(40, seed=7)
+    job = pagerank.build_imr_job(
+        40, state_path=STATE, static_path=STATIC, output_path=OUT,
+        max_iterations=5, threshold=1e-4, combiner=True,
+        use_kernel=use_kernel,
+    )
+    return job, pagerank.initial_state(graph), {
+        STATIC: pagerank.static_records(graph)
+    }
+
+
+def _sssp(use_kernel):
+    graph = sssp_graph(36, seed=5)
+    job = sssp.build_imr_job(
+        state_path=STATE, static_path=STATIC, output_path=OUT,
+        max_iterations=6, combiner=True, use_kernel=use_kernel,
+    )
+    return job, sssp.initial_state(graph, source=0), {
+        STATIC: sssp.static_records(graph)
+    }
+
+
+def _components(use_kernel):
+    graph = sssp_graph(30, seed=9)
+    job = components.build_imr_job(
+        state_path=STATE, static_path=STATIC, output_path=OUT,
+        max_iterations=25, use_kernel=use_kernel,
+    )
+    return job, components.initial_state(graph), {
+        STATIC: components.static_records(graph)
+    }
+
+
+def _kmeans(use_kernel):
+    data = load_lastfm(num_users=50, num_artists=8, num_tastes=3, seed=13)
+    job = kmeans.build_imr_job(
+        state_path=STATE, static_path=STATIC, output_path=OUT,
+        max_iterations=4, use_kernel=use_kernel,
+        num_artists=8 if use_kernel else None,
+    )
+    return job, kmeans.initial_centroids(data, 3, seed=13), {
+        STATIC: data.user_records()
+    }
+
+
+def _jacobi(use_kernel):
+    a, b = jacobi.make_system(24, density=0.3, seed=3)
+    job = jacobi.build_imr_job(
+        state_path=STATE, static_path=STATIC, output_path=OUT,
+        max_iterations=8, threshold=1e-9, use_kernel=use_kernel,
+    )
+    return job, jacobi.initial_state(24), {
+        STATIC: jacobi.system_to_static_records(a, b)
+    }
+
+
+#: name -> (builder, exact): ``min`` merges demand bit-exactness.
+WORKLOADS = {
+    "pagerank": (_pagerank, False),
+    "sssp": (_sssp, True),
+    "components": (_components, True),
+    "kmeans": (_kmeans, False),
+    "jacobi": (_jacobi, False),
+}
+
+
+# --------------------------------------------- kernel vs record (serial) --
+@pytest.mark.parametrize("num_pairs", [1, 3, 5])
+@pytest.mark.parametrize("name", sorted(WORKLOADS))
+def test_kernel_matches_record_serial(name, num_pairs):
+    build, exact = WORKLOADS[name]
+    rec_job, state, static = build(False)
+    ker_job, _, _ = build(True)
+    assert not kernel_enabled(rec_job)
+    assert kernel_enabled(ker_job)
+
+    ref = run_local(rec_job, state, static, num_pairs=num_pairs)
+    ker = run_local(ker_job, state, static, num_pairs=num_pairs)
+
+    assert ker.iterations_run == ref.iterations_run
+    assert ker.terminated_by == ref.terminated_by
+    if exact:
+        assert records_identical(ker.state, ref.state)
+        assert ker.distances == ref.distances
+    else:
+        assert states_match(ker.state, ref.state) == []
+        for mine, theirs in zip(ker.distances, ref.distances):
+            if theirs is None:
+                assert mine is None
+            else:
+                assert mine == pytest.approx(theirs, rel=1e-6, abs=1e-9)
+
+
+def test_kernel_history_matches_record():
+    build, _ = WORKLOADS["sssp"]
+    rec_job, state, static = build(False)
+    ker_job, _, _ = build(True)
+    ref = run_local(rec_job, state, static, num_pairs=3, keep_history=True)
+    ker = run_local(ker_job, state, static, num_pairs=3, keep_history=True)
+    assert len(ker.history) == len(ref.history)
+    for mine, theirs in zip(ker.history, ref.history):
+        assert records_identical(mine, theirs)  # min merge: exact per iter
+
+
+# ------------------------------------- kernel-serial vs kernel-parallel --
+@pytest.mark.parametrize("num_pairs,num_workers", [(2, 2), (5, 3), (4, 1)])
+@pytest.mark.parametrize("name", sorted(WORKLOADS))
+def test_kernel_parallel_identical_to_serial(name, num_pairs, num_workers):
+    build, _ = WORKLOADS[name]
+    ker_job, state, static = build(True)
+    ref = run_local(ker_job, state, static, num_pairs=num_pairs,
+                    keep_history=True)
+    par = run_parallel(ker_job, state, static, num_pairs=num_pairs,
+                       num_workers=num_workers, keep_history=True)
+    assert records_identical(par.state, ref.state)
+    assert par.iterations_run == ref.iterations_run
+    assert par.terminated_by == ref.terminated_by
+    assert par.distances == ref.distances  # bit-identical float folds
+    for mine, theirs in zip(par.history, ref.history):
+        assert records_identical(mine, theirs)
+    # §3.2: static partitions deserialized once per worker, kernel path too.
+    assert par.static_loads == par.num_workers
+
+
+@pytest.mark.parametrize("start_method", ["fork", "spawn"])
+def test_kernel_parallel_start_methods(start_method):
+    """Kernel jobs (and their prepared CSR columns) survive both start
+    methods — the kernel travels inside the job pickle."""
+    build, _ = WORKLOADS["pagerank"]
+    ker_job, state, static = build(True)
+    ref = run_local(ker_job, state, static, num_pairs=4)
+    par = run_parallel(ker_job, state, static, num_pairs=4, num_workers=2,
+                       start_method=start_method)
+    assert records_identical(par.state, ref.state)
+    assert par.distances == ref.distances
+
+
+# ----------------------------------------------------------- job shape --
+@pytest.mark.parametrize("name", sorted(WORKLOADS))
+def test_kernel_jobs_pickle(name):
+    build, _ = WORKLOADS[name]
+    ker_job, _, _ = build(True)
+    clone = pickle.loads(pickle.dumps(ker_job))
+    assert kernel_enabled(clone)
+    assert clone.kernel.merge == ker_job.kernel.merge
+
+
+def test_kmeans_kernel_requires_width():
+    with pytest.raises(ValueError):
+        kmeans.build_imr_job(
+            state_path=STATE, static_path=STATIC, output_path=OUT,
+            use_kernel=True,  # no num_artists: state width unknown
+        )
+    with pytest.raises(ValueError):
+        kmeans.build_imr_job(
+            state_path=STATE, static_path=STATIC, output_path=OUT,
+            use_kernel=True, num_artists=8, track_membership=True,
+        )

@@ -184,8 +184,8 @@ def test_trace_oracle_flags_time_reversal():
 # -------------------------------------------------------------- evaluate --
 def test_evaluate_runs_every_oracle():
     assert set(ALL_ORACLES) == {
-        "termination", "differential", "parallel-differential",
-        "checkpoint", "trace",
+        "termination", "differential", "kernel-differential",
+        "parallel-differential", "checkpoint", "trace",
     }
     v = evaluate_oracles(spec(), outcome(error=RuntimeError("boom")))
     assert [x.oracle for x in v] == ["termination"]
@@ -251,3 +251,68 @@ def test_values_identical_is_exact_and_numpy_safe():
                              [(0, np.array([1.0, 2.0]))])
     assert not records_identical([(0, np.array([1.0]))],
                                  [(0, np.array([2.0]))])
+
+
+# ---------------------------------------------------- kernel differential --
+def _kspec(**kw):
+    base = dict(max_iterations=5, checkpoint_interval=2,
+                use_kernels=True, workload="pagerank")
+    base.update(kw)
+    return SimpleNamespace(**base)
+
+
+def test_kernel_oracle_inert_without_dimension():
+    from repro.testing.oracles import oracle_kernel_differential
+
+    v = oracle_kernel_differential(
+        _kspec(use_kernels=False),
+        outcome(kernel_result=None, kernel_error=RuntimeError("boom")),
+    )
+    assert v == []
+
+
+def test_kernel_oracle_reports_kernel_error():
+    from repro.testing.oracles import oracle_kernel_differential
+
+    v = oracle_kernel_differential(
+        _kspec(),
+        outcome(kernel_result=None, kernel_error=RuntimeError("boom")),
+    )
+    assert len(v) == 1 and v[0].oracle == "kernel-differential"
+    assert "boom" in v[0].detail
+
+
+def test_kernel_oracle_tolerant_for_sum_exact_for_min():
+    from repro.testing.oracles import oracle_kernel_differential
+
+    ref = SimpleNamespace(iterations_run=3, terminated_by="maxiter",
+                          state=[(0, 1.0)])
+    close = SimpleNamespace(iterations_run=3, terminated_by="maxiter",
+                            state=[(0, 1.0 + 1e-12)])
+    # Sum merge (pagerank): within tolerance passes.
+    assert oracle_kernel_differential(
+        _kspec(), outcome(reference=ref, kernel_error=None,
+                          kernel_result=close)) == []
+    # Min merge (sssp): the same drift is a violation — bit-exact demanded.
+    v = oracle_kernel_differential(
+        _kspec(workload="sssp"),
+        outcome(reference=ref, kernel_error=None, kernel_result=close))
+    assert v and v[0].oracle == "kernel-differential"
+
+
+def test_parallel_oracle_compares_against_kernel_twin():
+    """With use_kernels, the backend ran the kernel job — the bit-exact
+    twin is the serial columnar run, not the record reference."""
+    record_ref = SimpleNamespace(iterations_run=3, terminated_by="maxiter",
+                                 state=[(0, 1.0)])
+    kernel_ref = SimpleNamespace(iterations_run=3, terminated_by="maxiter",
+                                 state=[(0, 1.0 + 1e-12)])
+    par = SimpleNamespace(iterations_run=3, terminated_by="maxiter",
+                          state=[(0, 1.0 + 1e-12)])
+    v = oracle_parallel_differential(
+        _kspec(),
+        outcome(reference=record_ref, kernel_result=kernel_ref,
+                kernel_error=None, parallel_result=par,
+                parallel_error=None),
+    )
+    assert v == []  # bit-equal to the kernel twin, despite record drift

@@ -118,3 +118,11 @@ def test_generated_campaigns_shrink_without_error():
         spec = generate_campaign(seed)
         shrunk, _ = shrink(spec, lambda s: True)
         shrunk.validate()
+
+
+def test_candidates_neutralize_kernel_dimension():
+    spec = big_spec(use_kernels=True)
+    assert any(not c.use_kernels for c in shrink_candidates(spec))
+    # And never the other way around: shrinking must not *add* kernels.
+    plain = big_spec(use_kernels=False)
+    assert all(not c.use_kernels for c in shrink_candidates(plain))
