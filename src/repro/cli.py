@@ -16,7 +16,9 @@ Commands
 ``run <algorithm>``
     Run one workload on the simulated cluster and print the
     per-iteration breakdown.  Options: ``--dataset``, ``--engine``,
-    ``--cluster``, ``--iterations``, ``--sync``, ``--combiner``.
+    ``--cluster``, ``--iterations``, ``--sync``, ``--combiner``; with
+    ``--backend parallel`` also ``--checkpoint-every``, ``--spool-dir``
+    and ``--kill-worker W@I[:stop]`` (fault injection + recovery).
 
 ``report``
     Write EXPERIMENTS.md (optionally reusing ``--results-dir`` output
@@ -28,7 +30,8 @@ Commands
     ``--seed``, ``--campaigns``, ``--campaign-seed`` (replay one),
     ``--spec`` (replay a shrunk JSON spec), ``--workloads``,
     ``--no-shrink``, ``--inject-bug`` (harness self-test),
-    ``--no-net-faults`` (crash-only campaigns), ``--verbose``.
+    ``--no-net-faults`` (crash-only campaigns), ``--parallel`` (+
+    ``--parallel-start-method``, ``--recovery-log``), ``--verbose``.
 """
 
 from __future__ import annotations
@@ -74,6 +77,16 @@ def build_parser() -> argparse.ArgumentParser:
                        help="arm per-iteration convergence measurement")
     p_run.add_argument("--seed", type=int, default=0,
                        help="seed for all stochastic run choices (0 = historical defaults)")
+    p_run.add_argument("--checkpoint-every", type=int, default=None, metavar="N",
+                       help="(--backend parallel) durable checkpoint every N "
+                            "iterations; arms recovery on worker death")
+    p_run.add_argument("--spool-dir", default=None, metavar="DIR",
+                       help="(--backend parallel) keep checkpoint spool files "
+                            "in DIR instead of a temp dir")
+    p_run.add_argument("--kill-worker", default=None, metavar="W@I[:stop]",
+                       help="(--backend parallel) fault injection: SIGKILL "
+                            "worker W at iteration I (':stop' sends SIGSTOP "
+                            "and lets the heartbeat suspicion catch it)")
 
     p_rep = sub.add_parser("report", help="write EXPERIMENTS.md")
     p_rep.add_argument("--output", default="EXPERIMENTS.md")
@@ -106,6 +119,14 @@ def build_parser() -> argparse.ArgumentParser:
                          help="also run each campaign's workload on the real "
                               "multiprocess backend and demand record-for-"
                               "record equality with the serial reference")
+    p_chaos.add_argument("--parallel-start-method", default=None,
+                         choices=("fork", "spawn"),
+                         help="pin the multiprocessing start method for "
+                              "--parallel runs")
+    p_chaos.add_argument("--recovery-log", default=None, metavar="PATH",
+                         help="append one JSON line per recovered parallel "
+                              "run (seeded proc kill, restored checkpoint, "
+                              "resume point) — CI artifact")
     p_chaos.add_argument("--verbose", action="store_true",
                          help="log every campaign, not just failures")
 
@@ -224,6 +245,17 @@ def _run_real_backend(args, dataset: str) -> int:
         combiner=args.combiner,
         seed=args.seed,
     )
+    faults = None
+    if args.kill_worker is not None:
+        try:
+            faults = (_parse_kill_worker(args.kill_worker),)
+        except ValueError as exc:
+            print(f"bad --kill-worker: {exc}", file=sys.stderr)
+            return 2
+    if (args.checkpoint_every or args.spool_dir or faults) and args.backend != "parallel":
+        print("--checkpoint-every/--spool-dir/--kill-worker need "
+              "--backend parallel", file=sys.stderr)
+        return 2
     started = time.perf_counter()
     if args.backend == "serial":
         result = run_local(job, state, static_map, num_pairs=num_pairs)
@@ -232,6 +264,9 @@ def _run_real_backend(args, dataset: str) -> int:
         result = run_parallel(
             job, state, static_map, num_pairs=num_pairs,
             num_workers=args.workers,
+            checkpoint_every=args.checkpoint_every,
+            spool_dir=args.spool_dir,
+            faults=faults,
         )
         backend = (
             f"parallel ({result.num_workers} workers, {num_pairs} pairs)"
@@ -243,7 +278,39 @@ def _run_real_backend(args, dataset: str) -> int:
         f"{result.terminated_by}, {len(result.state)} records, "
         f"{elapsed:.2f}s wall"
     )
+    if args.backend == "parallel" and args.checkpoint_every:
+        print(
+            f"  checkpoints committed at iterations "
+            f"{result.checkpoints or '[]'} "
+            f"({result.counter('ckpt_writes')} spool writes, "
+            f"{result.counter('ckpt_bytes'):,} bytes)"
+        )
+    if args.backend == "parallel" and result.recoveries:
+        for event in result.recovery_events:
+            print(
+                f"  recovery #{event['generation']}: {event['reason']}; "
+                f"restored checkpoint {event['restored_checkpoint']}, "
+                f"resumed from iteration {event['resume_from']} "
+                f"({event['mode']})"
+            )
     return 0
+
+
+def _parse_kill_worker(text: str):
+    """``W@I`` or ``W@I:stop`` → :class:`ProcFault`."""
+    from .imapreduce import ProcFault
+
+    action = "kill"
+    if ":" in text:
+        text, action = text.split(":", 1)
+        if action not in ("kill", "stop"):
+            raise ValueError(f"action must be 'kill' or 'stop', not {action!r}")
+    try:
+        worker, iteration = text.split("@", 1)
+        return ProcFault(worker=int(worker), iteration=int(iteration),
+                         action=action)
+    except ValueError:
+        raise ValueError(f"expected W@I[:stop], got {text!r}") from None
 
 
 def _cmd_bench(args) -> int:
@@ -287,6 +354,14 @@ def _cmd_bench(args) -> int:
         f"sizeof_value memoization: {micro['speedup']}x over "
         f"{micro['calls']} calls"
     )
+    ck = results.get("checkpoint_overhead")
+    if ck is not None:
+        print(
+            f"checkpoint overhead ({ck['workload']}, every "
+            f"{ck['checkpoint_every']} iters): {ck['overhead_pct']}% "
+            f"wall, {ck['ckpt_writes']} spool writes, "
+            f"{ck['ckpt_bytes']:,} bytes"
+        )
     hot = results["hotpath_microbench"]
     print(
         f"group_by_key fast path: {hot['group_by_key']['speedup']}x; "
@@ -319,6 +394,15 @@ def _cmd_report(args) -> int:
 
     report_main(args.output, args.results_dir)
     return 0
+
+
+def _append_recovery_log(path: str, records: list[dict]) -> None:
+    """Append recovery traces as JSONL (one campaign per line)."""
+    import json
+
+    with open(path, "a") as fh:
+        for record in records:
+            fh.write(json.dumps(record, default=str) + "\n")
 
 
 _BUG_KNOBS = {
@@ -357,7 +441,19 @@ def _cmd_chaos(args) -> int:
         if args.no_net_faults:
             spec = spec.but(net_faults=())
         print(f"replaying: {spec.describe()}")
-        outcome = run_campaign(spec, knobs, parallel=args.parallel)
+        outcome = run_campaign(
+            spec, knobs, parallel=args.parallel,
+            parallel_start_method=args.parallel_start_method,
+        )
+        par = outcome.parallel_result
+        if args.recovery_log and par is not None and par.recoveries:
+            _append_recovery_log(args.recovery_log, [{
+                "campaign_seed": args.campaign_seed,
+                "proc_kill": list(spec.proc_kill)
+                if spec.proc_kill is not None else None,
+                "recoveries": par.recoveries,
+                "events": list(par.recovery_events),
+            }])
         if outcome.ok:
             print(f"all oracles passed ({outcome.wall_seconds:.2f}s)")
             return 0
@@ -383,11 +479,15 @@ def _cmd_chaos(args) -> int:
         shrink_failures=not args.no_shrink,
         strip_net_faults=args.no_net_faults,
         parallel=args.parallel,
+        parallel_start_method=args.parallel_start_method,
         log=log,
     )
+    if args.recovery_log and report.recovery_events:
+        _append_recovery_log(args.recovery_log, report.recovery_events)
     print(
         f"chaos: seed={report.master_seed} campaigns={report.campaigns} "
         f"passed={report.passed} failed={len(report.failures)} "
+        f"recovered={len(report.recovery_events)} "
         f"({report.wall_seconds:.1f}s)"
     )
     for failure in report.failures:

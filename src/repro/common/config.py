@@ -36,6 +36,11 @@ class IterKeys:
     MAPPING = "mapred.iterjob.mapping"  # "one2one" (default) | "one2all"
     SYNC = "mapred.iterjob.sync"  # force synchronous map execution
     CHECKPOINT_INTERVAL = "mapred.iterjob.checkpointinterval"
+    #: Real-backend durable checkpoint cadence for :func:`run_parallel`
+    #: (iterations between spool dumps; unset/0 = no checkpointing).
+    #: Kept separate from CHECKPOINT_INTERVAL, which prices the
+    #: *simulated* runtime's DFS dumps.
+    PARALLEL_CHECKPOINT = "mapred.iterjob.parallelcheckpoint"
     BUFFER_RECORDS = "mapred.iterjob.bufferrecords"
     #: Master seed for every stochastic choice a run makes (service-time
     #: noise, seeded sub-generators).  ``0`` (the default) keeps the

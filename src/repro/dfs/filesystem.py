@@ -23,7 +23,12 @@ from __future__ import annotations
 from typing import Any, Generator, Iterable
 
 from ..cluster import Cluster, Machine
-from ..common.errors import DFSError, FileAlreadyExists, FileNotFoundInDFS
+from ..common.errors import (
+    DFSError,
+    FileAlreadyExists,
+    FileNotFoundInDFS,
+    WorkerFailure,
+)
 from ..common.partition import stable_hash
 from ..common.serialization import sizeof_record, sizeof_text_line
 from ..simulation import Event
@@ -168,17 +173,37 @@ class DFS:
         file = self._layout(path, list(records), text_format, preferred=writer_machine.name)
         for block in file.blocks:
             holder = writer_machine
+            landed: list[str] = []
             for name in block.replicas:
                 replica = self.cluster[name]
                 # Replica hops must land even through loss windows and
                 # transient partitions: retried with backoff (identical
-                # cost to a plain transfer on a clean network).
-                yield from self.cluster.reliable_transfer(
-                    holder, replica, block.nbytes,
-                    description=f"dfs-write:{path}",
-                )
-                yield from replica.disk_write(block.nbytes)
+                # cost to a plain transfer on a clean network).  A replica
+                # machine that dies mid-pipeline is dropped from the chain
+                # (HDFS pipeline-recovery semantics) — the write succeeds
+                # on the survivors and the next hop restarts from the last
+                # holder that has the bytes.
+                try:
+                    yield from self.cluster.reliable_transfer(
+                        holder, replica, block.nbytes,
+                        description=f"dfs-write:{path}",
+                    )
+                    yield from replica.disk_write(block.nbytes)
+                except WorkerFailure as failure:
+                    if failure.worker != replica.name:
+                        # Not the replica: the writer (or another machine)
+                        # died — that is this process's own failure
+                        # interrupt, which recovery must see.
+                        raise
+                    continue
+                landed.append(name)
                 holder = replica
+            if not landed:
+                raise DFSError(
+                    f"{path}: every replica target of block {block.index} "
+                    f"failed during the write (replicas={block.replicas})"
+                )
+            block.replicas = landed
         # Publish only after all replicas are durable (atomic rename).
         self._files[path] = file
         return file

@@ -36,6 +36,16 @@ gates the headline acceptance number — a full-size run must keep
 ``pagerank-kernel`` and ``kmeans-kernel`` at or above
 :data:`KERNEL_SPEEDUP_FLOOR` times the record path.
 
+The fault-tolerance PR adds a ``checkpoint_overhead`` section: the same
+workload timed with and without durable checkpoints every
+:data:`CHECKPOINT_EVERY` iterations (unfaulted — the cost of insurance,
+not of recovery), with the spool counters (``ckpt_writes``,
+``ckpt_bytes``) and the profiler's ``checkpoint`` phase next to it.
+``compare_counters`` gates the overhead at
+:data:`CHECKPOINT_OVERHEAD_CEILING` percent on full-size runs and
+verifies checkpointing perturbed neither the result nor the data-plane
+counters (heartbeat and checkpoint frames live outside ``ship()``).
+
 ``run_suite`` writes the JSON trajectory consumed by CI (uploaded as the
 ``BENCH_PR6.json`` artifact) and by ``repro bench``; ``workloads`` /
 ``backend_only`` filters let one algorithm be iterated on alone.
@@ -66,11 +76,13 @@ __all__ = [
     "sizeof_microbench",
     "hotpath_microbench",
     "run_suite",
+    "checkpoint_overhead",
     "compare_counters",
     "format_phase_breakdown",
     "DEFAULT_WORKERS",
     "COUNTERS",
     "KERNEL_SPEEDUP_FLOOR",
+    "CHECKPOINT_OVERHEAD_CEILING",
 ]
 
 #: Data-plane counters recorded per parallel point and gated by CI.
@@ -83,6 +95,13 @@ KERNEL_SPEEDUP_FLOOR = 5.0
 
 #: Kernel rows whose ``speedup_vs_record`` the floor applies to.
 GATED_KERNEL_ROWS = ("pagerank-kernel", "kmeans-kernel")
+
+#: Acceptance ceiling for fault tolerance: an unfaulted run with durable
+#: checkpoints every :data:`CHECKPOINT_EVERY` iterations may cost at
+#: most this percentage of wall clock over the same run without them.
+#: ``compare_counters`` enforces it on full-size runs.
+CHECKPOINT_OVERHEAD_CEILING = 5.0
+CHECKPOINT_EVERY = 5
 
 STATE = "/bench/state"
 STATIC = "/bench/static"
@@ -442,6 +461,85 @@ def hotpath_microbench(groups: int = 2_000, repeats: int = 20) -> dict:
     }
 
 
+def checkpoint_overhead(
+    quick: bool = False,
+    workers: int = 2,
+    checkpoint_every: int = CHECKPOINT_EVERY,
+    repeats: int | None = None,
+) -> dict:
+    """Unfaulted checkpoint cost: the same workload timed with and
+    without durable per-pair checkpoints (interleaved trials).
+
+    Checkpoints ride the iteration barrier — each worker spools its
+    pair states after the report, the coordinator commits a manifest —
+    so their cost is pure overhead in a run that never needs them.
+    Two numbers come out of the A/B:
+
+    ``measured_overhead_pct``
+        Best-of-N wall clock, checkpointed over plain.  Honest but
+        hostage to the host: on a shared runner the end-to-end spread
+        of two ~3 s runs (±20 % observed) dwarfs the true cost, so
+        this stays informational.
+
+    ``overhead_pct`` (gated)
+        The directly-attributed checkpoint bill as a percentage of the
+        plain run's wall clock: the workers' ``checkpoint`` profiler
+        phase (encode + write + fsync, *summed* across workers that
+        actually overlap — a deliberate over-count) plus the
+        coordinator's manifest-commit seconds.  Deterministic work,
+        stable across runs; :func:`compare_counters` gates it at
+        :data:`CHECKPOINT_OVERHEAD_CEILING` on full-size runs.
+    """
+    from ..testing.oracles import records_identical
+
+    case = next(c for c in build_cases(quick=quick) if c.name == "pagerank")
+    job, state, static_map = case.build()
+    if repeats is None:
+        repeats = 1 if quick else 3
+
+    def _run(**kwargs):
+        started = time.perf_counter()
+        result = run_parallel(
+            job, state, static_map,
+            num_pairs=case.num_pairs, num_workers=workers, **kwargs,
+        )
+        return time.perf_counter() - started, result
+
+    plain_seconds = ckpt_seconds = float("inf")
+    plain = ckpt = None
+    for _ in range(repeats):  # interleaved: drift hits both arms alike
+        seconds, plain = _run()
+        plain_seconds = min(plain_seconds, seconds)
+        seconds, ckpt = _run(checkpoint_every=checkpoint_every)
+        ckpt_seconds = min(ckpt_seconds, seconds)
+
+    phase = ckpt.phase_breakdown().get("checkpoint", 0.0)
+    attributed = phase + ckpt.commit_seconds
+    return {
+        "workload": case.name,
+        "workers": plain.num_workers,
+        "checkpoint_every": checkpoint_every,
+        "iterations": ckpt.iterations_run,
+        "plain_seconds": round(plain_seconds, 4),
+        "checkpointed_seconds": round(ckpt_seconds, 4),
+        "measured_overhead_pct": round(
+            (ckpt_seconds - plain_seconds) / plain_seconds * 100.0, 2
+        ) if plain_seconds > 0 else None,
+        "overhead_pct": round(attributed / plain_seconds * 100.0, 2)
+        if plain_seconds > 0 else None,
+        "checkpoints": list(ckpt.checkpoints),
+        "ckpt_writes": ckpt.counter("ckpt_writes"),
+        "ckpt_bytes": ckpt.counter("ckpt_bytes"),
+        "checkpoint_phase_seconds": round(phase, 4),
+        "commit_seconds": round(ckpt.commit_seconds, 4),
+        # Checkpointing must not perturb the result or the data plane.
+        "record_identical": records_identical(plain.state, ckpt.state),
+        "dataplane_counters_identical": all(
+            plain.counter(name) == ckpt.counter(name) for name in COUNTERS
+        ),
+    }
+
+
 def run_suite(
     out_path: str | None = "BENCH_PR6.json",
     workers: tuple[int, ...] = DEFAULT_WORKERS,
@@ -540,6 +638,22 @@ def run_suite(
                 f"{row['name']}: serial {row['serial_seconds']}s; {speedups}"
                 f" (identical={row['record_identical']}){vs}"
             )
+    # The overhead A/B reruns pagerank, so it honors the workload
+    # filter (and a quick run checkpoints every iteration — 3 smoke
+    # iterations never reach the gated full-size cadence).
+    if backend_only != "serial" and any(c.name == "pagerank" for c in cases):
+        results["checkpoint_overhead"] = checkpoint_overhead(
+            quick=quick,
+            checkpoint_every=1 if quick else CHECKPOINT_EVERY,
+        )
+        if log:
+            ck = results["checkpoint_overhead"]
+            log(
+                f"checkpoint overhead ({ck['workload']}, every "
+                f"{ck['checkpoint_every']} iters): {ck['overhead_pct']}% "
+                f"({ck['ckpt_writes']} spool writes, "
+                f"{ck['ckpt_bytes']:,} bytes)"
+            )
     if out_path:
         with open(out_path, "w") as fh:
             json.dump(results, fh, indent=2)
@@ -607,6 +721,22 @@ def compare_counters(results: dict, baseline: dict) -> list[str]:
         if row.get("kernel_matches_record") is False:
             problems.append(
                 f"{row['name']}: kernel state diverged from the record path"
+            )
+    ckpt = results.get("checkpoint_overhead")
+    if ckpt is not None:
+        pct = ckpt.get("overhead_pct")
+        if (not quick and pct is not None
+                and pct > CHECKPOINT_OVERHEAD_CEILING):
+            problems.append(
+                f"checkpoint overhead {pct}% of wall clock at "
+                f"checkpoint_every={ckpt['checkpoint_every']}, ceiling is "
+                f"{CHECKPOINT_OVERHEAD_CEILING}%"
+            )
+        if ckpt.get("record_identical") is False:
+            problems.append("checkpointed run diverged from the plain run")
+        if ckpt.get("dataplane_counters_identical") is False:
+            problems.append(
+                "checkpoint frames leaked into the data-plane counters"
             )
     return problems
 

@@ -1,6 +1,7 @@
 """The iMapReduce engine — the paper's contribution."""
 
 from .channels import IterationMailbox, ReliableConfig, StopIteration_
+from .checkpoint import CheckpointError, CheckpointStore, ProcFault
 from .columnar import Kernel, KernelContractError, kernel_enabled
 from .failure_detector import FailureDetector, FailureDetectorConfig
 from .job import AuxPhase, IterativeJob, IterativeRunResult, Phase
@@ -12,6 +13,9 @@ __all__ = [
     "IterationMailbox",
     "ReliableConfig",
     "StopIteration_",
+    "CheckpointError",
+    "CheckpointStore",
+    "ProcFault",
     "Kernel",
     "KernelContractError",
     "kernel_enabled",

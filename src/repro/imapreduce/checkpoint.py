@@ -1,0 +1,220 @@
+"""Durable checkpoints and fault injection for the real backend (§3.4/§5).
+
+The paper's runtime support dumps iterated state to disk every few
+iterations so a failure rolls back to the last dump instead of to
+iteration zero.  This module is that dump for :func:`run_parallel`:
+
+* **Spool files** — each worker serializes its pair states every
+  ``checkpoint_every`` iterations into one file per ``(generation,
+  iteration, worker)``.  The on-disk format *is* the wire format: the
+  exact frame the data plane would ship (pickled header + protocol-5
+  payload with out-of-band numpy buffers), written as length-prefixed
+  parts, so the record path and the columnar path both round-trip
+  bit-exactly through the same encoders the mesh already trusts.
+* **Atomic commit** — files land under a temp name, are fsynced, then
+  ``os.replace``\\ d into place; a torn write (kill -9 mid-``write``)
+  can therefore never be confused with a committed checkpoint, and the
+  BLAKE2 digest in the manifest catches the rename-landed-but-truncated
+  cases a crashed filesystem could still produce.
+* **Manifests** — the coordinator commits ``manifest-<iteration>.json``
+  only after *every* worker's spool file for that iteration arrived and
+  the iteration itself was merged, so a manifest is a global barrier:
+  restoring from it yields exactly the cluster state at the end of that
+  iteration.  Validation walks manifests newest-first and falls back to
+  the previous one when any referenced file is torn or missing.
+* **Fault plans** — :class:`ProcFault` describes a seeded kill -9 /
+  SIGSTOP a worker inflicts on *itself* at an exact ``(iteration,
+  phase)`` point, which makes real process death deterministic enough
+  for the chaos campaigns' differential oracles to judge recovery
+  bit-exactly.  ``generation`` gates re-firing: a respawned worker
+  (generation > 0) replays the same iterations without re-dying.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import signal
+from dataclasses import dataclass
+from typing import Any
+
+from ..common.errors import JobError
+
+__all__ = [
+    "CheckpointError",
+    "CheckpointStore",
+    "ProcFault",
+    "fire_fault",
+]
+
+#: Length prefix per part: 8 bytes, big-endian.
+_LEN_BYTES = 8
+_DIGEST_SIZE = 16
+
+
+class CheckpointError(JobError):
+    """A spool file or manifest is torn, missing, or inconsistent."""
+
+
+@dataclass(frozen=True)
+class ProcFault:
+    """One seeded process fault: ``worker`` dies at the start of
+    ``(iteration, phase)`` — ``kill`` is SIGKILL (hard death, sentinel
+    fires), ``stop`` is SIGSTOP (a hang only the heartbeat suspicion
+    timeout can detect)."""
+
+    worker: int
+    iteration: int
+    phase: int = 0
+    action: str = "kill"
+    generation: int = 0
+
+    def __post_init__(self) -> None:
+        if self.action not in ("kill", "stop"):
+            raise ValueError(f"unknown fault action {self.action!r}")
+
+    def matches(self, generation: int, worker: int, iteration: int, phase: int) -> bool:
+        return (
+            self.generation == generation
+            and self.worker == worker
+            and self.iteration == iteration
+            and self.phase == phase
+        )
+
+
+def fire_fault(fault: ProcFault) -> None:
+    """Inflict ``fault`` on the calling process — a *real* signal, not a
+    simulated one; SIGKILL never returns."""
+    sig = signal.SIGKILL if fault.action == "kill" else signal.SIGSTOP
+    os.kill(os.getpid(), sig)
+
+
+def _frame_parts(iteration: int, worker: int, payload) -> tuple[list, int]:
+    # Imported lazily: workerproc imports this module for ProcFault.
+    from .workerproc import CKPT_REPORT, encode_frame
+
+    return encode_frame(CKPT_REPORT, iteration, 0, worker, payload)
+
+
+def _read_parts(raw: bytes) -> list[bytes]:
+    """Split a spool file back into its length-prefixed parts."""
+    parts: list[bytes] = []
+    offset = 0
+    total = len(raw)
+    while offset < total:
+        if offset + _LEN_BYTES > total:
+            raise CheckpointError("torn spool file: truncated length prefix")
+        size = int.from_bytes(raw[offset:offset + _LEN_BYTES], "big")
+        offset += _LEN_BYTES
+        if offset + size > total:
+            raise CheckpointError("torn spool file: truncated part")
+        parts.append(raw[offset:offset + size])
+        offset += size
+    if not parts:
+        raise CheckpointError("torn spool file: empty")
+    return parts
+
+
+class CheckpointStore:
+    """One spool directory of per-worker checkpoint files + manifests."""
+
+    def __init__(self, root: str):
+        self.root = root
+        os.makedirs(root, exist_ok=True)
+
+    # -- worker side ---------------------------------------------------
+    def write(self, generation: int, iteration: int, worker: int, payload) -> dict:
+        """Durably spool one worker's pair states; returns the manifest
+        entry (file name, byte count, digest) to report upstream."""
+        name = f"ckpt-g{generation:03d}-i{iteration:06d}-w{worker:03d}.bin"
+        path = os.path.join(self.root, name)
+        parts, _ = _frame_parts(iteration, worker, payload)
+        digest = hashlib.blake2b(digest_size=_DIGEST_SIZE)
+        tmp = f"{path}.tmp.{os.getpid()}"
+        total = 0
+        with open(tmp, "wb") as fh:
+            for part in parts:
+                prefix = len(part).to_bytes(_LEN_BYTES, "big")
+                fh.write(prefix)
+                fh.write(part)
+                digest.update(prefix)
+                digest.update(part)
+                total += _LEN_BYTES + len(part)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+        return {
+            "file": name,
+            "bytes": total,
+            "digest": digest.hexdigest(),
+            "worker": worker,
+            "iteration": iteration,
+            "generation": generation,
+        }
+
+    # -- coordinator side ----------------------------------------------
+    def read_payload(self, entry: dict) -> Any:
+        """Decode one spool file, validating size and digest; raises
+        :class:`CheckpointError` on any torn or tampered content."""
+        path = os.path.join(self.root, entry["file"])
+        try:
+            with open(path, "rb") as fh:
+                raw = fh.read()
+        except OSError as exc:
+            raise CheckpointError(f"missing spool file {entry['file']}: {exc}")
+        if len(raw) != entry["bytes"]:
+            raise CheckpointError(
+                f"torn spool file {entry['file']}: "
+                f"{len(raw)} bytes on disk, manifest says {entry['bytes']}"
+            )
+        if hashlib.blake2b(raw, digest_size=_DIGEST_SIZE).hexdigest() != entry["digest"]:
+            raise CheckpointError(f"digest mismatch in {entry['file']}")
+        parts = _read_parts(raw)
+        try:
+            kind, iteration, _phase, _src, sizes = pickle.loads(parts[0])
+        except Exception as exc:
+            raise CheckpointError(f"bad header in {entry['file']}: {exc}")
+        expected = 2 + (len(sizes) if sizes else 0)
+        if len(parts) != expected:
+            raise CheckpointError(
+                f"torn spool file {entry['file']}: "
+                f"{len(parts)} parts, header promises {expected}"
+            )
+        try:
+            return pickle.loads(parts[1], buffers=[bytearray(b) for b in parts[2:]])
+        except Exception as exc:
+            raise CheckpointError(f"bad payload in {entry['file']}: {exc}")
+
+    def commit(self, iteration: int, generation: int, entries: list[dict]) -> str:
+        """Atomically publish the manifest that makes ``iteration``'s
+        checkpoint the restore point."""
+        name = f"manifest-i{iteration:06d}.json"
+        path = os.path.join(self.root, name)
+        body = json.dumps(
+            {"iteration": iteration, "generation": generation, "entries": entries},
+            sort_keys=True,
+        )
+        tmp = f"{path}.tmp.{os.getpid()}"
+        with open(tmp, "w") as fh:
+            fh.write(body)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+        return path
+
+    def manifests(self) -> list[dict]:
+        """All committed manifests, newest iteration first; unreadable
+        ones (a torn commit) are skipped."""
+        found = []
+        for name in os.listdir(self.root):
+            if not (name.startswith("manifest-") and name.endswith(".json")):
+                continue
+            try:
+                with open(os.path.join(self.root, name)) as fh:
+                    found.append(json.load(fh))
+            except (OSError, ValueError):
+                continue
+        found.sort(key=lambda m: m["iteration"], reverse=True)
+        return found

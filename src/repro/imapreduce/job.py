@@ -200,6 +200,14 @@ class IterativeJob:
         return self.conf.get_int(IterKeys.CHECKPOINT_INTERVAL, 3)
 
     @property
+    def parallel_checkpoint_every(self) -> int | None:
+        """Durable checkpoint cadence for the real multiprocess backend
+        (``None`` = off).  A job can opt in through its conf; the
+        ``checkpoint_every`` argument of :func:`run_parallel` overrides."""
+        every = self.conf.get_int(IterKeys.PARALLEL_CHECKPOINT, 0)
+        return every if every and every > 0 else None
+
+    @property
     def buffer_records(self) -> int:
         """Reduce→map channel buffer threshold (§3.3)."""
         return self.conf.get_int(IterKeys.BUFFER_RECORDS, 2048)

@@ -37,15 +37,50 @@ source-pair assembly), so the final state, ``terminated_by`` and
 iteration count are equal record for record — enforced by the
 differential tests and the chaos campaigns' ``parallel`` mode.
 
-Not in scope here: fault tolerance and migration (checkpointing and
-recovery are the simulated engine's domain, §3.4); a worker crash
-aborts the run with the worker's traceback.
+Fault tolerance (§3.4 / §5 runtime support)
+-------------------------------------------
+
+When armed (``checkpoint_every`` and/or ``faults``), the backend
+survives real worker death:
+
+* **Checkpoints** — every ``checkpoint_every`` iterations each worker
+  spools its pair states durably (:mod:`.checkpoint`); the coordinator
+  commits a manifest once *every* worker's spool file for that
+  iteration has arrived and the iteration's reports are merged, making
+  the manifest a consistent global barrier.
+* **Liveness** — process sentinels catch hard deaths instantly; worker
+  heartbeat frames multiplexed onto the report pipes catch the deaths
+  sentinels cannot (a SIGSTOPped — frozen but reaped-by-nobody —
+  worker) through a *suspicion timeout*.  The old single run ``timeout``
+  survives only as a coarse no-progress backstop.
+* **Recovery** — on a confirmed death the coordinator fences the whole
+  mesh (every worker SIGKILLed: under fork a survivor never sees a
+  peer's EOF and would block forever), restores the newest *valid*
+  committed checkpoint — torn spool files fall back to the previous
+  manifest — rolls its own merge state back to that iteration barrier,
+  and respawns a fresh mesh (generation + 1) that resumes at
+  ``checkpoint iteration + 1``.  Because the determinism contract is
+  *pair*-granular (ascending pair ids everywhere), a replayed suffix
+  recomputes bit-identical records, so a recovered run equals an
+  unfaulted one record for record — the same differential oracle
+  judges both.  Optionally (``reassign_on_failure``) the dead worker's
+  pairs are instead spread over the survivors, least-loaded first,
+  like the simulated runtime's localized recovery.
+
+A worker that dies on a *deterministic exception* ships its traceback
+in an error frame and is never recovered (replay would die the same
+way); only process death and heartbeat suspicion trigger recovery.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
+import pickle
+import shutil
+import signal
+import tempfile
+import time
 from collections import deque
 from dataclasses import dataclass, field
 from multiprocessing.connection import wait as _conn_wait
@@ -54,33 +89,66 @@ from typing import Any, Iterable
 from ..common.errors import JobError
 from ..common.partition import bind_partitioner
 from ..common.records import group_by_key
+from .checkpoint import CheckpointError, CheckpointStore, ProcFault
+from .columnar import kernel_enabled
 from .job import IterativeJob
 from .localrun import order_key
 from .runtime import AuxContext
 from .workerproc import (
+    CKPT_REPORT,
     CONTINUE,
     ERROR_REPORT,
     FINAL_REPORT,
+    HEARTBEAT,
     ITER_REPORT,
+    PEER_LOST_EXIT,
     VERDICT,
     WorkerConfig,
     encode_frame,
-    read_frame,
     worker_main,
 )
 
-__all__ = ["ParallelRunResult", "ParallelExecutionError", "run_parallel"]
+__all__ = [
+    "ParallelRunResult",
+    "ParallelExecutionError",
+    "ProcFault",
+    "run_parallel",
+]
 
 
 class ParallelExecutionError(JobError):
     """A worker process died or misbehaved; carries its traceback."""
 
 
+class _WorkerDeath(Exception):
+    """Internal: a worker died without a final or error report — the
+    *recoverable* failure class, routed to the supervisor loop."""
+
+    def __init__(self, wid: int, reason: str):
+        super().__init__(reason)
+        self.wid = wid
+        self.reason = reason
+
+
+def _describe_exit(code: int | None) -> str:
+    if code is None:
+        return "still running"
+    if code == PEER_LOST_EXIT:
+        return f"code {code} (peer pipe lost)"
+    if code < 0:
+        try:
+            name = signal.Signals(-code).name
+        except ValueError:  # pragma: no cover - exotic signal number
+            name = f"signal {-code}"
+        return f"code {code} ({name})"
+    return f"code {code}"
+
+
 @dataclass
 class ParallelRunResult:
     """Outcome of a multiprocess run — field-compatible with
     :class:`~repro.imapreduce.localrun.LocalRunResult` plus backend
-    observability (worker stats, wall time)."""
+    observability (worker stats, wall time, recovery events)."""
 
     state: list[tuple[Any, Any]]
     iterations_run: int
@@ -93,9 +161,22 @@ class ParallelRunResult:
     wall_seconds: float = 0.0
     #: Per-worker counters: pairs hosted, static_loads (always 1 per
     #: worker — asserted by the wall-clock benchmark), records/batches
-    #: shipped over the mesh, bytes pickled, and the phase-level
-    #: profiler's ``phase_seconds`` wall-time breakdown.
+    #: shipped over the mesh, bytes pickled, checkpoint writes/bytes,
+    #: and the phase-level profiler's ``phase_seconds`` breakdown.
     worker_stats: list[dict] = field(default_factory=list)
+    #: Iterations with a committed (restorable) checkpoint manifest.
+    checkpoints: list[int] = field(default_factory=list)
+    #: Number of mesh respawns after confirmed worker deaths.
+    recoveries: int = 0
+    #: One dict per recovery: generation, dead worker, reason, restored
+    #: checkpoint iteration, resume point, and recovery mode.
+    recovery_events: list[dict] = field(default_factory=list)
+    #: Coordinator-side checkpoint cost: seconds spent committing
+    #: manifests (snapshot pickling rides the merge and is counted
+    #: there).  Together with the workers' ``checkpoint`` phase this is
+    #: the run's whole directly-attributed checkpoint bill — the
+    #: wall-clock overhead the benchmark gates on.
+    commit_seconds: float = 0.0
 
     def state_dict(self) -> dict:
         return dict(self.state)
@@ -107,7 +188,8 @@ class ParallelRunResult:
 
     def counter(self, name: str) -> int:
         """Sum one mesh counter (``records_sent``, ``batches_sent``,
-        ``manifest_frames``, ``bytes_pickled``) across workers."""
+        ``manifest_frames``, ``bytes_pickled``, ``ckpt_writes``,
+        ``ckpt_bytes``) across workers."""
         return sum(s.get(name, 0) for s in self.worker_stats)
 
     def phase_breakdown(self) -> dict[str, float]:
@@ -137,6 +219,13 @@ def run_parallel(
     keep_history: bool = False,
     start_method: str | None = None,
     timeout: float | None = 600.0,
+    checkpoint_every: int | None = None,
+    spool_dir: str | None = None,
+    heartbeat_interval: float | None = 0.5,
+    suspicion_timeout: float | None = 30.0,
+    max_recoveries: int = 2,
+    reassign_on_failure: bool = False,
+    faults: Iterable[ProcFault] | None = None,
 ) -> ParallelRunResult:
     """Execute ``job`` on ``num_workers`` persistent worker processes.
 
@@ -148,10 +237,21 @@ def run_parallel(
 
     ``timeout`` bounds every coordinator wait (a hung worker raises
     :class:`ParallelExecutionError` instead of deadlocking the caller).
-    """
-    import time as _time
 
-    started = _time.perf_counter()
+    Fault tolerance: ``checkpoint_every`` arms durable per-pair
+    checkpoints every that many iterations (``None`` falls back to the
+    job's ``mapred.iterjob.parallelcheckpoint`` conf, default off) into
+    ``spool_dir`` (a private temp dir, cleaned up, when unset).
+    ``faults`` injects seeded :class:`ProcFault` kills/stops for the
+    chaos harness.  When either is armed, a confirmed worker death is
+    recovered — up to ``max_recoveries`` times — by restoring the
+    newest committed checkpoint and respawning the mesh (or, with
+    ``reassign_on_failure``, redistributing the dead worker's pairs to
+    the survivors, least-loaded first).  ``suspicion_timeout`` declares
+    a worker dead when its heartbeat (every ``heartbeat_interval``
+    seconds) goes quiet — the only way to catch a SIGSTOPped worker.
+    """
+    run_started = time.perf_counter()
     num_workers = _pick_workers(num_workers, num_pairs)
     phases = job.phases
     part = bind_partitioner(job.partitioner, num_pairs)
@@ -161,6 +261,12 @@ def run_parallel(
     # Threshold/aux termination is a coordinator decision each
     # iteration; maxiter-only jobs free-run with no verdict round-trip.
     wait_verdict = aux is not None or job.threshold is not None
+
+    if checkpoint_every is None:
+        checkpoint_every = job.parallel_checkpoint_every
+    faults = tuple(faults or ())
+    recovery_armed = bool(faults) or checkpoint_every is not None
+    columnar = kernel_enabled(job)
 
     # ---- partition state and static exactly like the serial executor --
     state_parts: list[list] = [[] for _ in range(num_pairs)]
@@ -175,15 +281,157 @@ def run_parallel(
             per_pair[part(key)][key] = value
         static_parts.append(per_pair)
 
-    pairs_of = [
-        [p for p in range(num_pairs) if p % num_workers == w]
-        for w in range(num_workers)
-    ]
-
     try:
         ctx = multiprocessing.get_context(start_method or "fork")
     except ValueError:  # pragma: no cover - non-POSIX fallback
         ctx = multiprocessing.get_context(start_method)
+
+    own_spool = False
+    store: CheckpointStore | None = None
+    if checkpoint_every is not None:
+        if spool_dir is None:
+            spool_dir = tempfile.mkdtemp(prefix="imr-spool-")
+            own_spool = True
+        store = CheckpointStore(spool_dir)
+
+    assignment = [
+        [p for p in range(num_pairs) if p % num_workers == w]
+        for w in range(num_workers)
+    ]
+    coord = _CoordinatorState(job, num_pairs, keep_history)
+    generation = 0
+    start_iteration = 0
+    restored: dict[int, Any] | None = None
+    mesh: _Mesh | None = None
+    ok = False
+    try:
+        while True:
+            mesh = _spawn_mesh(
+                ctx,
+                job,
+                assignment,
+                state_parts,
+                static_parts,
+                restored,
+                num_pairs=num_pairs,
+                generation=generation,
+                start_iteration=start_iteration,
+                send_state=send_state,
+                wait_verdict=wait_verdict,
+                checkpoint_every=checkpoint_every,
+                spool_dir=spool_dir,
+                heartbeat_interval=heartbeat_interval,
+                faults=faults,
+                columnar=columnar,
+                timeout=timeout,
+            )
+            try:
+                outcome = _coordinate(
+                    job,
+                    num_pairs,
+                    mesh,
+                    coord,
+                    keep_history=keep_history,
+                    timeout=timeout,
+                    suspicion_timeout=(
+                        suspicion_timeout if heartbeat_interval is not None else None
+                    ),
+                    store=store,
+                    checkpoint_every=checkpoint_every,
+                    start_iteration=start_iteration,
+                )
+                ok = True
+                break
+            except _WorkerDeath as death:
+                death_at = time.perf_counter()
+                _fence(mesh)
+                mesh = None
+                if not recovery_armed:
+                    raise ParallelExecutionError(death.reason) from None
+                if len(coord.recovery_events) >= max_recoveries:
+                    raise ParallelExecutionError(
+                        f"{death.reason}; recovery budget exhausted after "
+                        f"{len(coord.recovery_events)} recoveries"
+                    ) from None
+                restore = _load_restore(store, num_pairs, columnar)
+                if restore is None:
+                    start_iteration, restored = 0, None
+                else:
+                    start_iteration, restored = restore[0] + 1, restore[1]
+                mode = "respawn"
+                if reassign_on_failure and len(assignment) > 1:
+                    assignment = _reassign(assignment, death.wid)
+                    mode = "reassign"
+                coord.rollback(start_iteration)
+                generation += 1
+                coord.recovery_events.append(
+                    {
+                        "generation": generation,
+                        "dead_worker": death.wid,
+                        "reason": death.reason,
+                        "restored_checkpoint": None if restore is None else restore[0],
+                        "resume_from": start_iteration,
+                        "mode": mode,
+                        "fence_seconds": round(time.perf_counter() - death_at, 6),
+                    }
+                )
+    finally:
+        if mesh is not None:
+            if ok:
+                _shutdown(mesh)
+            else:
+                _fence(mesh)
+        if own_spool and spool_dir is not None:
+            shutil.rmtree(spool_dir, ignore_errors=True)
+
+    outcome.num_workers = len(assignment)
+    outcome.num_pairs = num_pairs
+    outcome.worker_stats.sort(key=lambda s: s.get("worker", 0))
+    outcome.checkpoints = sorted(set(coord.committed))
+    outcome.commit_seconds = round(coord.commit_seconds, 6)
+    outcome.recoveries = len(coord.recovery_events)
+    outcome.recovery_events = list(coord.recovery_events)
+    outcome.wall_seconds = time.perf_counter() - run_started
+    return outcome
+
+
+# ---------------------------------------------------------------- mesh --
+@dataclass
+class _Mesh:
+    """One generation of worker processes and the coordinator's pipes."""
+
+    generation: int
+    procs: list
+    report_conns: dict[int, Any]
+    verdict_conns: list
+    conns: list  # every coordinator-side connection, for cleanup
+
+
+def _spawn_mesh(
+    ctx,
+    job: IterativeJob,
+    assignment: list[list[int]],
+    state_parts: list[list],
+    static_parts: list[list[dict]],
+    restored: dict[int, Any] | None,
+    *,
+    num_pairs: int,
+    generation: int,
+    start_iteration: int,
+    send_state: bool,
+    wait_verdict: bool,
+    checkpoint_every: int | None,
+    spool_dir: str | None,
+    heartbeat_interval: float | None,
+    faults: tuple,
+    columnar: bool,
+    timeout: float | None,
+) -> _Mesh:
+    num_workers = len(assignment)
+    owner_of = [0] * num_pairs
+    for w, pairs in enumerate(assignment):
+        for p in pairs:
+            owner_of[p] = w
 
     # ---- wire the pipe mesh: one pipe per ordered worker pair, plus a
     # verdict pipe to and a report pipe from every worker ----
@@ -199,6 +447,11 @@ def run_parallel(
     verdict_pipes = [ctx.Pipe(duplex=False) for _ in range(num_workers)]
     report_pipes = [ctx.Pipe(duplex=False) for _ in range(num_workers)]
 
+    def pair_state(p: int):
+        if restored is not None:
+            return restored[p]
+        return state_parts[p]
+
     # The blob is pickled explicitly (not via the spawn machinery) so the
     # job's pickle round-trip is exercised under every start method.
     blobs = [
@@ -207,16 +460,24 @@ def run_parallel(
             num_workers=num_workers,
             num_pairs=num_pairs,
             job=job,
-            state_parts={p: state_parts[p] for p in pairs_of[w]},
+            state_parts={p: pair_state(p) for p in assignment[w]},
             static_parts=[
-                {p: per_pair[p] for p in pairs_of[w]} for per_pair in static_parts
+                {p: per_pair[p] for p in assignment[w]} for per_pair in static_parts
             ],
             send_state=send_state,
             wait_verdict=wait_verdict,
+            generation=generation,
+            start_iteration=start_iteration,
+            owner_of=owner_of,
+            checkpoint_every=checkpoint_every,
+            spool_dir=spool_dir,
+            faults=tuple(f for f in faults if f.worker == w),
+            columnar_state=columnar and restored is not None,
         ).to_blob()
         for w in range(num_workers)
     ]
 
+    suffix = "" if generation == 0 else f"-g{generation}"
     procs = [
         ctx.Process(
             target=worker_main,
@@ -228,8 +489,9 @@ def run_parallel(
                 verdict_pipes[w][0],
                 report_pipes[w][1],
                 timeout,
+                heartbeat_interval,
             ),
-            name=f"imr-worker-{w}",
+            name=f"imr-worker-{w}{suffix}",
             daemon=True,
         )
         for w in range(num_workers)
@@ -250,26 +512,124 @@ def run_parallel(
         conn.close()
     verdict_conns = [send for _, send in verdict_pipes]
     report_conns = {w: recv for w, (recv, _) in enumerate(report_pipes)}
+    return _Mesh(
+        generation=generation,
+        procs=procs,
+        report_conns=report_conns,
+        verdict_conns=verdict_conns,
+        conns=[*verdict_conns, *report_conns.values()],
+    )
 
-    try:
-        outcome = _coordinate(
-            job,
-            num_pairs,
-            num_workers,
-            report_conns,
-            verdict_conns,
-            procs,
-            keep_history=keep_history,
-            timeout=timeout,
-        )
-    finally:
-        _shutdown(procs, [*verdict_conns, *report_conns.values()])
 
-    outcome.num_workers = num_workers
-    outcome.num_pairs = num_pairs
-    outcome.worker_stats.sort(key=lambda s: s.get("worker", 0))
-    outcome.wall_seconds = _time.perf_counter() - started
-    return outcome
+def _reassign(assignment: list[list[int]], dead: int) -> list[list[int]]:
+    """Spread the dead worker's pairs over the survivors, least-loaded
+    first (ties to the lowest worker id) — the simulated runtime's
+    localized-recovery placement rule."""
+    survivors = [list(pairs) for w, pairs in enumerate(assignment) if w != dead]
+    for p in sorted(assignment[dead]):
+        target = min(range(len(survivors)), key=lambda w: (len(survivors[w]), w))
+        survivors[target].append(p)
+    return [sorted(pairs) for pairs in survivors]
+
+
+def _load_restore(
+    store: CheckpointStore | None, num_pairs: int, columnar: bool
+) -> tuple[int, dict[int, Any]] | None:
+    """Newest *valid* committed checkpoint as ``(iteration, pair →
+    state)``; torn or path-mismatched manifests fall back to older ones."""
+    if store is None:
+        return None
+    expected = "kernel" if columnar else "record"
+    for manifest in store.manifests():
+        try:
+            pairs: dict[int, Any] = {}
+            for entry in manifest["entries"]:
+                payload = store.read_payload(entry)
+                if payload.get("path") != expected:
+                    raise CheckpointError(
+                        f"checkpoint path {payload.get('path')!r} does not "
+                        f"match the job's {expected!r} executor"
+                    )
+                pairs.update(payload["pairs"])
+            if set(pairs) != set(range(num_pairs)):
+                raise CheckpointError(
+                    f"manifest i{manifest['iteration']} covers pairs "
+                    f"{sorted(pairs)} of {num_pairs}"
+                )
+            return manifest["iteration"], pairs
+        except CheckpointError:
+            continue
+    return None
+
+
+def _fence(mesh: _Mesh) -> None:
+    """Hard-stop a generation: SIGKILL every worker (a SIGSTOPped one
+    cannot run cleanup anyway), reap, and drop the pipes."""
+    for proc in mesh.procs:
+        if proc.is_alive():
+            proc.kill()
+    for proc in mesh.procs:
+        proc.join(timeout=5.0)
+    _close_all(mesh.conns)
+
+
+def _shutdown(mesh: _Mesh) -> None:
+    """Reap workers and release pipe resources without ever hanging."""
+    for proc in mesh.procs:
+        proc.join(timeout=5.0)
+    for proc in mesh.procs:
+        if proc.is_alive():
+            proc.terminate()
+            proc.join(timeout=5.0)
+    for proc in mesh.procs:
+        if proc.is_alive():  # pragma: no cover - terminate ignored
+            proc.kill()
+            proc.join(timeout=5.0)
+    _close_all(mesh.conns)
+
+
+def _close_all(conns) -> None:
+    for conn in conns:
+        try:
+            conn.close()
+        except Exception:  # pragma: no cover - best-effort cleanup
+            pass
+
+
+# ---------------------------------------------------------- coordinator --
+class _TornFrame(Exception):
+    """A frame's writer died between its parts; the rest never comes."""
+
+
+def _poll_frame(conn):
+    """Read one frame from a *dead* worker's pipe without ever blocking.
+
+    A SIGKILL can land between a frame's parts; under fork the write end
+    stays open in sibling processes, so a blocking ``recv_bytes`` on the
+    missing part would hang forever.  The writer being dead means no
+    further part can arrive, so "part not immediately readable" is
+    definitive: the frame is torn and discarded.
+    """
+    if not conn.poll(0):
+        return None
+    header = conn.recv_bytes()
+    kind, iteration, phase, src, sizes = pickle.loads(header)
+    if sizes is None:
+        return kind, iteration, phase, src, None, len(header)
+    if not conn.poll(0):
+        return None
+    data = conn.recv_bytes()
+    nbytes = len(header) + len(data)
+    buffers = []
+    for size in sizes:
+        if not conn.poll(0):
+            return None
+        buf = bytearray(size)
+        conn.recv_bytes_into(buf)
+        buffers.append(buf)
+        nbytes += size
+    payload = pickle.loads(data, buffers=buffers) if sizes else pickle.loads(data)
+    return kind, iteration, phase, src, payload, nbytes
 
 
 class _CoordinatorInbox:
@@ -279,16 +639,58 @@ class _CoordinatorInbox:
     worker's report pipe *and* its process sentinel.  A frame wakes the
     coordinator immediately; a death wakes it just as fast, and any dead
     worker whose pipe holds no final report — a clean ``exit(0)``
-    included — raises :class:`ParallelExecutionError` on the spot
-    instead of stalling until the run timeout.
+    included — raises :class:`_WorkerDeath` on the spot instead of
+    stalling until the run timeout.  Heartbeat frames refresh the
+    per-worker ``last_seen`` clock and are swallowed; a worker quiet for
+    longer than ``suspicion`` (possible only for a frozen process — a
+    dead one trips its sentinel first) raises :class:`_WorkerDeath` too.
     """
 
-    def __init__(self, report_conns: dict[int, Any], procs: list):
+    def __init__(
+        self,
+        report_conns: dict[int, Any],
+        procs: list,
+        *,
+        suspicion: float | None = None,
+    ):
         self._conns = dict(report_conns)
         self._wid_of = {conn: w for w, conn in report_conns.items()}
         self._procs = dict(enumerate(procs))
         self._dead: dict[int, Any] = {}  # died before their final arrived
         self._frames: deque = deque()
+        self._suspicion = suspicion
+        now = time.monotonic()
+        self._last_seen = {w: now for w in report_conns}
+
+    def _await_part(self, conn, wid: int) -> None:
+        """Wait for the next part of a frame whose header already
+        arrived.  A live writer delivers it promptly (parts are
+        consecutive ``send_bytes`` on one pipe); a writer SIGKILLed
+        mid-frame never will — and under fork the pipe shows no EOF
+        either, so liveness, not the pipe, is the stop condition."""
+        while not conn.poll(0.05):
+            proc = self._procs.get(wid)
+            if proc is None or not proc.is_alive():
+                raise _TornFrame()
+
+    def _read_frame_from(self, conn, wid: int):
+        """Torn-frame-safe :func:`read_frame` for the report pipes."""
+        header = conn.recv_bytes()  # readiness established by wait()
+        kind, iteration, phase, src, sizes = pickle.loads(header)
+        if sizes is None:
+            return kind, iteration, phase, src, None, len(header)
+        self._await_part(conn, wid)
+        data = conn.recv_bytes()
+        nbytes = len(header) + len(data)
+        buffers = []
+        for size in sizes:
+            self._await_part(conn, wid)
+            buf = bytearray(size)
+            conn.recv_bytes_into(buf)
+            buffers.append(buf)
+            nbytes += size
+        payload = pickle.loads(data, buffers=buffers) if sizes else pickle.loads(data)
+        return kind, iteration, phase, src, payload, nbytes
 
     def mark_final(self, wid: int) -> None:
         """A worker's final report arrived: stop supervising it."""
@@ -297,22 +699,27 @@ class _CoordinatorInbox:
             self._wid_of.pop(conn, None)
         self._procs.pop(wid, None)
         self._dead.pop(wid, None)
+        self._last_seen.pop(wid, None)
 
     def _drain(self, wid: int) -> None:
-        """Pull every frame still buffered in a dead worker's pipe."""
+        """Pull every *complete* frame still buffered in a dead worker's
+        pipe; a torn trailing frame (killed mid-write) is discarded."""
         conn = self._conns.pop(wid, None)
         if conn is None:
             return
         self._wid_of.pop(conn, None)
         while True:
             try:
-                if not conn.poll(0):
-                    break
-                self._frames.append(read_frame(conn))
+                frame = _poll_frame(conn)
             except (EOFError, OSError):
                 break
+            if frame is None:
+                break
+            if frame[0] != HEARTBEAT:
+                self._frames.append(frame)
 
     def recv(self, timeout: float | None):
+        deadline = None if timeout is None else time.monotonic() + timeout
         while True:
             if self._frames:
                 return self._frames.popleft()
@@ -327,9 +734,35 @@ class _CoordinatorInbox:
                 return self._frames.popleft()
             if self._dead:
                 wid, proc = next(iter(self._dead.items()))
+                raise _WorkerDeath(
+                    wid,
+                    f"worker {proc.name} exited "
+                    f"({_describe_exit(proc.exitcode)}) without a final report",
+                )
+            now = time.monotonic()
+            wait_for = None if deadline is None else deadline - now
+            if wait_for is not None and wait_for <= 0:
                 raise ParallelExecutionError(
-                    f"worker {proc.name} exited (code {proc.exitcode}) "
-                    "without a final report"
+                    f"no worker message within {timeout:.0f}s"
+                )
+            if self._suspicion is not None and self._procs:
+                for wid in self._procs:
+                    quiet = now - self._last_seen.get(wid, now)
+                    if quiet > self._suspicion:
+                        raise _WorkerDeath(
+                            wid,
+                            f"worker {self._procs[wid].name} sent no heartbeat "
+                            f"for {quiet:.1f}s (suspicion timeout "
+                            f"{self._suspicion:.1f}s)",
+                        )
+                next_suspect = (
+                    min(self._last_seen[w] for w in self._procs)
+                    + self._suspicion
+                    - now
+                )
+                next_suspect = max(next_suspect, 0.01)
+                wait_for = (
+                    next_suspect if wait_for is None else min(wait_for, next_suspect)
                 )
             waitables = list(self._conns.values())
             waitables += [p.sentinel for p in self._procs.values()]
@@ -337,52 +770,200 @@ class _CoordinatorInbox:
                 raise ParallelExecutionError(
                     "all workers gone before the run completed"
                 )
-            ready = _conn_wait(waitables, timeout)
-            if not ready:
-                raise ParallelExecutionError(
-                    f"no worker message within {timeout:.0f}s"
-                )
+            ready = _conn_wait(waitables, wait_for)
             for obj in ready:
                 wid = self._wid_of.get(obj)
                 if wid is None:
                     continue  # a sentinel: handled at the top of the loop
                 try:
-                    self._frames.append(read_frame(obj))
+                    frame = self._read_frame_from(obj, wid)
+                except _TornFrame:
+                    # Died mid-write: discard the pipe (its remaining
+                    # bytes are unframed garbage); the sentinel check at
+                    # the top of the loop reports the death itself.
+                    self._conns.pop(wid, None)
+                    self._wid_of.pop(obj, None)
+                    continue
                 except (EOFError, OSError):
                     self._drain(wid)
+                    continue
+                self._last_seen[wid] = time.monotonic()
+                if frame[0] == HEARTBEAT:
+                    continue
+                self._frames.append(frame)
+
+
+class _CoordinatorState:
+    """Merge state that must survive mesh generations.
+
+    The coordinator folds iteration reports *eagerly and in order*
+    (``merged_through`` counts them), so "the merge state at the end of
+    iteration k" is a well-defined point that :meth:`snapshot` captures
+    whenever k is a checkpoint boundary.  :meth:`rollback` restores that
+    point — in either direction: a second recovery may legally restore a
+    *newer* manifest than the current merge frontier if the first crash
+    predated an already-committed checkpoint.
+    """
+
+    def __init__(self, job: IterativeJob, num_pairs: int, keep_history: bool):
+        self.job = job
+        self.num_pairs = num_pairs
+        self.keep_history = keep_history
+        aux = job.aux
+        self.aux = aux
+        self.aux_part = (
+            bind_partitioner(job.partitioner, aux.num_tasks) if aux else None
+        )
+        self.aux_map_state: list[dict] = [{} for _ in range(aux.num_tasks if aux else 0)]
+        self.aux_reduce_state: list[dict] = [
+            {} for _ in range(aux.num_tasks if aux else 0)
+        ]
+        self.distances: list[float | None] = []
+        self.commit_seconds = 0.0
+        self.history: list[list[tuple[Any, Any]]] = []
+        self.merged_through = 0
+        self.results: dict[int, tuple[float | None, bool]] = {}
+        self.snapshots: dict[int, bytes] = {}  # iteration -> merge state
+        self.committed: list[int] = []
+        self.recovery_events: list[dict] = []
+
+    def merge_iteration(self, reports: dict[int, dict]) -> None:
+        """Merge the next iteration's reports: distance + history + aux."""
+        iteration = self.merged_through
+        aux, aux_part = self.aux, self.aux_part
+        distance: float | None = None
+        if self.job.distance_fn is not None:
+            # Pair-ascending partial merge — the distributed master's
+            # merge rule, bit-identical to run_local's accumulation.
+            partials: dict[int, float] = {}
+            for report in reports.values():
+                partials.update(report.get("distance", {}))
+            distance = 0.0
+            for p in range(self.num_pairs):
+                distance += partials.get(p, 0.0)
+        self.distances.append(distance)
+
+        aux_stop = False
+        if aux is not None or self.keep_history:
+            by_pair: dict[int, list] = {}
+            for report in reports.values():
+                by_pair.update(report.get("state", {}))
+            flat = [
+                rec for p in range(self.num_pairs) for rec in by_pair.get(p, ())
+            ]
+            if self.keep_history:
+                self.history.append(sorted(flat, key=lambda kv: order_key(kv[0])))
+            if aux is not None and aux_part is not None:
+                aux_shuffled: list[list] = [[] for _ in range(aux.num_tasks)]
+                parts: list[list] = [[] for _ in range(aux.num_tasks)]
+                for rec in flat:
+                    parts[aux_part(rec[0])].append(rec)
+                for t in range(aux.num_tasks):
+                    actx = AuxContext(self.aux_map_state[t])
+                    for key, value in parts[t]:
+                        aux.map_fn(key, value, actx)
+                    for rec in actx.take():
+                        aux_shuffled[aux_part(rec[0])].append(rec)
+                for t in range(aux.num_tasks):
+                    actx = AuxContext(self.aux_reduce_state[t])
+                    for key, values in group_by_key(aux_shuffled[t]):
+                        aux.reduce_fn(key, values, actx)
+                    if actx.terminate_requested:
+                        aux_stop = True
+        self.results[iteration] = (distance, aux_stop)
+        self.merged_through = iteration + 1
+
+    def snapshot(self, iteration: int) -> None:
+        """Capture the merge state right after ``iteration`` merged."""
+        self.snapshots[iteration] = pickle.dumps(
+            (
+                list(self.distances),
+                [list(h) for h in self.history],
+                self.aux_map_state,
+                self.aux_reduce_state,
+            ),
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+
+    def rollback(self, start_iteration: int) -> None:
+        """Rewind to the barrier before ``start_iteration`` runs."""
+        self.results = {
+            i: r for i, r in self.results.items() if i < start_iteration
+        }
+        blob = None if start_iteration == 0 else self.snapshots.get(start_iteration - 1)
+        if blob is None:
+            # From-scratch restart — or a free-running job that streams
+            # no per-iteration reports, so there is nothing to restore.
+            self.distances = []
+            self.history = []
+            aux = self.aux
+            self.aux_map_state = [{} for _ in range(aux.num_tasks if aux else 0)]
+            self.aux_reduce_state = [{} for _ in range(aux.num_tasks if aux else 0)]
+        else:
+            (
+                self.distances,
+                self.history,
+                self.aux_map_state,
+                self.aux_reduce_state,
+            ) = pickle.loads(blob)
+        self.merged_through = start_iteration
 
 
 def _coordinate(
     job: IterativeJob,
     num_pairs: int,
-    num_workers: int,
-    report_conns: dict[int, Any],
-    verdict_conns: list,
-    procs: list,
+    mesh: _Mesh,
+    coord: _CoordinatorState,
     *,
     keep_history: bool,
     timeout: float | None,
+    suspicion_timeout: float | None,
+    store: CheckpointStore | None,
+    checkpoint_every: int | None,
+    start_iteration: int,
 ) -> ParallelRunResult:
     aux = job.aux
     distance_fn = job.distance_fn
     wait_verdict = aux is not None or job.threshold is not None
     stream_reports = wait_verdict or distance_fn is not None or keep_history
+    num_workers = len(mesh.procs)
 
-    aux_part = bind_partitioner(job.partitioner, aux.num_tasks) if aux else None
-    aux_map_state: list[dict] = [{} for _ in range(aux.num_tasks if aux else 0)]
-    aux_reduce_state: list[dict] = [{} for _ in range(aux.num_tasks if aux else 0)]
-
-    distances: list[float | None] = []
-    history: list[list[tuple[Any, Any]]] = []
     finals: dict[int, dict] = {}
     pending_iters: dict[int, dict[int, dict]] = {}
+    ckpt_pending: dict[int, dict[int, dict]] = {}
     terminated_by = ""
-    inbox = _CoordinatorInbox(report_conns, procs)
+    inbox = _CoordinatorInbox(
+        mesh.report_conns, mesh.procs, suspicion=suspicion_timeout
+    )
+
+    def maybe_commit() -> None:
+        """Publish manifests whose spool files all arrived *and* whose
+        iteration the merge frontier has passed (the snapshot exists)."""
+        if store is None:
+            return
+        for iteration in sorted(ckpt_pending):
+            entries = ckpt_pending[iteration]
+            if len(entries) < num_workers:
+                continue
+            if stream_reports and coord.merged_through <= iteration:
+                continue
+            commit_started = time.perf_counter()
+            store.commit(
+                iteration,
+                mesh.generation,
+                [entries[w] for w in sorted(entries)],
+            )
+            coord.commit_seconds += time.perf_counter() - commit_started
+            if iteration not in coord.committed:
+                coord.committed.append(iteration)
+            del ckpt_pending[iteration]
 
     def handle(frame) -> bool:
         """Returns True when the frame was a final report."""
         kind, iteration, _phase, wid, payload, _nbytes = frame
         if kind == ERROR_REPORT:
+            # A deterministic worker exception: recovery would replay
+            # straight into the same crash, so this is terminal.
             raise ParallelExecutionError(f"worker {wid} failed:\n{payload}")
         if kind == FINAL_REPORT:
             finals[wid] = payload
@@ -390,60 +971,31 @@ def _coordinate(
             return True
         if kind == ITER_REPORT:
             pending_iters.setdefault(iteration, {})[wid] = payload
+            # Eager in-order merging keeps ``merged_through`` the single
+            # source of truth for both verdict gating and snapshots.
+            while len(pending_iters.get(coord.merged_through, {})) == num_workers:
+                reports = pending_iters.pop(coord.merged_through)
+                merged = coord.merged_through
+                coord.merge_iteration(reports)
+                if store is not None and (merged + 1) % checkpoint_every == 0:
+                    coord.snapshot(merged)
+            maybe_commit()
+            return False
+        if kind == CKPT_REPORT:
+            ckpt_pending.setdefault(iteration, {})[wid] = payload
+            maybe_commit()
             return False
         raise ParallelExecutionError(f"unexpected message kind {kind!r}")
-
-    def merge_iteration(iteration: int) -> tuple[float | None, bool]:
-        """Merge one completed iteration's reports: distance + aux."""
-        reports = pending_iters.pop(iteration)
-        distance: float | None = None
-        if distance_fn is not None:
-            # Pair-ascending partial merge — the distributed master's
-            # merge rule, bit-identical to run_local's accumulation.
-            partials: dict[int, float] = {}
-            for report in reports.values():
-                partials.update(report.get("distance", {}))
-            distance = 0.0
-            for p in range(num_pairs):
-                distance += partials.get(p, 0.0)
-        distances.append(distance)
-
-        aux_stop = False
-        if aux is not None or keep_history:
-            by_pair: dict[int, list] = {}
-            for report in reports.values():
-                by_pair.update(report.get("state", {}))
-            flat = [rec for p in range(num_pairs) for rec in by_pair.get(p, ())]
-            if keep_history:
-                history.append(sorted(flat, key=lambda kv: order_key(kv[0])))
-            if aux is not None and aux_part is not None:
-                aux_shuffled: list[list] = [[] for _ in range(aux.num_tasks)]
-                parts: list[list] = [[] for _ in range(aux.num_tasks)]
-                for rec in flat:
-                    parts[aux_part(rec[0])].append(rec)
-                for t in range(aux.num_tasks):
-                    actx = AuxContext(aux_map_state[t])
-                    for key, value in parts[t]:
-                        aux.map_fn(key, value, actx)
-                    for rec in actx.take():
-                        aux_shuffled[aux_part(rec[0])].append(rec)
-                for t in range(aux.num_tasks):
-                    actx = AuxContext(aux_reduce_state[t])
-                    for key, values in group_by_key(aux_shuffled[t]):
-                        aux.reduce_fn(key, values, actx)
-                    if actx.terminate_requested:
-                        aux_stop = True
-        return distance, aux_stop
 
     if wait_verdict:
         # Lock-step termination protocol (threshold and/or aux).
         max_iterations = (
             job.max_iterations if job.max_iterations is not None else 10**9
         )
-        for iteration in range(max_iterations):
-            while len(pending_iters.get(iteration, {})) < num_workers:
+        for iteration in range(start_iteration, max_iterations):
+            while coord.merged_through <= iteration:
                 handle(inbox.recv(timeout))
-            distance, aux_stop = merge_iteration(iteration)
+            distance, aux_stop = coord.results[iteration]
             verdict = CONTINUE
             if aux_stop:
                 verdict = "aux"
@@ -457,7 +1009,7 @@ def _coordinate(
                 # Let workers fall out of their loop naturally.
                 pass
             parts, _ = encode_frame(VERDICT, iteration, 0, -1, verdict)
-            for conn in verdict_conns:
+            for conn in mesh.verdict_conns:
                 try:
                     for part in parts:
                         conn.send_bytes(part)
@@ -466,16 +1018,15 @@ def _coordinate(
             if verdict != CONTINUE:
                 terminated_by = verdict
                 break
-    # Collect finals (and, in free-run mode, any streamed reports).
+    # Collect finals (streamed reports and checkpoint receipts keep
+    # merging/committing eagerly through the same handler).
     while len(finals) < num_workers:
         handle(inbox.recv(timeout))
-    if stream_reports and not wait_verdict:
-        for iteration in sorted(pending_iters):
-            merge_iteration(iteration)
 
     if not terminated_by:
         terminated_by = "maxiter"
     iterations_run = max(f["iterations_run"] for f in finals.values())
+    distances = list(coord.distances)
     # Free-running jobs with no distance to measure send no per-iteration
     # reports; the serial executor still records one (None) entry per
     # iteration, so pad for field-compatible results.
@@ -502,21 +1053,6 @@ def _coordinate(
         converged=terminated_by == "threshold",
         terminated_by=terminated_by,
         distances=distances,
-        history=history,
+        history=list(coord.history),
         worker_stats=worker_stats,
     )
-
-
-def _shutdown(procs, conns) -> None:
-    """Reap workers and release pipe resources without ever hanging."""
-    for proc in procs:
-        proc.join(timeout=5.0)
-    for proc in procs:
-        if proc.is_alive():
-            proc.terminate()
-            proc.join(timeout=5.0)
-    for conn in conns:
-        try:
-            conn.close()
-        except Exception:  # pragma: no cover - best-effort cleanup
-            pass

@@ -52,8 +52,17 @@ alone free-run: workers cross zero synchronization points per
 iteration beyond the data mesh itself.
 
 Profiler: every worker accumulates wall-time per phase of its loop —
-``map, combine, serialize, deserialize, send, wait, reduce, report`` —
-into ``stats["phase_seconds"]``, surfaced by ``repro bench --profile``.
+``map, combine, serialize, deserialize, send, wait, reduce, report,
+checkpoint, recover`` — into ``stats["phase_seconds"]``, surfaced by
+``repro bench --profile``.
+
+Fault tolerance (§3.4): when the coordinator arms checkpointing, each
+worker spools its pair states to disk every ``checkpoint_every``
+iterations through :class:`~repro.imapreduce.checkpoint.CheckpointStore`
+and reports the file receipt; a heartbeat thread multiplexes liveness
+beacons onto the report pipe so a SIGSTOPped (not just dead) worker is
+detectable.  Respawned workers start at ``cfg.start_iteration`` from
+restored state — see :mod:`.parallel` for the recovery protocol.
 
 Determinism contract: every step processes pairs in ascending pair id
 and assembles incoming batches in ascending source-pair order, so
@@ -75,6 +84,7 @@ from typing import Any
 from ..common.partition import bind_partitioner
 from ..common.records import group_by_key
 from ..mapreduce.api import Context
+from .checkpoint import CheckpointStore, fire_fault
 from .columnar import (
     concat_broadcast,
     decode_columnar,
@@ -85,12 +95,16 @@ from .columnar import (
 )
 from .localrun import map_pair, order_key, sorted_static
 
-__all__ = ["WorkerConfig", "worker_main", "PHASE_COUNTERS"]
+__all__ = ["WorkerConfig", "worker_main", "PHASE_COUNTERS", "PEER_LOST_EXIT"]
 
 #: Control-plane message kinds (worker → coordinator).
 ITER_REPORT = "iter"
 FINAL_REPORT = "final"
 ERROR_REPORT = "error"
+#: Liveness beacon (worker → coordinator, header-only, off the stats).
+HEARTBEAT = "hb"
+#: Checkpoint spool-file receipt (worker → coordinator).
+CKPT_REPORT = "ckpt"
 #: Coordinator → worker.
 VERDICT = "verdict"
 CONTINUE = "continue"
@@ -106,7 +120,10 @@ _PROTOCOL = 5
 #: The profiler's wall-time counters, in reporting order.  ``kernel``
 #: attributes the columnar path's compute (prepare + map_kernel + merge
 #: + finalize + broadcast assembly); it stays zero on the record path,
-#: whose compute lands in ``map``/``combine``/``reduce``.
+#: whose compute lands in ``map``/``combine``/``reduce``.  ``checkpoint``
+#: is the durable-spool write path (§3.4.1) and ``recover`` the
+#: restore-from-checkpoint load after a respawn; both stay zero on an
+#: unfaulted run without checkpointing.
 PHASE_COUNTERS = (
     "map",
     "combine",
@@ -117,7 +134,15 @@ PHASE_COUNTERS = (
     "wait",
     "reduce",
     "report",
+    "checkpoint",
+    "recover",
 )
+
+#: Exit code for a worker that lost a peer or coordinator pipe (EOF /
+#: EPIPE under the spawn start method when a sibling dies).  It is a
+#: *quiet* exit — no error frame — because the root cause is the peer's
+#: death, which the coordinator detects and recovers on its own.
+PEER_LOST_EXIT = 3
 
 #: Sender-side marker for a header-only manifest frame (never pickled).
 _NO_PAYLOAD = object()
@@ -196,6 +221,14 @@ class WorkerConfig:
         static_parts: list[dict[int, dict]],
         send_state: bool,
         wait_verdict: bool,
+        *,
+        generation: int = 0,
+        start_iteration: int = 0,
+        owner_of: list[int] | None = None,
+        checkpoint_every: int | None = None,
+        spool_dir: str | None = None,
+        faults: tuple = (),
+        columnar_state: bool = False,
     ):
         self.worker_id = worker_id
         self.num_workers = num_workers
@@ -205,6 +238,26 @@ class WorkerConfig:
         self.static_parts = static_parts  # [phase] -> pair -> key->static
         self.send_state = send_state
         self.wait_verdict = wait_verdict
+        #: Incarnation of the whole mesh; bumped on every recovery so a
+        #: replayed iteration does not re-fire generation-0 fault plans.
+        self.generation = generation
+        #: First iteration this mesh runs (checkpoint iteration + 1).
+        self.start_iteration = start_iteration
+        #: Explicit pair→worker map (round-robin when ``None``); made
+        #: explicit so recovery can reassign a dead worker's pairs.
+        self.owner_of = owner_of
+        self.checkpoint_every = checkpoint_every
+        self.spool_dir = spool_dir
+        #: Seeded self-inflicted process faults (:class:`ProcFault`).
+        self.faults = tuple(faults)
+        #: ``state_parts`` holds restored columnar ``(keys, values)``
+        #: arrays instead of record lists.
+        self.columnar_state = columnar_state
+
+    def resolved_owner_of(self) -> list[int]:
+        if self.owner_of is not None:
+            return list(self.owner_of)
+        return [p % self.num_workers for p in range(self.num_pairs)]
 
     def to_blob(self) -> bytes:
         return pickle.dumps(self, protocol=pickle.HIGHEST_PROTOCOL)
@@ -212,11 +265,6 @@ class WorkerConfig:
     @staticmethod
     def from_blob(blob: bytes) -> "WorkerConfig":
         return pickle.loads(blob)
-
-
-def _owner(pair: int, num_workers: int) -> int:
-    """The static pair→worker assignment (round-robin, fixed for the job)."""
-    return pair % num_workers
 
 
 class _Feeder(threading.Thread):
@@ -267,6 +315,52 @@ class _Feeder(threading.Thread):
     def stop(self) -> None:
         self._q.put(None)
         self.join(timeout=10.0)
+
+
+class _PeerLost(Exception):
+    """A mesh or coordinator pipe hit EOF/EPIPE: a peer process died.
+
+    Raised instead of letting the raw OS error bubble into an error
+    frame — the death is the *peer's* story, and the coordinator hears
+    it from that peer's sentinel.  The holder exits quietly with
+    :data:`PEER_LOST_EXIT` so recovery treats it as collateral, not as a
+    deterministic worker bug."""
+
+
+class _Heartbeat(threading.Thread):
+    """Liveness beacon: one header-only frame onto the report pipe every
+    ``interval`` seconds, routed through the feeder so beacon writes can
+    never interleave with (and corrupt) a data frame mid-parts.
+
+    Runs through SIGSTOP detection's *negative* space: a stopped process
+    freezes this thread with everything else, the beacons cease, and the
+    coordinator's suspicion timeout fires.
+    """
+
+    def __init__(self, feeder: "_Feeder", conn, worker_id: int, interval: float):
+        super().__init__(name=f"imr-heartbeat-{worker_id}", daemon=True)
+        self._feeder = feeder
+        self._conn = conn
+        self._interval = interval
+        self._parts, _ = encode_frame(HEARTBEAT, 0, 0, worker_id, _NO_PAYLOAD)
+        self._halt = threading.Event()
+
+    def run(self) -> None:
+        while not self._halt.wait(self._interval):
+            try:
+                self._feeder.send(self._conn, self._parts)
+            except BaseException:
+                return  # pipe gone: the main thread is already failing
+
+    def stop(self) -> None:
+        self._halt.set()
+
+
+def _fire_faults(cfg: WorkerConfig, iteration: int, phase: int) -> None:
+    """Self-inflict any seeded fault scheduled for this exact point."""
+    for fault in cfg.faults:
+        if fault.matches(cfg.generation, cfg.worker_id, iteration, phase):
+            fire_fault(fault)
 
 
 class _Inbox:
@@ -332,24 +426,39 @@ def worker_main(
     verdict_conn,
     report_conn,
     timeout: float | None = None,
+    heartbeat_interval: float | None = None,
 ) -> None:
     """Process entry point: run every iteration for this worker's pairs.
 
-    ``worker_id`` travels as its own argument (not only inside ``blob``)
-    so the error path never has to re-unpickle the whole config — job
-    plus static partitions — just to label a traceback.
+    ``worker_id`` and ``heartbeat_interval`` travel as their own
+    arguments (not only inside ``blob``) so the error path never has to
+    re-unpickle the whole config just to label a traceback — and so the
+    liveness beacon starts *before* the potentially large blob unpickle,
+    keeping startup inside the coordinator's suspicion window.
     """
     feeder: _Feeder | None = None
+    heartbeat: _Heartbeat | None = None
     try:
-        cfg = WorkerConfig.from_blob(blob)
         feeder = _Feeder(worker_id)
         feeder.start()
+        if heartbeat_interval is not None:
+            heartbeat = _Heartbeat(feeder, report_conn, worker_id, heartbeat_interval)
+            heartbeat.start()
+        cfg = WorkerConfig.from_blob(blob)
         loop = _worker_loop_kernel if kernel_enabled(cfg.job) else _worker_loop
         loop(
             cfg, peer_recv, peer_send, verdict_conn, report_conn, feeder, timeout
         )
         feeder.flush()
+        if heartbeat is not None:
+            heartbeat.stop()
         feeder.stop()
+    except (_PeerLost, EOFError, BrokenPipeError, ConnectionResetError):
+        # A peer (or the coordinator) died under us: exit quietly with a
+        # recognizable code.  The coordinator learns the root cause from
+        # the dead peer's own sentinel; an error frame here would turn a
+        # recoverable death into a spurious deterministic failure.
+        raise SystemExit(PEER_LOST_EXIT)
     except BaseException:
         parts, _ = encode_frame(ERROR_REPORT, 0, 0, worker_id, traceback.format_exc())
         try:
@@ -374,7 +483,6 @@ def _worker_loop(
 ) -> None:
     job = cfg.job
     wid = cfg.worker_id
-    num_workers = cfg.num_workers
     num_pairs = cfg.num_pairs
     phases = job.phases
     last_phase = len(phases) - 1
@@ -382,10 +490,16 @@ def _worker_loop(
     peers = sorted(peer_recv)
     part = bind_partitioner(job.partitioner, num_pairs)
     distance_fn = job.distance_fn
+    owner_of = cfg.resolved_owner_of()
     perf = time.perf_counter
 
     timings = {name: 0.0 for name in PHASE_COUNTERS}
     inbox = _Inbox([*peer_recv.values(), verdict_conn], timings)
+    ckpt_store = (
+        CheckpointStore(cfg.spool_dir)
+        if cfg.checkpoint_every and cfg.spool_dir
+        else None
+    )
 
     # Static data: deserialized from the init blob exactly once for the
     # whole job; iterations only ever read it (§3.2.1).  ``static_loads``
@@ -406,6 +520,8 @@ def _worker_loop(
         "batches_sent": 0,
         "manifest_frames": 0,
         "bytes_pickled": 0,
+        "ckpt_writes": 0,
+        "ckpt_bytes": 0,
     }
 
     # part(key) -> (owner worker, pair), memoized for the job's stable
@@ -461,7 +577,7 @@ def _worker_loop(
                 hop = cached_route(key)
                 if hop is None:
                     q = part(key)
-                    hop = route_cache[key] = (_owner(q, num_workers), q)
+                    hop = route_cache[key] = (owner_of[q], q)
                 dest = routed.setdefault(hop[0], {})
                 slot = (hop[1], src_pair)
                 bucket = dest.get(slot)
@@ -470,20 +586,30 @@ def _worker_loop(
                 bucket.append(rec)
         return routed
 
+    # State load: the initial partitions, or — after a recovery respawn —
+    # the restored checkpoint's records.  The distance baseline ``prev``
+    # is rebuilt from the same snapshot, which is exact: at the start of
+    # iteration k+1 an unfaulted worker's ``prev`` is precisely the
+    # state at the end of iteration k, i.e. what the checkpoint holds.
+    started = perf()
     current: dict[int, list] = {p: list(recs) for p, recs in cfg.state_parts.items()}
     prev: dict[int, dict] | None = (
         {p: dict(recs) for p, recs in current.items()}
         if distance_fn is not None
         else None
     )
+    if cfg.start_iteration:
+        timings["recover"] += perf() - started
 
     max_iterations = job.max_iterations if job.max_iterations is not None else 10**9
-    iterations_run = 0
+    iterations_run = cfg.start_iteration
     terminated_by = ""
-    sorter = _owner(0, num_workers)  # hoisted one2all sort runs here
+    sorter = owner_of[0]  # hoisted one2all sort runs here
 
-    for iteration in range(max_iterations):
+    for iteration in range(cfg.start_iteration, max_iterations):
         for phase_index, phase in enumerate(phases):
+            if cfg.faults:
+                _fire_faults(cfg, iteration, phase_index)
             broadcast = None
             if phase.mapping == "one2all":
                 # Hoisted all-gather: pair-0's owner flattens in
@@ -602,6 +728,24 @@ def _worker_loop(
             stats["bytes_pickled"] += nbytes
             feeder.send(report_conn, parts)
         timings["report"] += perf() - started
+
+        # ---- durable checkpoint (§3.4.1) ----
+        # After the report, before the verdict: the report for iteration
+        # k always reaches the coordinator ahead of the checkpoint
+        # receipt on the same FIFO pipe, so a committed manifest is
+        # never ahead of the merged control-plane state.
+        if ckpt_store is not None and (iteration + 1) % cfg.checkpoint_every == 0:
+            started = perf()
+            entry = ckpt_store.write(
+                cfg.generation, iteration, wid,
+                {"path": "record", "pairs": {p: current.get(p, []) for p in my_pairs}},
+            )
+            stats["ckpt_writes"] += 1
+            stats["ckpt_bytes"] += entry["bytes"]
+            parts, _ = encode_frame(CKPT_REPORT, iteration, 0, wid, entry)
+            feeder.send(report_conn, parts)
+            timings["checkpoint"] += perf() - started
+
         if cfg.wait_verdict:
             verdict = inbox.verdict(iteration, timeout)
             if verdict != CONTINUE:
@@ -648,7 +792,6 @@ def _worker_loop_kernel(
     job = cfg.job
     kernel = job.kernel
     wid = cfg.worker_id
-    num_workers = cfg.num_workers
     num_pairs = cfg.num_pairs
     phase = job.phases[0]
     one2all = phase.mapping == "one2all"
@@ -656,19 +799,34 @@ def _worker_loop_kernel(
     peers = sorted(peer_recv)
     part_array = job.partitioner.bind_array(num_pairs)
     distance_fn = job.distance_fn
+    owner_of = cfg.resolved_owner_of()
     perf = time.perf_counter
 
     timings = {name: 0.0 for name in PHASE_COUNTERS}
     inbox = _Inbox([*peer_recv.values(), verdict_conn], timings)
+    ckpt_store = (
+        CheckpointStore(cfg.spool_dir)
+        if cfg.checkpoint_every and cfg.spool_dir
+        else None
+    )
 
     # ---- columnar partition load: encode state, build static columns --
+    # A restored checkpoint already holds the encoded (keys, values)
+    # arrays — loading them back is the ``recover`` phase; the initial
+    # encode from records is ``kernel`` time as before.
     started = perf()
     owned: dict[int, Any] = {}
     values: dict[int, Any] = {}
-    for p in my_pairs:
-        owned[p], values[p] = encode_columnar(
-            cfg.state_parts[p], kernel.state_dtype, kernel.state_width
-        )
+    if cfg.columnar_state:
+        for p in my_pairs:
+            owned[p], values[p] = cfg.state_parts[p]
+    else:
+        for p in my_pairs:
+            owned[p], values[p] = encode_columnar(
+                cfg.state_parts[p], kernel.state_dtype, kernel.state_width
+            )
+    timings["recover" if cfg.columnar_state else "kernel"] += perf() - started
+    started = perf()
     static_tables = cfg.static_parts[0]
     prepared = {p: kernel.prepare(p, owned[p], static_tables[p]) for p in my_pairs}
     timings["kernel"] += perf() - started
@@ -684,6 +842,8 @@ def _worker_loop_kernel(
         "batches_sent": 0,
         "manifest_frames": 0,
         "bytes_pickled": 0,
+        "ckpt_writes": 0,
+        "ckpt_bytes": 0,
     }
 
     def ship(kind: str, iteration: int, dest: int, payload) -> None:
@@ -707,11 +867,13 @@ def _worker_loop_kernel(
     )
 
     max_iterations = job.max_iterations if job.max_iterations is not None else 10**9
-    iterations_run = 0
+    iterations_run = cfg.start_iteration
     terminated_by = ""
-    sorter = _owner(0, num_workers)
+    sorter = owner_of[0]
 
-    for iteration in range(max_iterations):
+    for iteration in range(cfg.start_iteration, max_iterations):
+        if cfg.faults:
+            _fire_faults(cfg, iteration, 0)
         broadcast = None
         if one2all:
             # Hoisted all-gather, columnar: pair-0's owner concatenates
@@ -750,7 +912,7 @@ def _worker_loop_kernel(
                 p, owned[p], values[p], prepared[p], broadcast
             )
             for q, ks, vs in route_columnar(out_keys, out_vals, part_array, num_pairs):
-                routed.setdefault(_owner(q, num_workers), []).append((q, p, ks, vs))
+                routed.setdefault(owner_of[q], []).append((q, p, ks, vs))
         timings["kernel"] += perf() - started
 
         # ---- skip-empty exchange ----
@@ -802,6 +964,25 @@ def _worker_loop_kernel(
             stats["bytes_pickled"] += nbytes
             feeder.send(report_conn, parts)
         timings["report"] += perf() - started
+
+        # ---- durable checkpoint, columnar (§3.4.1): the encoded
+        # (keys, values) arrays ride the same protocol-5 out-of-band
+        # buffer path to disk that they ride over the mesh ----
+        if ckpt_store is not None and (iteration + 1) % cfg.checkpoint_every == 0:
+            started = perf()
+            entry = ckpt_store.write(
+                cfg.generation, iteration, wid,
+                {
+                    "path": "kernel",
+                    "pairs": {p: (owned[p], values[p]) for p in my_pairs},
+                },
+            )
+            stats["ckpt_writes"] += 1
+            stats["ckpt_bytes"] += entry["bytes"]
+            parts, _ = encode_frame(CKPT_REPORT, iteration, 0, wid, entry)
+            feeder.send(report_conn, parts)
+            timings["checkpoint"] += perf() - started
+
         if cfg.wait_verdict:
             verdict = inbox.verdict(iteration, timeout)
             if verdict != CONTINUE:

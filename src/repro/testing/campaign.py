@@ -66,6 +66,15 @@ class CampaignSpec:
     #: the kernel-enabled job through the executors and the kernel
     #: differential oracle compares it against the record-path reference.
     use_kernels: bool = False
+    #: Real process death for ``parallel``-mode runs: ``(worker,
+    #: iteration, action)`` — the multiprocess backend's worker kills
+    #: (``"kill"``, SIGKILL) or freezes (``"stop"``, SIGSTOP) itself at
+    #: the start of that iteration, and the run must *recover* from its
+    #: durable checkpoints back to record-equality with the serial
+    #: reference.  ``None`` = no process fault.  Like ``parallel`` itself,
+    #: this dimension only bites when the campaign runs in parallel mode;
+    #: the simulated runtime ignores it.
+    proc_kill: tuple | None = None
 
     # -- derived -----------------------------------------------------------
     def machine_names(self) -> list[str]:
@@ -116,6 +125,16 @@ class CampaignSpec:
         worst_alive = self.cluster_nodes - max(1, schedule.max_concurrent_failures())
         if self.faults and self.num_pairs > worst_alive * PAIRS_PER_WORKER:
             raise ValueError("pairs would not fit the surviving workers")
+        if self.proc_kill is not None:
+            worker, iteration, action = self.proc_kill
+            if action not in ("kill", "stop"):
+                raise ValueError(f"unknown proc_kill action {action!r}")
+            if worker < 0:
+                raise ValueError("proc_kill worker must be >= 0")
+            if not 0 <= iteration < self.max_iterations:
+                raise ValueError(
+                    "proc_kill iteration must land inside the iteration budget"
+                )
         master = self.machine_names()[0]
         for fault in self.net_faults:
             unknown = fault.machines() - names
@@ -175,6 +194,8 @@ class CampaignSpec:
         )
         if d.get("speeds") is not None:
             d["speeds"] = tuple(d["speeds"])
+        if d.get("proc_kill") is not None:
+            d["proc_kill"] = tuple(d["proc_kill"])
         return cls(**d)
 
     @classmethod
@@ -196,6 +217,9 @@ class CampaignSpec:
             modes.append("hetero")
         if self.use_kernels:
             modes.append("kernels")
+        if self.proc_kill is not None:
+            w, i, action = self.proc_kill
+            modes.append(f"proc-{action}:w{w}@i{i}")
         return (
             f"{self.workload} n={self.input_size} on {self.cluster_nodes} nodes, "
             f"{self.num_pairs} pairs, {self.max_iterations} iters, "
@@ -324,6 +348,17 @@ def generate_campaign(
     # Same precedent again: the kernel dimension draws after net_faults,
     # keeping every previously pinned campaign seed byte-identical.
     use_kernels = rng.random() < 0.4
+    # And the process-death dimension draws last of all, for the same
+    # reason.  The victim is drawn over {0, 1}: parallel-mode campaigns
+    # run 2 workers (the runner clamps to the actual mesh size anyway),
+    # and SIGSTOPs are rarer — each one costs a real suspicion timeout.
+    proc_kill: tuple | None = None
+    if rng.random() < 0.35:
+        proc_kill = (
+            rng.randrange(2),
+            rng.randrange(max_iterations),
+            "kill" if rng.random() < 0.75 else "stop",
+        )
 
     spec = CampaignSpec(
         seed=seed,
@@ -341,6 +376,7 @@ def generate_campaign(
         faults=faults,
         net_faults=net_faults,
         use_kernels=use_kernels,
+        proc_kill=proc_kill,
     )
     spec.validate()
     return spec

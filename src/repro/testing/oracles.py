@@ -30,6 +30,7 @@ __all__ = [
     "oracle_differential",
     "oracle_kernel_differential",
     "oracle_parallel_differential",
+    "oracle_parallel_recovery",
     "oracle_checkpoint_rollback",
     "oracle_trace_well_formed",
     "ALL_ORACLES",
@@ -310,6 +311,56 @@ def oracle_parallel_differential(spec, outcome) -> list[OracleViolation]:
     return v
 
 
+def oracle_parallel_recovery(spec, outcome) -> list[OracleViolation]:
+    """A seeded process death must actually fire *and* be recovered, and
+    every recovery must resume no later than the iteration the death
+    interrupted.
+
+    The differential oracle already proves the recovered result equals
+    the unfaulted reference; this one proves the run took the recovery
+    path at all (a fault that silently never fired would make the
+    differential check vacuous) and that the resume point respects the
+    checkpoint barrier — the real-backend analogue of
+    :func:`oracle_checkpoint_rollback`.  Inert unless the campaign
+    carries a ``proc_kill`` and ran in ``parallel`` mode.
+    """
+    if getattr(spec, "proc_kill", None) is None:
+        return []
+    par = outcome.parallel_result
+    if par is None:  # parallel mode off, or the run died: other oracles own it
+        return []
+    v: list[OracleViolation] = []
+    _victim, at_iteration, action = spec.proc_kill
+    if par.recoveries < 1:
+        v.append(
+            OracleViolation(
+                "parallel-recovery",
+                f"seeded proc {action} at iteration {at_iteration} never "
+                "triggered a recovery",
+            )
+        )
+        return v
+    for event in par.recovery_events:
+        if event["resume_from"] > at_iteration:
+            v.append(
+                OracleViolation(
+                    "parallel-recovery",
+                    f"recovery resumed from iteration {event['resume_from']} "
+                    f"but the fault interrupted iteration {at_iteration}",
+                )
+            )
+        restored = event["restored_checkpoint"]
+        if restored is not None and restored >= at_iteration:
+            v.append(
+                OracleViolation(
+                    "parallel-recovery",
+                    f"restored checkpoint {restored} is not older than the "
+                    f"interrupted iteration {at_iteration}",
+                )
+            )
+    return v
+
+
 def oracle_checkpoint_rollback(spec, outcome) -> list[OracleViolation]:
     """Recovery never resumes from a newer iteration than the last
     durable checkpoint, and durable checkpoints only move forward."""
@@ -365,6 +416,7 @@ ALL_ORACLES: dict[str, Callable] = {
     "differential": oracle_differential,
     "kernel-differential": oracle_kernel_differential,
     "parallel-differential": oracle_parallel_differential,
+    "parallel-recovery": oracle_parallel_recovery,
     "checkpoint": oracle_checkpoint_rollback,
     "trace": oracle_trace_well_formed,
 }

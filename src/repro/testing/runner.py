@@ -28,6 +28,7 @@ from ..imapreduce import (
     FailureDetectorConfig,
     IMapReduceRuntime,
     LoadBalanceConfig,
+    ProcFault,
     run_local,
     run_parallel,
 )
@@ -106,6 +107,11 @@ class ChaosReport:
     passed: int = 0
     failures: list[CampaignFailure] = field(default_factory=list)
     wall_seconds: float = 0.0
+    #: One dict per campaign whose parallel run took the recovery path:
+    #: campaign seed, the seeded ``proc_kill``, and the backend's
+    #: ``recovery_events`` verbatim.  ``repro chaos --recovery-log``
+    #: serializes these as JSONL for CI artifacts.
+    recovery_events: list[dict] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -275,6 +281,30 @@ def run_campaign(
         # paths order every merge identically); otherwise it runs the
         # record job against the record reference, as before.
         par_job = kernel_job if (spec.use_kernels and kernel_job is not None) else job
+        # Process-death campaigns arm the backend's fault tolerance: the
+        # seeded kill/stop fires mid-run, recovery restores the durable
+        # checkpoint, and the same differential oracle that judges an
+        # unfaulted run judges the recovered one.
+        par_kwargs: dict = {}
+        if spec.proc_kill is not None:
+            victim, at_iteration, action = spec.proc_kill
+            mesh_size = max(1, min(parallel_workers, spec.num_pairs))
+            par_kwargs = dict(
+                checkpoint_every=spec.checkpoint_interval,
+                heartbeat_interval=0.05,
+                # SIGSTOP is only caught by heartbeat silence; give spawn
+                # meshes headroom for their interpreter startup.
+                suspicion_timeout=(
+                    30.0 if parallel_start_method == "spawn" else 8.0
+                ),
+                faults=(
+                    ProcFault(
+                        worker=victim % mesh_size,
+                        iteration=at_iteration,
+                        action=action,
+                    ),
+                ),
+            )
         try:
             outcome.parallel_result = run_parallel(
                 par_job,
@@ -283,6 +313,7 @@ def run_campaign(
                 num_pairs=spec.num_pairs,
                 num_workers=parallel_workers,
                 start_method=parallel_start_method,
+                **par_kwargs,
             )
             outcome.parallel_result.state.sort(key=lambda kv: repr(kv[0]))
         except Exception as exc:  # judged by the parallel oracle
@@ -321,6 +352,7 @@ def run_chaos(
     shrink_failures: bool = True,
     strip_net_faults: bool = False,
     parallel: bool = False,
+    parallel_start_method: str | None = None,
     log: Callable[[str], None] | None = None,
 ) -> ChaosReport:
     """Run a battery of ``campaigns`` seeded campaigns.
@@ -337,8 +369,23 @@ def run_chaos(
         spec = generate_campaign(campaign_seed, workloads)
         if strip_net_faults:
             spec = spec.but(net_faults=())
-        outcome = run_campaign(spec, knobs, parallel=parallel)
+        outcome = run_campaign(
+            spec, knobs, parallel=parallel,
+            parallel_start_method=parallel_start_method,
+        )
         report.campaigns += 1
+        par = outcome.parallel_result
+        if par is not None and getattr(par, "recoveries", 0):
+            report.recovery_events.append(
+                {
+                    "campaign_seed": campaign_seed,
+                    "proc_kill": list(spec.proc_kill)
+                    if spec.proc_kill is not None
+                    else None,
+                    "recoveries": par.recoveries,
+                    "events": list(par.recovery_events),
+                }
+            )
         if outcome.ok:
             report.passed += 1
             if log:

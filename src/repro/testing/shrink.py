@@ -90,6 +90,12 @@ def shrink_candidates(spec: CampaignSpec) -> Iterator[CampaignSpec]:
         yield spec.but(combiner=False)
     if spec.use_kernels:
         yield spec.but(use_kernels=False)
+    if spec.proc_kill is not None:
+        yield spec.but(proc_kill=None)
+        # A SIGSTOP reproduction that survives as a plain SIGKILL is
+        # cheaper to replay (no suspicion timeout to sit through).
+        if spec.proc_kill[2] == "stop":
+            yield spec.but(proc_kill=(*spec.proc_kill[:2], "kill"))
     if spec.buffer_records != NEUTRAL_BUFFER:
         yield spec.but(buffer_records=NEUTRAL_BUFFER)
 

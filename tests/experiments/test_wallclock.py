@@ -92,3 +92,43 @@ def test_sizeof_microbench_reports_speedup():
     assert micro["calls"] > 0
     assert micro["uncached_seconds"] >= 0.0
     assert micro["memoized_seconds"] >= 0.0
+
+
+def test_checkpoint_overhead_section():
+    from repro.experiments.wallclock import checkpoint_overhead
+
+    ck = checkpoint_overhead(quick=True, workers=2, checkpoint_every=1,
+                             repeats=1)
+    assert ck["workload"] == "pagerank"
+    assert ck["record_identical"] is True
+    # HB/ckpt frames live outside ship(): the data plane must not notice.
+    assert ck["dataplane_counters_identical"] is True
+    assert ck["ckpt_writes"] > 0 and ck["ckpt_bytes"] > 0
+    assert ck["checkpoints"]  # committed manifests at every boundary
+    assert ck["checkpoint_phase_seconds"] >= 0.0
+
+
+def test_compare_counters_gates_checkpoint_overhead():
+    # Synthetic results: the gate fires on full-size runs only, and only
+    # past the ceiling.
+    base = {"workloads": [], "meta": {"quick": False}}
+    ok = dict(base, checkpoint_overhead={
+        "overhead_pct": 3.0, "checkpoint_every": 5,
+        "record_identical": True, "dataplane_counters_identical": True,
+    })
+    assert compare_counters(ok, {"workloads": []}) == []
+    slow = dict(base, checkpoint_overhead={
+        "overhead_pct": 9.5, "checkpoint_every": 5,
+        "record_identical": True, "dataplane_counters_identical": True,
+    })
+    problems = compare_counters(slow, {"workloads": []})
+    assert len(problems) == 1 and "checkpoint overhead" in problems[0]
+    quick = dict(slow, meta={"quick": True})
+    assert compare_counters(quick, {"workloads": []}) == []
+    broken = dict(base, checkpoint_overhead={
+        "overhead_pct": 1.0, "checkpoint_every": 5,
+        "record_identical": False, "dataplane_counters_identical": False,
+    })
+    problems = compare_counters(broken, {"workloads": []})
+    assert any("diverged" in p for p in problems)
+    assert any("data-plane counters" in p for p in problems)

@@ -1,0 +1,138 @@
+"""Property tests for the durable checkpoint spool (§3.4).
+
+The spool format *is* the wire format — the exact protocol-5 frame the
+data plane ships, length-prefixed onto disk — so the identity to prove
+is encode→fsync→decode round-trips bit-exactly for both payload shapes
+(record lists and columnar ``(keys, values)`` arrays), and that every
+flavor of torn write is *detected* and falls back to the previous
+committed manifest instead of restoring garbage.
+"""
+
+import json
+import os
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.imapreduce import CheckpointError, CheckpointStore
+from repro.imapreduce.columnar import decode_columnar, encode_columnar
+from repro.imapreduce.parallel import _load_restore
+
+# Values exercise the float edge cases a distance fold can produce.
+_floats = st.floats(allow_nan=False, allow_infinity=True, width=64)
+_records = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=10**6), _floats),
+    max_size=40,
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(pairs=st.dictionaries(st.integers(0, 7), _records, max_size=6),
+       iteration=st.integers(0, 999), worker=st.integers(0, 31))
+def test_record_payload_round_trip_identity(tmp_path_factory, pairs, iteration, worker):
+    store = CheckpointStore(str(tmp_path_factory.mktemp("spool")))
+    payload = {"path": "record", "pairs": pairs}
+    entry = store.write(0, iteration, worker, payload)
+    got = store.read_payload(entry)
+    assert got == payload  # bit-exact: == on floats, not approx
+    assert entry["bytes"] == os.path.getsize(os.path.join(store.root, entry["file"]))
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    keys=st.lists(st.integers(0, 10**6), max_size=30, unique=True),
+    width=st.sampled_from([0, 3]),
+    seed=st.integers(0, 2**31),
+)
+def test_columnar_payload_round_trip_identity(tmp_path_factory, keys, width, seed):
+    """The out-of-band numpy buffers survive the disk hop bit-exactly
+    and come back *writable* (restored workers mutate state in place)."""
+    rng = np.random.default_rng(seed)
+    shape = (len(keys),) if width == 0 else (len(keys), width)
+    records = [
+        (k, v if width == 0 else list(v))
+        for k, v in zip(sorted(keys), rng.standard_normal(shape))
+    ]
+    owned, values = encode_columnar(records, "float64", width)
+    store = CheckpointStore(str(tmp_path_factory.mktemp("spool")))
+    entry = store.write(1, 5, 0, {"path": "kernel", "pairs": {0: (owned, values)}})
+    got = store.read_payload(entry)
+    rk, rv = got["pairs"][0]
+    assert rk.dtype == owned.dtype and rv.dtype == values.dtype
+    np.testing.assert_array_equal(rk, owned)
+    np.testing.assert_array_equal(rv, values)  # exact, not allclose
+    assert rk.flags.writeable and rv.flags.writeable
+    rv[:] = 0.0  # restored workers mutate state in place
+    assert len(decode_columnar(rk, rv)) == len(records)
+
+
+@pytest.mark.parametrize("corruption", ["truncate", "flip", "unlink", "lenprefix"])
+def test_torn_spool_file_detected(tmp_path, corruption):
+    store = CheckpointStore(str(tmp_path))
+    entry = store.write(0, 3, 0, {"path": "record", "pairs": {0: [(1, 2.0)]}})
+    path = os.path.join(store.root, entry["file"])
+    if corruption == "truncate":
+        with open(path, "r+b") as fh:
+            fh.truncate(entry["bytes"] // 2)
+    elif corruption == "flip":
+        raw = bytearray(open(path, "rb").read())
+        raw[-1] ^= 0xFF
+        open(path, "wb").write(raw)
+    elif corruption == "unlink":
+        os.unlink(path)
+    else:  # a length prefix pointing past the end of the file
+        raw = bytearray(open(path, "rb").read())
+        raw[:8] = (2**40).to_bytes(8, "big")
+        open(path, "wb").write(raw)
+    with pytest.raises(CheckpointError):
+        store.read_payload(entry)
+
+
+def test_restore_falls_back_to_previous_committed_checkpoint(tmp_path):
+    """A torn newest checkpoint must not lose the run: ``_load_restore``
+    walks back to the previous manifest whose files still validate."""
+    store = CheckpointStore(str(tmp_path))
+    old = store.write(0, 1, 0, {"path": "record", "pairs": {0: [(7, 1.5)], 1: []}})
+    store.commit(1, 0, [old])
+    new = store.write(0, 3, 0, {"path": "record", "pairs": {0: [(7, 9.5)], 1: []}})
+    store.commit(3, 0, [new])
+    # kill -9 after the rename but with a dirty page lost: truncate.
+    with open(os.path.join(store.root, new["file"]), "r+b") as fh:
+        fh.truncate(10)
+    restore = _load_restore(store, num_pairs=2, columnar=False)
+    assert restore is not None
+    iteration, pairs = restore
+    assert iteration == 1
+    assert pairs == {0: [(7, 1.5)], 1: []}
+
+
+def test_restore_rejects_incomplete_pair_coverage(tmp_path):
+    """A manifest missing a pair (reassignment bug, lost file) is not a
+    restore point."""
+    store = CheckpointStore(str(tmp_path))
+    entry = store.write(0, 2, 0, {"path": "record", "pairs": {0: [(1, 1.0)]}})
+    store.commit(2, 0, [entry])
+    assert _load_restore(store, num_pairs=2, columnar=False) is None
+    assert _load_restore(store, num_pairs=1, columnar=False) is not None
+
+
+def test_restore_rejects_wrong_executor_path(tmp_path):
+    """A record checkpoint cannot restore a kernel run and vice versa."""
+    store = CheckpointStore(str(tmp_path))
+    entry = store.write(0, 0, 0, {"path": "record", "pairs": {0: []}})
+    store.commit(0, 0, [entry])
+    assert _load_restore(store, num_pairs=1, columnar=True) is None
+
+
+def test_manifest_commit_is_atomic_and_torn_manifest_skipped(tmp_path):
+    store = CheckpointStore(str(tmp_path))
+    entry = store.write(0, 1, 0, {"path": "record", "pairs": {0: [(1, 1.0)]}})
+    store.commit(1, 0, [entry])
+    # A torn manifest for a newer iteration: invalid JSON on disk.
+    with open(os.path.join(store.root, "manifest-i000003.json"), "w") as fh:
+        fh.write('{"iteration": 3, "entries": [')
+    manifests = store.manifests()
+    assert [m["iteration"] for m in manifests] == [1]
+    assert json.loads(json.dumps(manifests[0]))  # committed one is valid JSON

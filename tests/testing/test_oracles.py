@@ -185,7 +185,7 @@ def test_trace_oracle_flags_time_reversal():
 def test_evaluate_runs_every_oracle():
     assert set(ALL_ORACLES) == {
         "termination", "differential", "kernel-differential",
-        "parallel-differential", "checkpoint", "trace",
+        "parallel-differential", "parallel-recovery", "checkpoint", "trace",
     }
     v = evaluate_oracles(spec(), outcome(error=RuntimeError("boom")))
     assert [x.oracle for x in v] == ["termination"]
@@ -237,6 +237,59 @@ def test_parallel_oracle_checks_iterations_and_termination():
     )
     assert {x.oracle for x in v} == {"parallel-differential"}
     assert len(v) == 2
+
+
+# ------------------------------------------------ parallel-recovery oracle --
+def _kill_spec(at_iteration=2, action="kill"):
+    return SimpleNamespace(
+        max_iterations=5, checkpoint_interval=2,
+        proc_kill=(0, at_iteration, action),
+    )
+
+
+def _recovered(recoveries=1, events=None):
+    return SimpleNamespace(
+        state=[], iterations_run=5, terminated_by="max-iterations",
+        recoveries=recoveries,
+        recovery_events=events if events is not None else [
+            {"resume_from": 2, "restored_checkpoint": 1}
+        ],
+    )
+
+
+def test_recovery_oracle_inert_without_proc_kill_or_parallel_run():
+    from repro.testing.oracles import oracle_parallel_recovery
+
+    assert oracle_parallel_recovery(spec(), outcome()) == []
+    assert oracle_parallel_recovery(_kill_spec(), outcome()) == []
+
+
+def test_recovery_oracle_flags_fault_that_never_fired():
+    from repro.testing.oracles import oracle_parallel_recovery
+
+    v = oracle_parallel_recovery(
+        _kill_spec(), outcome(parallel_result=_recovered(recoveries=0))
+    )
+    assert len(v) == 1 and "never triggered a recovery" in v[0].detail
+
+
+def test_recovery_oracle_checks_resume_barrier():
+    from repro.testing.oracles import oracle_parallel_recovery
+
+    ok = outcome(parallel_result=_recovered())
+    assert oracle_parallel_recovery(_kill_spec(), ok) == []
+    # Resuming *past* the interrupted iteration means state was skipped.
+    late = outcome(parallel_result=_recovered(
+        events=[{"resume_from": 4, "restored_checkpoint": 3}]
+    ))
+    v = oracle_parallel_recovery(_kill_spec(at_iteration=2), late)
+    assert {x.oracle for x in v} == {"parallel-recovery"}
+    assert len(v) == 2  # resume too late + checkpoint too new
+    # A from-scratch restart (no checkpoint armed) is a legal recovery.
+    scratch = outcome(parallel_result=_recovered(
+        events=[{"resume_from": 0, "restored_checkpoint": None}]
+    ))
+    assert oracle_parallel_recovery(_kill_spec(), scratch) == []
 
 
 def test_values_identical_is_exact_and_numpy_safe():
