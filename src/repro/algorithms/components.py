@@ -20,7 +20,8 @@ import numpy as np
 from ..common.config import IterKeys, JobConf
 from ..common.partition import ModPartitioner
 from ..graph import Digraph
-from ..imapreduce import IterativeJob, Kernel
+from ..imapreduce import MIN, AccumJob, AccumKernel, IterativeJob, Kernel
+from ..imapreduce.accum import TOP_FRACTION_KEY
 
 __all__ = [
     "initial_state",
@@ -30,6 +31,10 @@ __all__ = [
     "change_distance",
     "ComponentsKernel",
     "build_imr_job",
+    "accum_update",
+    "ComponentsAccumKernel",
+    "accum_initial_deltas",
+    "build_accum_job",
     "reference_components",
     "reference_iterations",
 ]
@@ -134,6 +139,84 @@ def build_imr_job(
         combiner=imr_reduce,  # min is associative: always exact
         num_pairs=num_pairs,
         kernel=ComponentsKernel() if use_kernel else None,
+    )
+
+
+# ------------------------------------------------- accumulative (Maiter) --
+def accum_update(key, delta, state, neighbors, emit) -> None:
+    """Accumulative label flood: labels fold under ``min`` from the ∞
+    identity; a node whose label improved offers the new label to its
+    symmetrised neighbours.  Integer labels and a unique fixpoint make
+    every schedule bit-identical."""
+    if neighbors:
+        for v in neighbors:
+            emit(v, state)
+
+
+class ComponentsAccumKernel(AccumKernel):
+    """Columnar twin of :func:`accum_update`: int64 labels with the
+    int64-max sentinel standing in for the record path's ∞ identity."""
+
+    __slots__ = ()
+
+    merge = "min"
+    state_dtype = "int64"
+    identity = np.iinfo(np.int64).max
+
+    def prepare(self, pair, owned_keys, static_table):
+        neigh = [static_table.get(k) or () for k in owned_keys.tolist()]
+        counts = np.array([len(t) for t in neigh], dtype=np.int64)
+        total = int(counts.sum())
+        targets = np.fromiter(
+            (v for t in neigh for v in t), dtype=np.int64, count=total
+        )
+        indptr = np.concatenate([[0], np.cumsum(counts)])
+        return counts, indptr, targets
+
+    def emit_deltas(self, pair, owned_keys, idx, deltas, states, prepared):
+        counts, indptr, targets = prepared
+        c = counts[idx]
+        total = int(c.sum())
+        if total == 0:
+            return targets[:0], states[:0]
+        reps = np.repeat(np.arange(idx.size), c)
+        within = np.arange(total) - np.repeat(np.cumsum(c) - c, c)
+        flat = indptr[idx][reps] + within
+        return targets[flat], states[reps]
+
+
+def accum_initial_deltas(graph_nodes: int) -> list[tuple[int, int]]:
+    """Initial deltas: every node proposes its own id as its label."""
+    return [(u, u) for u in range(graph_nodes)]
+
+
+def build_accum_job(
+    *,
+    state_path: str,
+    static_path: str,
+    output_path: str,
+    max_rounds: int | None = None,
+    num_pairs: int | None = None,
+    top_fraction: float | None = None,
+    use_kernel: bool = False,
+) -> AccumJob:
+    conf = JobConf()
+    conf.set(IterKeys.STATE_PATH, state_path)
+    conf.set(IterKeys.STATIC_PATH, static_path)
+    if max_rounds is not None:
+        conf.set_int(IterKeys.MAX_ITER, max_rounds)
+    conf.set_float(IterKeys.DIST_THRESH, 0.0)  # min deltas drain exactly
+    if top_fraction is not None:
+        conf.set_float(TOP_FRACTION_KEY, top_fraction)
+    return AccumJob(
+        name="components-accum",
+        accumulator=MIN,
+        update_fn=accum_update,
+        output_path=output_path,
+        conf=conf,
+        partitioner=ModPartitioner(),
+        num_pairs=num_pairs,
+        kernel=ComponentsAccumKernel() if use_kernel else None,
     )
 
 

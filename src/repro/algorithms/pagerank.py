@@ -15,7 +15,8 @@ import numpy as np
 from ..common.config import IterKeys, JobConf
 from ..common.partition import ModPartitioner
 from ..graph import Digraph
-from ..imapreduce import IterativeJob, Kernel
+from ..imapreduce import AccumJob, AccumKernel, IterativeJob, Kernel, SUM
+from ..imapreduce.accum import TOP_FRACTION_KEY
 from ..mapreduce import Job
 from ..mapreduce.driver import IterativeSpec
 
@@ -28,6 +29,10 @@ __all__ = [
     "manhattan_distance",
     "PageRankKernel",
     "build_imr_job",
+    "PageRankAccumUpdate",
+    "PageRankAccumKernel",
+    "accum_initial_deltas",
+    "build_accum_job",
     "mr_initial_records",
     "make_mr_mapper",
     "mr_reducer",
@@ -179,6 +184,115 @@ def build_imr_job(
         combiner=imr_combine if combiner else None,
         num_pairs=num_pairs,
         kernel=PageRankKernel(graph_nodes, damping) if use_kernel else None,
+    )
+
+
+# ------------------------------------------------- accumulative (Maiter) --
+class PageRankAccumUpdate:
+    """Maiter §3's accumulative PageRank update.
+
+    State starts at 0 and accumulates under ``+``: the initial delta is
+    every node's retained ``(1−d)/N``, and applying a delta ``Δ`` at
+    ``u`` forwards ``d·Δ/|N⁺(u)|`` to each out-neighbour.  The fixpoint
+    ``Σₖ (dM)ᵏ·b`` is exactly Eq. 1's, including the dangling-node rank
+    leak (no out-neighbours → nothing forwarded).  Module-level class so
+    built jobs pickle to the worker processes.
+    """
+
+    __slots__ = ("damping",)
+
+    def __init__(self, damping: float = DAMPING):
+        self.damping = damping
+
+    def __call__(self, key, delta, state, neighbors, emit) -> None:
+        if neighbors:
+            share = self.damping * delta / len(neighbors)
+            for v in neighbors:
+                emit(v, share)
+
+
+class PageRankAccumKernel(AccumKernel):
+    """Columnar twin of :class:`PageRankAccumUpdate`: the applied
+    deltas' shares are expanded through the pair's CSR out-adjacency in
+    one gather (bitwise-equal share values; the pending ``+`` coalesce
+    reorders float additions, so the record path is a tolerance
+    reference, same as the synchronous kernels)."""
+
+    __slots__ = ("damping",)
+
+    merge = "sum"
+    state_dtype = "float64"
+    identity = 0.0
+
+    def __init__(self, damping: float = DAMPING):
+        self.damping = damping
+
+    def prepare(self, pair, owned_keys, static_table):
+        neigh = [static_table.get(k) or () for k in owned_keys.tolist()]
+        counts = np.array([len(t) for t in neigh], dtype=np.int64)
+        total = int(counts.sum())
+        targets = np.fromiter(
+            (v for t in neigh for v in t), dtype=np.int64, count=total
+        )
+        indptr = np.concatenate([[0], np.cumsum(counts)])
+        return counts, indptr, targets
+
+    def emit_deltas(self, pair, owned_keys, idx, deltas, states, prepared):
+        counts, indptr, targets = prepared
+        c = counts[idx]
+        total = int(c.sum())
+        if total == 0:
+            return targets[:0], deltas[:0]
+        # Multi-range CSR gather: edge rows of the applied sources, in
+        # application order (matching the record update's emit order).
+        reps = np.repeat(np.arange(idx.size), c)
+        within = np.arange(total) - np.repeat(np.cumsum(c) - c, c)
+        flat = indptr[idx][reps] + within
+        shares = np.zeros(idx.size)
+        nonzero = c > 0
+        np.divide(
+            self.damping * deltas, c, out=shares, where=nonzero
+        )
+        return targets[flat], np.repeat(shares, c)
+
+
+def accum_initial_deltas(
+    graph_nodes: int, damping: float = DAMPING
+) -> list[tuple[int, float]]:
+    """Initial deltas: every node's retained rank ``(1−d)/N``."""
+    return [(u, (1.0 - damping) / graph_nodes) for u in range(graph_nodes)]
+
+
+def build_accum_job(
+    *,
+    state_path: str,
+    static_path: str,
+    output_path: str,
+    threshold: float | None = None,
+    max_rounds: int | None = None,
+    num_pairs: int | None = None,
+    damping: float = DAMPING,
+    top_fraction: float | None = None,
+    use_kernel: bool = False,
+) -> AccumJob:
+    conf = JobConf()
+    conf.set(IterKeys.STATE_PATH, state_path)
+    conf.set(IterKeys.STATIC_PATH, static_path)
+    if max_rounds is not None:
+        conf.set_int(IterKeys.MAX_ITER, max_rounds)
+    if threshold is not None:
+        conf.set_float(IterKeys.DIST_THRESH, threshold)
+    if top_fraction is not None:
+        conf.set_float(TOP_FRACTION_KEY, top_fraction)
+    return AccumJob(
+        name="pagerank-accum",
+        accumulator=SUM,
+        update_fn=PageRankAccumUpdate(damping),
+        output_path=output_path,
+        conf=conf,
+        partitioner=ModPartitioner(),
+        num_pairs=num_pairs,
+        kernel=PageRankAccumKernel(damping) if use_kernel else None,
     )
 
 

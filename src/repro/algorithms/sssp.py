@@ -25,7 +25,8 @@ import numpy as np
 from ..common.config import IterKeys, JobConf
 from ..common.partition import ModPartitioner
 from ..graph import Digraph
-from ..imapreduce import IterativeJob, Kernel
+from ..imapreduce import MIN, AccumJob, AccumKernel, IterativeJob, Kernel
+from ..imapreduce.accum import TOP_FRACTION_KEY
 from ..mapreduce import Job
 from ..mapreduce.driver import IterativeSpec
 
@@ -38,6 +39,10 @@ __all__ = [
     "manhattan_distance",
     "SsspKernel",
     "build_imr_job",
+    "accum_update",
+    "SsspAccumKernel",
+    "accum_initial_deltas",
+    "build_accum_job",
     "mr_initial_records",
     "mr_mapper",
     "mr_reducer",
@@ -176,6 +181,95 @@ def build_imr_job(
         combiner=imr_combine if combiner else None,
         num_pairs=num_pairs,
         kernel=SsspKernel() if use_kernel else None,
+    )
+
+
+# ------------------------------------------------- accumulative (Maiter) --
+def accum_update(key, delta, state, adjacency, emit) -> None:
+    """Maiter-mode SSSP: distances accumulate under ``min`` from the ∞
+    identity; an improved distance re-offers ``d(u) + W(u, v)`` to each
+    out-neighbour.  The engine only calls this when the merge *changed*
+    the state, so converged nodes never re-offer — asynchronous
+    Bellman–Ford with the label-correcting work saving."""
+    if adjacency:
+        for v, w in adjacency:
+            emit(v, state + w)
+
+
+class SsspAccumKernel(AccumKernel):
+    """Columnar twin of :func:`accum_update` — offers are the identical
+    float additions and ``min`` is order-independent, so the kernel is
+    bit-exact against the record-level delta engine."""
+
+    __slots__ = ()
+
+    merge = "min"
+    state_dtype = "float64"
+    identity = np.inf
+
+    def prepare(self, pair, owned_keys, static_table):
+        adj = [static_table.get(k) or () for k in owned_keys.tolist()]
+        counts = np.array([len(t) for t in adj], dtype=np.int64)
+        total = int(counts.sum())
+        targets = np.fromiter(
+            (vw[0] for t in adj for vw in t), dtype=np.int64, count=total
+        )
+        weights = np.fromiter(
+            (vw[1] for t in adj for vw in t), dtype=np.float64, count=total
+        )
+        indptr = np.concatenate([[0], np.cumsum(counts)])
+        return counts, indptr, targets, weights
+
+    def emit_deltas(self, pair, owned_keys, idx, deltas, states, prepared):
+        counts, indptr, targets, weights = prepared
+        c = counts[idx]
+        total = int(c.sum())
+        if total == 0:
+            return targets[:0], weights[:0]
+        reps = np.repeat(np.arange(idx.size), c)
+        within = np.arange(total) - np.repeat(np.cumsum(c) - c, c)
+        flat = indptr[idx][reps] + within
+        return targets[flat], states[reps] + weights[flat]
+
+
+def accum_initial_deltas(source: int) -> list[tuple[int, float]]:
+    """One initial delta: the source at distance 0 (everything else
+    starts at the ``min`` identity, ∞)."""
+    return [(source, 0.0)]
+
+
+def build_accum_job(
+    *,
+    state_path: str,
+    static_path: str,
+    output_path: str,
+    threshold: float = 0.0,
+    max_rounds: int | None = None,
+    num_pairs: int | None = None,
+    top_fraction: float | None = None,
+    use_kernel: bool = False,
+) -> AccumJob:
+    """SSSP as an accumulative job.  ``min`` deltas drain completely —
+    the default threshold 0.0 stops exactly at the fixpoint, which is
+    unique, so every schedule (sync, async, any worker count) produces
+    bit-identical distances."""
+    conf = JobConf()
+    conf.set(IterKeys.STATE_PATH, state_path)
+    conf.set(IterKeys.STATIC_PATH, static_path)
+    if max_rounds is not None:
+        conf.set_int(IterKeys.MAX_ITER, max_rounds)
+    conf.set_float(IterKeys.DIST_THRESH, threshold)
+    if top_fraction is not None:
+        conf.set_float(TOP_FRACTION_KEY, top_fraction)
+    return AccumJob(
+        name="sssp-accum",
+        accumulator=MIN,
+        update_fn=accum_update,
+        output_path=output_path,
+        conf=conf,
+        partitioner=ModPartitioner(),
+        num_pairs=num_pairs,
+        kernel=SsspAccumKernel() if use_kernel else None,
     )
 
 

@@ -19,6 +19,9 @@ Commands
     ``--cluster``, ``--iterations``, ``--sync``, ``--combiner``; with
     ``--backend parallel`` also ``--checkpoint-every``, ``--spool-dir``
     and ``--kill-worker W@I[:stop]`` (fault injection + recovery).
+    ``--mode sync|async`` switches to the accumulative (Maiter)
+    formulation — delta-based rounds instead of full-state iterations —
+    on any backend (sssp and pagerank only).
 
 ``report``
     Write EXPERIMENTS.md (optionally reusing ``--results-dir`` output
@@ -68,6 +71,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="worker processes for --backend parallel")
     p_run.add_argument("--pairs", type=int, default=8,
                        help="task pairs for the serial/parallel backends")
+    p_run.add_argument("--mode", choices=("sync", "async"), default=None,
+                       help="run the accumulative (Maiter) formulation "
+                            "instead of the classic iterative job: 'sync' "
+                            "drains every pending delta each round, 'async' "
+                            "drains the highest-priority fraction first "
+                            "(sssp and pagerank only)")
     p_run.add_argument("--engine", choices=("imapreduce", "mapreduce"), default="imapreduce")
     p_run.add_argument("--cluster", default="local", help="local | single | ec2-<n>")
     p_run.add_argument("--iterations", type=int, default=10)
@@ -133,8 +142,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench = sub.add_parser(
         "bench", help="wall-clock benchmark: run_local vs run_parallel"
     )
-    p_bench.add_argument("--out", default="BENCH_PR6.json",
-                         help="output JSON path (default BENCH_PR6.json)")
+    p_bench.add_argument("--out", default="BENCH_PR9.json",
+                         help="output JSON path (default BENCH_PR9.json)")
     p_bench.add_argument("--workers", default=None,
                          help="comma-separated worker counts, e.g. 1,2,4")
     p_bench.add_argument("--workloads", default=None, metavar="NAME,...",
@@ -157,6 +166,10 @@ def build_parser() -> argparse.ArgumentParser:
                          help="gate data-plane counters (records/batches/"
                               "bytes pickled) against a committed baseline; "
                               "exit 1 on any regression")
+    p_bench.add_argument("--history", action="store_true",
+                         help="print the benchmark trajectory across every "
+                              "committed BENCH_PR*.json baseline and exit "
+                              "(no suite run)")
     return parser
 
 
@@ -212,6 +225,8 @@ def _cmd_run(args) -> int:
     from .metrics import format_run
 
     dataset = args.dataset or _DEFAULT_DATASETS[args.algorithm]
+    if args.mode is not None:
+        return _run_accum(args, dataset)
     if args.backend != "simulated":
         return _run_real_backend(args, dataset)
     spec = RunSpec(
@@ -227,6 +242,73 @@ def _cmd_run(args) -> int:
     )
     metrics = execute(spec)
     print(format_run(metrics))
+    return 0
+
+
+def _run_accum(args, dataset: str) -> int:
+    """``repro run --mode sync|async``: the accumulative (Maiter) path.
+
+    Dispatches on ``--backend``: ``serial`` drives the pairs in-process,
+    ``parallel`` runs the multiprocess mesh (round-synchronized delta
+    exchange), and ``simulated`` adds seeded delivery deferral on top of
+    the async scheduler (the chaos harness's backend).
+    """
+    import time
+
+    from .experiments.wallclock import build_accum_backend_workload
+    from .imapreduce import (
+        run_accum_local,
+        run_accum_parallel,
+        run_accum_simulated,
+    )
+
+    try:
+        job, deltas, static_map, num_pairs = build_accum_backend_workload(
+            args.algorithm, dataset, num_pairs=args.pairs,
+        )
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if args.checkpoint_every or args.spool_dir or args.kill_worker:
+        print("--checkpoint-every/--spool-dir/--kill-worker do not apply "
+              "to accumulative runs (deltas are in flight by design; "
+              "worker death is terminal)", file=sys.stderr)
+        return 2
+    started = time.perf_counter()
+    if args.backend == "serial":
+        result = run_accum_local(
+            job, deltas, static_map, num_pairs=num_pairs, mode=args.mode,
+        )
+        backend = f"serial ({num_pairs} pairs)"
+    elif args.backend == "parallel":
+        result = run_accum_parallel(
+            job, deltas, static_map, num_pairs=num_pairs,
+            num_workers=args.workers, mode=args.mode,
+        )
+        backend = f"parallel ({result.num_workers} workers, {num_pairs} pairs)"
+    else:
+        if args.mode != "async":
+            print("--backend simulated only supports --mode async "
+                  "(delivery deferral needs the async scheduler)",
+                  file=sys.stderr)
+            return 2
+        result = run_accum_simulated(
+            job, deltas, static_map, num_pairs=num_pairs, seed=args.seed,
+        )
+        backend = f"simulated ({num_pairs} pairs, seed {args.seed})"
+    elapsed = time.perf_counter() - started
+    print(
+        f"{args.algorithm} on {dataset} [{backend}, accumulative "
+        f"{args.mode}]: {result.rounds} rounds, terminated by "
+        f"{result.terminated_by} (pending mass {result.pending_mass:.3g} "
+        f"vs threshold {job.threshold:.3g}), {len(result.state)} records, "
+        f"{elapsed:.2f}s wall"
+    )
+    print(
+        f"  {result.updates_processed:,} updates, "
+        f"{result.deltas_emitted:,} deltas emitted, "
+        f"{result.deltas_shipped:,} shipped cross-pair"
+    )
     return 0
 
 
@@ -320,9 +402,15 @@ def _cmd_bench(args) -> int:
         DEFAULT_WORKERS,
         available_workloads,
         compare_counters,
+        format_history,
         format_phase_breakdown,
+        load_history,
         run_suite,
     )
+
+    if args.history:
+        print(format_history(load_history()))
+        return 0
 
     workers = DEFAULT_WORKERS
     if args.workers:
@@ -362,6 +450,17 @@ def _cmd_bench(args) -> int:
             f"wall, {ck['ckpt_writes']} spool writes, "
             f"{ck['ckpt_bytes']:,} bytes"
         )
+    ac = results.get("async_convergence")
+    if ac is not None:
+        for row in ac["workloads"]:
+            sync_m = row["modes"]["sync"]
+            async_m = row["modes"]["async"]
+            print(
+                f"{row['name']}: async {async_m['rounds']} rounds / "
+                f"{async_m['deltas_shipped']:,} deltas shipped vs sync "
+                f"{sync_m['rounds']} / {sync_m['deltas_shipped']:,} "
+                f"(states_match={row['states_match']})"
+            )
     hot = results["hotpath_microbench"]
     print(
         f"group_by_key fast path: {hot['group_by_key']['speedup']}x; "

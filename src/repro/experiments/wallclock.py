@@ -64,21 +64,30 @@ from ..algorithms import jacobi, kmeans, pagerank, sssp
 from ..common.serialization import sizeof_value
 from ..data.lastfm import load_lastfm
 from ..graph.generators import pagerank_graph, sssp_graph
-from ..imapreduce import run_local, run_parallel
+from ..imapreduce import (
+    run_accum_local,
+    run_accum_parallel,
+    run_local,
+    run_parallel,
+)
 
 __all__ = [
     "WallclockCase",
     "build_cases",
     "available_workloads",
     "build_backend_workload",
+    "build_accum_backend_workload",
     "time_case",
     "dense_batches",
     "sizeof_microbench",
     "hotpath_microbench",
     "run_suite",
     "checkpoint_overhead",
+    "async_convergence",
     "compare_counters",
     "format_phase_breakdown",
+    "load_history",
+    "format_history",
     "DEFAULT_WORKERS",
     "COUNTERS",
     "KERNEL_SPEEDUP_FLOOR",
@@ -264,6 +273,42 @@ def build_backend_workload(
                 {STATIC: matrixpower.matrix_to_column_records(matrix)},
                 num_pairs)
     raise ValueError(f"unknown algorithm {algorithm!r}")
+
+
+def build_accum_backend_workload(
+    algorithm: str,
+    dataset: str,
+    *,
+    num_pairs: int = 8,
+    max_rounds: int = 100_000,
+) -> tuple[Any, list, dict, int]:
+    """(job, initial_deltas, static_map, num_pairs) for ``repro run
+    --mode sync|async`` — the accumulative (Maiter) formulation of the
+    workload, on the same datasets the classic iterative path uses."""
+    from ..data import load_graph
+
+    if algorithm == "pagerank":
+        graph = load_graph(dataset)
+        job = pagerank.build_accum_job(
+            state_path=STATE, static_path=STATIC, output_path=OUT,
+            threshold=ACCUM_PAGERANK_THRESHOLD, max_rounds=max_rounds,
+            num_pairs=num_pairs,
+        )
+        return (job, pagerank.accum_initial_deltas(graph.num_nodes,
+                                                   pagerank.DAMPING),
+                {STATIC: pagerank.static_records(graph)}, num_pairs)
+    if algorithm == "sssp":
+        graph = load_graph(dataset)
+        job = sssp.build_accum_job(
+            state_path=STATE, static_path=STATIC, output_path=OUT,
+            max_rounds=max_rounds, num_pairs=num_pairs,
+        )
+        return (job, sssp.accum_initial_deltas(0),
+                {STATIC: sssp.static_records(graph)}, num_pairs)
+    raise ValueError(
+        f"no accumulative formulation for {algorithm!r} "
+        "(--mode sync/async supports sssp and pagerank)"
+    )
 
 
 def dense_batches(job, iterations: int, num_workers: int) -> int:
@@ -540,8 +585,155 @@ def checkpoint_overhead(
     }
 
 
+#: Workloads with an accumulative (Maiter-mode) formulation; the
+#: ``async_convergence`` section runs their sync/async A/B.
+ACCUM_WORKLOADS = ("pagerank", "sssp")
+
+#: Pending-mass threshold for the pagerank accumulative A/B — both modes
+#: stop at the same accumulated-progress line, which is what makes the
+#: shipped-data comparison a fair fight.
+ACCUM_PAGERANK_THRESHOLD = 1e-9
+
+#: Trace rows kept per convergence curve (evenly subsampled, last row
+#: always kept — it carries the final pending mass).
+CURVE_POINTS = 64
+
+
+def _subsample_curve(trace: list[dict]) -> list[dict]:
+    if len(trace) <= CURVE_POINTS:
+        return list(trace)
+    step = (len(trace) - 1) / (CURVE_POINTS - 1)
+    return [trace[round(i * step)] for i in range(CURVE_POINTS)]
+
+
+def _build_accum_case(name: str, quick: bool):
+    """(job, initial_deltas, static_map, exact, num_pairs) for the A/B."""
+    # The quick size is larger than the record-path quick size on
+    # purpose: below ~300 nodes the async mode's extra rounds cost more
+    # frame overhead than the skipped deltas save, and the
+    # strictly-fewer gates (which CI replays with --quick) would trip on
+    # framing noise rather than the scheduling property under test.
+    n = 300 if quick else 2_000
+    if name == "pagerank":
+        graph = pagerank_graph(n, seed=42)
+        job = pagerank.build_accum_job(
+            state_path=STATE, static_path=STATIC, output_path=OUT,
+            threshold=ACCUM_PAGERANK_THRESHOLD, max_rounds=100_000,
+            num_pairs=8,
+        )
+        deltas = pagerank.accum_initial_deltas(n, pagerank.DAMPING)
+        static_map = {STATIC: pagerank.static_records(graph)}
+        exact = False
+    elif name == "sssp":
+        graph = sssp_graph(n, seed=42)
+        job = sssp.build_accum_job(
+            state_path=STATE, static_path=STATIC, output_path=OUT,
+            max_rounds=100_000, num_pairs=8,
+        )
+        deltas = sssp.accum_initial_deltas(0)
+        static_map = {STATIC: sssp.static_records(graph)}
+        exact = True
+    else:
+        raise ValueError(f"no accumulative formulation for {name!r}")
+    return job, deltas, static_map, exact, 8
+
+
+def async_convergence(quick: bool = False, workers: int = 2,
+                      workloads=None) -> dict:
+    """The Maiter-mode A/B: the same accumulative job run synchronously
+    (drain every pending delta each round) and asynchronously (drain the
+    top-priority fraction), both stopping at the same pending-mass
+    threshold.
+
+    Each mode contributes a convergence-vs-work curve (pending mass and
+    cumulative updates/emitted/shipped per round, subsampled to
+    :data:`CURVE_POINTS`) from the serial run, plus the multiprocess
+    backend's data-plane counters at ``workers`` workers.  The headline
+    acceptance gates, enforced by :func:`compare_counters`:
+
+    * async ships strictly fewer cross-pair delta records *and* strictly
+      fewer mesh records/bytes than sync to the same threshold;
+    * both parallel runs reproduce their serial twin record for record;
+    * the async fixpoint matches the sync fixpoint (bit-exact for the
+      ``min`` algebra, within the differential tolerance for ``+``).
+    """
+    from ..testing.oracles import records_identical, states_match
+
+    if workloads is None:
+        names = ACCUM_WORKLOADS
+    else:
+        names = tuple(n for n in ACCUM_WORKLOADS if n in workloads)
+    section: dict[str, Any] = {"workers": workers, "workloads": []}
+    for name in names:
+        job, deltas, static_map, exact, num_pairs = _build_accum_case(
+            name, quick
+        )
+        row: dict[str, Any] = {
+            "name": f"{name}-accum",
+            "num_pairs": num_pairs,
+            "threshold": job.threshold,
+            "algebra": job.accumulator.name,
+            "modes": {},
+        }
+        serials: dict[str, Any] = {}
+        for mode in ("sync", "async"):
+            started = time.perf_counter()
+            serial = run_accum_local(
+                job, deltas, static_map, num_pairs=num_pairs, mode=mode,
+                keep_trace=True,
+            )
+            serial_seconds = time.perf_counter() - started
+            serials[mode] = serial
+            started = time.perf_counter()
+            par = run_accum_parallel(
+                job, deltas, static_map, num_pairs=num_pairs,
+                num_workers=workers, mode=mode,
+            )
+            parallel_seconds = time.perf_counter() - started
+            row["modes"][mode] = {
+                "rounds": serial.rounds,
+                "terminated_by": serial.terminated_by,
+                "final_pending_mass": serial.pending_mass,
+                "updates_processed": serial.updates_processed,
+                "deltas_emitted": serial.deltas_emitted,
+                "deltas_shipped": serial.deltas_shipped,
+                "curve": _subsample_curve(serial.trace),
+                "serial_seconds": round(serial_seconds, 4),
+                "parallel_seconds": round(parallel_seconds, 4),
+                "counters": {
+                    counter: par.counter(counter) for counter in COUNTERS
+                },
+                "parallel_identical": records_identical(
+                    par.state, serial.state
+                ),
+            }
+        sync_mode = row["modes"]["sync"]
+        async_mode = row["modes"]["async"]
+        row["async_fewer_delta_records"] = (
+            async_mode["deltas_shipped"] < sync_mode["deltas_shipped"]
+        )
+        row["async_fewer_mesh_records"] = (
+            async_mode["counters"]["records_sent"]
+            < sync_mode["counters"]["records_sent"]
+        )
+        row["async_fewer_mesh_bytes"] = (
+            async_mode["counters"]["bytes_pickled"]
+            < sync_mode["counters"]["bytes_pickled"]
+        )
+        if exact:
+            row["states_match"] = records_identical(
+                serials["async"].state, serials["sync"].state
+            )
+        else:
+            row["states_match"] = not states_match(
+                serials["async"].state, serials["sync"].state
+            )
+        section["workloads"].append(row)
+    return section
+
+
 def run_suite(
-    out_path: str | None = "BENCH_PR6.json",
+    out_path: str | None = "BENCH_PR9.json",
     workers: tuple[int, ...] = DEFAULT_WORKERS,
     quick: bool = False,
     log: Callable[[str], None] | None = None,
@@ -654,6 +846,28 @@ def run_suite(
                 f"({ck['ckpt_writes']} spool writes, "
                 f"{ck['ckpt_bytes']:,} bytes)"
             )
+    # The Maiter-mode sync/async A/B needs the multiprocess backend for
+    # its mesh counters; it honors the workload filter by name.
+    if backend_only != "serial" and any(
+        c.name in ACCUM_WORKLOADS for c in cases
+    ):
+        results["async_convergence"] = async_convergence(
+            quick=quick,
+            workloads=None if workloads is None
+            else [c.name for c in cases],
+        )
+        if log:
+            for row in results["async_convergence"]["workloads"]:
+                sync_mode, async_mode = row["modes"]["sync"], row["modes"]["async"]
+                log(
+                    f"{row['name']}: sync {sync_mode['rounds']} rounds / "
+                    f"{sync_mode['deltas_shipped']:,} deltas shipped; async "
+                    f"{async_mode['rounds']} rounds / "
+                    f"{async_mode['deltas_shipped']:,} shipped "
+                    f"(mesh records {async_mode['counters']['records_sent']:,} vs "
+                    f"{sync_mode['counters']['records_sent']:,}; "
+                    f"states_match={row['states_match']})"
+                )
     if out_path:
         with open(out_path, "w") as fh:
             json.dump(results, fh, indent=2)
@@ -722,6 +936,57 @@ def compare_counters(results: dict, baseline: dict) -> list[str]:
             problems.append(
                 f"{row['name']}: kernel state diverged from the record path"
             )
+    accum = results.get("async_convergence")
+    if accum is not None:
+        baseline_accum = {
+            row["name"]: row
+            for row in baseline.get("async_convergence", {}).get(
+                "workloads", ()
+            )
+        }
+        for row in accum.get("workloads", ()):
+            for gate in (
+                "async_fewer_delta_records",
+                "async_fewer_mesh_records",
+                "async_fewer_mesh_bytes",
+            ):
+                if row.get(gate) is False:
+                    problems.append(
+                        f"{row['name']}: {gate} gate failed — async must "
+                        "ship strictly less than sync to the same threshold"
+                    )
+            if row.get("states_match") is False:
+                problems.append(
+                    f"{row['name']}: async fixpoint diverged from the "
+                    "sync fixpoint"
+                )
+            for mode, point in row.get("modes", {}).items():
+                if point.get("parallel_identical") is False:
+                    problems.append(
+                        f"{row['name']} [{mode}]: parallel run diverged "
+                        "from its serial twin"
+                    )
+                base_row = baseline_accum.get(row["name"])
+                base_point = (base_row or {}).get("modes", {}).get(mode)
+                if base_point is None:
+                    continue
+                base_counters = base_point.get("counters", {})
+                now = point["counters"]
+                for name in ("records_sent", "batches_sent"):
+                    if name in base_counters and now[name] > base_counters[name]:
+                        problems.append(
+                            f"{row['name']} [{mode}]: {name} {now[name]} > "
+                            f"baseline {base_counters[name]}"
+                        )
+                if "bytes_pickled" in base_counters and (
+                    now["bytes_pickled"]
+                    > base_counters["bytes_pickled"] * _BYTES_TOLERANCE
+                ):
+                    problems.append(
+                        f"{row['name']} [{mode}]: bytes_pickled "
+                        f"{now['bytes_pickled']} > baseline "
+                        f"{base_counters['bytes_pickled']} (+2% headroom)"
+                    )
     ckpt = results.get("checkpoint_overhead")
     if ckpt is not None:
         pct = ckpt.get("overhead_pct")
@@ -742,21 +1007,118 @@ def compare_counters(results: dict, baseline: dict) -> list[str]:
 
 
 def format_phase_breakdown(results: dict) -> str:
-    """Render the profiler section as an aligned text table."""
+    """Render the profiler section as an aligned text table.
+
+    Each cell shows absolute seconds *and* the phase's share of that
+    row's total profiled time — the share is what makes two rows with
+    different wall clocks comparable (the absolute numbers belong to
+    the host, the split belongs to the engine).  The column set comes
+    from ``PHASE_COUNTERS`` verbatim, so the Maiter loop's ``schedule``
+    and ``delta`` phases appear next to the classic ones.
+    """
     from ..imapreduce.workerproc import PHASE_COUNTERS
 
     lines = [
-        "phase breakdown (seconds, summed over workers):",
-        "  {:<10} {:>3}  ".format("workload", "w")
-        + "".join(f"{name:>12}" for name in PHASE_COUNTERS),
+        "phase breakdown (seconds / % of row total, summed over workers):",
+        "  {:<16} {:>3}  ".format("workload", "w")
+        + "".join(f"{name:>15}" for name in PHASE_COUNTERS),
     ]
     for name, per_workers in results.get("phase_breakdown", {}).items():
         for w, phases in per_workers.items():
-            lines.append(
-                f"  {name:<10} {w:>3}  "
-                + "".join(
-                    f"{phases.get(counter, 0.0):>12.4f}"
-                    for counter in PHASE_COUNTERS
-                )
+            total = sum(phases.get(counter, 0.0) for counter in PHASE_COUNTERS)
+            cells = []
+            for counter in PHASE_COUNTERS:
+                seconds = phases.get(counter, 0.0)
+                pct = (seconds / total * 100.0) if total > 0 else 0.0
+                cells.append(f"{seconds:>9.4f} {pct:>3.0f}%")
+            lines.append(f"  {name:<16} {w:>3}  " + "".join(cells))
+    return "\n".join(lines)
+
+
+# ------------------------------------------------------------- history --
+def load_history(root: str = ".") -> list[dict]:
+    """Committed ``BENCH_PR*.json`` baselines, sorted by PR number.
+
+    CI artifacts (``*.ci.json``) and unreadable files are skipped; each
+    entry carries the PR number, the file name, and the parsed JSON.
+    """
+    import glob
+    import re
+
+    entries: list[dict] = []
+    for path in glob.glob(os.path.join(root, "BENCH_PR*.json")):
+        match = re.fullmatch(r"BENCH_PR(\d+)\.json", os.path.basename(path))
+        if match is None:
+            continue
+        try:
+            with open(path) as fh:
+                data = json.load(fh)
+        except (OSError, ValueError):
+            continue
+        entries.append(
+            {"pr": int(match.group(1)), "file": os.path.basename(path),
+             "data": data}
+        )
+    entries.sort(key=lambda e: e["pr"])
+    return entries
+
+
+def format_history(entries: list[dict]) -> str:
+    """The benchmark trajectory across committed baselines, as a table.
+
+    One block per baseline (host metadata — absolute seconds are only
+    comparable within a block), one row per workload: serial seconds,
+    the best parallel speedup, and the 2-worker data-plane counters the
+    CI gate watches.  Accumulative A/B sections contribute their
+    sync-vs-async shipped-delta ratio.
+    """
+    if not entries:
+        return "no BENCH_PR*.json baselines found"
+    lines: list[str] = ["benchmark trajectory (committed baselines):"]
+    for entry in entries:
+        data = entry["data"]
+        meta = data.get("meta", {})
+        lines.append(
+            f"\n{entry['file']}  (cpus={meta.get('cpu_count')}, "
+            f"quick={meta.get('quick')}, {meta.get('timestamp', '?')})"
+        )
+        lines.append(
+            f"  {'workload':<18} {'serial_s':>9} {'best_speedup':>13} "
+            f"{'records@2w':>12} {'bytes@2w':>12}"
+        )
+        for row in data.get("workloads", ()):
+            speedups = [
+                p["speedup"] for p in row.get("parallel", ())
+                if p.get("speedup") is not None
+            ]
+            best = f"{max(speedups):.2f}x" if speedups else "-"
+            two_w = next(
+                (p for p in row.get("parallel", ()) if p.get("workers") == 2),
+                None,
             )
+            counters = (two_w or {}).get("counters", {})
+            records = counters.get("records_sent")
+            nbytes = counters.get("bytes_pickled")
+            lines.append(
+                f"  {row['name']:<18} {row.get('serial_seconds', 0):>9.3f} "
+                f"{best:>13} "
+                f"{records if records is not None else '-':>12} "
+                f"{nbytes if nbytes is not None else '-':>12}"
+            )
+        accum = data.get("async_convergence")
+        if accum:
+            for row in accum.get("workloads", ()):
+                sync_mode = row["modes"]["sync"]
+                async_mode = row["modes"]["async"]
+                shipped_sync = sync_mode["deltas_shipped"]
+                shipped_async = async_mode["deltas_shipped"]
+                ratio = (
+                    f"{shipped_async / shipped_sync:.2f}x"
+                    if shipped_sync else "-"
+                )
+                lines.append(
+                    f"  {row['name']:<18} async ships {shipped_async:,} vs "
+                    f"sync {shipped_sync:,} delta records ({ratio}); "
+                    f"states_match={row.get('states_match')}"
+                )
     return "\n".join(lines)

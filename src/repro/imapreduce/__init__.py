@@ -1,13 +1,31 @@
 """The iMapReduce engine — the paper's contribution."""
 
+from .accum import MIN, SUM, AccumJob, AccumPair, AccumRunResult, Accumulator
 from .channels import IterationMailbox, ReliableConfig, StopIteration_
 from .checkpoint import CheckpointError, CheckpointStore, ProcFault
-from .columnar import Kernel, KernelContractError, kernel_enabled
+from .columnar import (
+    AccumKernel,
+    Kernel,
+    KernelContractError,
+    accum_kernel_enabled,
+    kernel_enabled,
+)
 from .failure_detector import FailureDetector, FailureDetectorConfig
 from .job import AuxPhase, IterativeJob, IterativeRunResult, Phase
-from .localrun import LocalRunResult, run_local
-from .parallel import ParallelExecutionError, ParallelRunResult, run_parallel
-from .runtime import AuxContext, ChaosKnobs, IMapReduceRuntime, LoadBalanceConfig
+from .localrun import LocalRunResult, run_accum_local, run_local
+from .parallel import (
+    ParallelExecutionError,
+    ParallelRunResult,
+    run_accum_parallel,
+    run_parallel,
+)
+from .runtime import (
+    AuxContext,
+    ChaosKnobs,
+    IMapReduceRuntime,
+    LoadBalanceConfig,
+    run_accum_simulated,
+)
 
 __all__ = [
     "IterationMailbox",
@@ -17,21 +35,32 @@ __all__ = [
     "CheckpointStore",
     "ProcFault",
     "Kernel",
+    "AccumKernel",
     "KernelContractError",
     "kernel_enabled",
+    "accum_kernel_enabled",
     "FailureDetector",
     "FailureDetectorConfig",
     "AuxPhase",
     "IterativeJob",
     "IterativeRunResult",
     "Phase",
+    "Accumulator",
+    "AccumJob",
+    "AccumPair",
+    "AccumRunResult",
+    "SUM",
+    "MIN",
     "LocalRunResult",
     "run_local",
+    "run_accum_local",
     "ParallelExecutionError",
     "ParallelRunResult",
     "run_parallel",
+    "run_accum_parallel",
     "AuxContext",
     "ChaosKnobs",
     "IMapReduceRuntime",
     "LoadBalanceConfig",
+    "run_accum_simulated",
 ]

@@ -72,14 +72,19 @@ from ..common.partition import bind_partitioner
 
 __all__ = [
     "Kernel",
+    "AccumKernel",
     "KernelContractError",
     "kernel_enabled",
+    "accum_kernel_enabled",
     "encode_columnar",
     "decode_columnar",
     "route_columnar",
     "merge_columnar",
+    "absorb_columnar",
+    "pending_priority",
     "concat_broadcast",
     "run_local_kernel",
+    "run_accum_local_kernel",
 ]
 
 
@@ -135,6 +140,56 @@ class Kernel:
         return merged
 
 
+class AccumKernel:
+    """Vectorized twin of the accumulative (Maiter-mode) engine.
+
+    A pair's engine state is three aligned dense arrays over the owned
+    key set: ``state`` (starts at ``identity``), ``pending`` (the
+    coalesced delta queue, also at ``identity``) and an ``active``
+    boolean mask marking keys that currently hold a pending delta.
+    Per round the executor scores pending deltas vectorized
+    (:func:`pending_priority`), selects the top-priority fraction,
+    applies them with one elementwise merge, and asks the kernel for
+    the emissions of the *changed* subset.
+
+    Like :class:`Kernel`, subclasses ship inside the job pickle — keep
+    them plain and picklable.  The algebra laws are still validated at
+    build time through the job's record-level :class:`Accumulator`; a
+    kernel must implement the same merge ("sum"/"min") it declares.
+    """
+
+    #: ``"sum"`` (elementwise add) or ``"min"`` (elementwise minimum).
+    merge = "sum"
+    #: dtype of the state/pending arrays.
+    state_dtype = "float64"
+    #: The algebra identity in this dtype (``np.inf`` or the int64 max
+    #: sentinel for ``min``; 0 for ``sum``).
+    identity: Any = 0.0
+
+    def prepare(self, pair: int, owned_keys: np.ndarray, static_table: dict):
+        """Build per-pair CSR static columns once at partition load."""
+        return None
+
+    def emit_deltas(
+        self,
+        pair: int,
+        owned_keys: np.ndarray,
+        idx: np.ndarray,
+        deltas: np.ndarray,
+        states: np.ndarray,
+        prepared: Any,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Emissions for the applied deltas whose merge changed state.
+
+        ``idx`` indexes ``owned_keys`` in application (priority) order;
+        ``deltas``/``states`` are the applied delta and the post-merge
+        state, row-aligned with ``idx``.  Returns ``(out_keys,
+        out_values)`` in the same per-source order the record-level
+        update function would emit.
+        """
+        raise NotImplementedError
+
+
 def kernel_enabled(job) -> bool:
     """Does this job run on the columnar path?  Both backends call this
     one predicate, so they always agree; anything unsupported falls
@@ -149,6 +204,23 @@ def kernel_enabled(job) -> bool:
     if (job.phases[0].mapping == "one2all") != bool(kernel.needs_broadcast):
         return False
     if job.distance_fn is not None and not hasattr(kernel, "distance_partial"):
+        return False
+    return True
+
+
+def accum_kernel_enabled(job) -> bool:
+    """Does this accumulative job run on the columnar delta path?
+
+    The requirements are lighter than :func:`kernel_enabled` — an
+    :class:`~repro.imapreduce.accum.AccumJob` has no phases or aux —
+    but the key universe must be closed (every emission targets a
+    static-table or initial-delta key; true for all bundled graph
+    algorithms, whose emissions follow edges of the loaded graph).
+    """
+    kernel = getattr(job, "kernel", None)
+    if kernel is None or not isinstance(kernel, AccumKernel):
+        return False
+    if getattr(job.partitioner, "bind_array", None) is None:
         return False
     return True
 
@@ -421,4 +493,222 @@ def run_local_kernel(
         terminated_by=terminated_by,
         distances=distances,
         history=history,
+    )
+
+
+# -------------------------------------------- accumulative delta path --
+def absorb_columnar(
+    merge: str,
+    owned_keys: np.ndarray,
+    pending: np.ndarray,
+    active: np.ndarray,
+    in_keys: np.ndarray,
+    in_values: np.ndarray,
+) -> None:
+    """Coalesce an arriving delta batch into the dense pending queue
+    (the vectorized twin of ``AccumPair.absorb``).  Emissions to keys
+    outside the owned set violate the closed-universe contract."""
+    if in_keys.size == 0:
+        return
+    idx = np.searchsorted(owned_keys, in_keys)
+    clipped = np.minimum(idx, owned_keys.size - 1)
+    bad = (idx >= owned_keys.size) | (owned_keys[clipped] != in_keys)
+    if bad.any():
+        stray = in_keys[bad][:5].tolist()
+        raise KernelContractError(
+            f"delta kernel emitted to keys outside the owned set: {stray}"
+        )
+    if merge == "sum":
+        np.add.at(pending, idx, in_values)
+    elif merge == "min":
+        np.minimum.at(pending, idx, in_values)
+    else:
+        raise KernelContractError(f"unknown merge {merge!r}")
+    active[idx] = True
+
+
+def pending_priority(
+    merge: str,
+    state: np.ndarray,
+    pending: np.ndarray,
+    active: np.ndarray,
+) -> np.ndarray:
+    """Vectorized impact scores: ``|state − (state ⊕ pending)|`` as
+    float64, 0 where no delta is pending (``Accumulator.priority``'s
+    default, over the whole pair at once)."""
+    if merge == "sum":
+        pr = np.abs((state + pending) - state)
+    else:
+        merged = np.minimum(state, pending)
+        improves = state > merged
+        with np.errstate(invalid="ignore"):
+            # np.where evaluates both branches: inf − inf is masked out.
+            pr = np.where(improves, state - merged, 0)
+    pr = pr.astype(np.float64, copy=False)
+    return np.where(active, pr, 0.0)
+
+
+def run_accum_local_kernel(
+    job,
+    delta_records: Iterable[tuple[Any, Any]],
+    static_records: dict[str, Iterable[tuple[Any, Any]]] | None = None,
+    *,
+    num_pairs: int = 4,
+    mode: str = "async",
+    keep_trace: bool = False,
+):
+    """Serial columnar executor for accumulative jobs —
+    :func:`~repro.imapreduce.localrun.run_accum_local`'s kernel
+    dispatch target.  Same round protocol (mass check before the round,
+    pair-ascending sums, ascending-source absorption) over dense
+    state/pending arrays with an active-key mask.
+    """
+    import math
+
+    from .accum import AccumRunResult, check_mode, partition_accum_inputs
+    from .localrun import order_key
+
+    check_mode(mode)
+    kernel: AccumKernel = job.kernel
+    merge = kernel.merge
+    dtype = np.dtype(kernel.state_dtype)
+    identity = kernel.identity
+    part = bind_partitioner(job.partitioner, num_pairs)
+    part_array = job.partitioner.bind_array(num_pairs)
+    delta_parts, static_tables = partition_accum_inputs(
+        job, delta_records, static_records, num_pairs, part
+    )
+
+    # Owned key universe per pair: static keys ∪ initial-delta keys,
+    # ascending (searchsorted needs sorted owned sets).
+    owned: list[np.ndarray] = []
+    state: list[np.ndarray] = []
+    pending: list[np.ndarray] = []
+    active: list[np.ndarray] = []
+    for p in range(num_pairs):
+        key_set = set(static_tables[p])
+        key_set.update(k for k, _d in delta_parts[p])
+        for k in key_set:
+            if isinstance(k, bool) or not isinstance(k, int):
+                raise KernelContractError(
+                    f"columnar keys must be ints, got {type(k).__name__}"
+                )
+        ks = np.array(sorted(key_set), dtype=np.int64)
+        owned.append(ks)
+        state.append(np.full(ks.size, identity, dtype=dtype))
+        pending.append(np.full(ks.size, identity, dtype=dtype))
+        active.append(np.zeros(ks.size, dtype=bool))
+        if delta_parts[p]:
+            dk = np.array([k for k, _d in delta_parts[p]], dtype=np.int64)
+            dv = np.array([d for _k, d in delta_parts[p]], dtype=dtype)
+            absorb_columnar(merge, ks, pending[p], active[p], dk, dv)
+    prepared = [
+        kernel.prepare(p, owned[p], static_tables[p]) for p in range(num_pairs)
+    ]
+
+    threshold = job.threshold if job.threshold is not None else 0.0
+    max_rounds = job.max_rounds if job.max_rounds is not None else 10**9
+    frac = job.top_fraction
+    trace: list[dict] = []
+    rounds = 0
+    updates = 0
+    emitted = 0
+    shipped = 0
+    mass = 0.0
+    terminated_by = ""
+
+    while True:
+        # ---- global accumulated-progress check ----
+        priorities = [
+            pending_priority(merge, state[p], pending[p], active[p])
+            for p in range(num_pairs)
+        ]
+        mass = 0.0
+        for p in range(num_pairs):
+            mass += float(priorities[p].sum())
+        if keep_trace:
+            trace.append(
+                {
+                    "round": rounds,
+                    "pending_mass": mass,
+                    "updates": updates,
+                    "emitted": emitted,
+                    "shipped": shipped,
+                }
+            )
+        if mass <= threshold:
+            terminated_by = "progress"
+            break
+        if rounds >= max_rounds:
+            terminated_by = "maxrounds"
+            break
+        # ---- select + apply + emit (pairs ascending) ----
+        inbox: list[list[tuple[int, np.ndarray, np.ndarray]]] = [
+            [] for _ in range(num_pairs)
+        ]
+        for p in range(num_pairs):
+            if mode == "sync":
+                idx = np.flatnonzero(active[p])
+            else:
+                pr = priorities[p]
+                act = np.flatnonzero(pr > 0)
+                if act.size == 0:
+                    continue
+                count = max(1, math.ceil(frac * act.size))
+                # Stable argsort over −priority: ties keep ascending
+                # key order — the record scheduler's exact tie-break.
+                order = np.argsort(-pr[act], kind="stable")[:count]
+                idx = act[order]
+            if idx.size == 0:
+                continue
+            d = pending[p][idx].copy()
+            old = state[p][idx]
+            merged = old + d if merge == "sum" else np.minimum(old, d)
+            state[p][idx] = merged
+            pending[p][idx] = identity
+            active[p][idx] = False
+            updates += int(idx.size)
+            changed = merged != old
+            if not changed.any():
+                continue
+            out_keys, out_vals = kernel.emit_deltas(
+                p,
+                owned[p],
+                idx[changed],
+                d[changed],
+                merged[changed],
+                prepared[p],
+            )
+            emitted += int(out_keys.size)
+            for q, ks, vs in route_columnar(
+                out_keys, out_vals, part_array, num_pairs
+            ):
+                inbox[q].append((p, ks, vs))
+                if q != p:
+                    shipped += int(ks.size)
+        # ---- absorb (dest ascending; batches arrive src-ascending) ----
+        for q in range(num_pairs):
+            for _src, ks, vs in inbox[q]:
+                absorb_columnar(merge, owned[q], pending[q], active[q], ks, vs)
+        rounds += 1
+
+    final = sorted(
+        (
+            rec
+            for p in range(num_pairs)
+            for rec in decode_columnar(owned[p], state[p])
+        ),
+        key=lambda kv: order_key(kv[0]),
+    )
+    return AccumRunResult(
+        state=final,
+        rounds=rounds,
+        converged=terminated_by == "progress",
+        terminated_by=terminated_by,
+        pending_mass=mass,
+        updates_processed=updates,
+        deltas_emitted=emitted,
+        deltas_shipped=shipped,
+        mode=mode,
+        trace=trace,
     )

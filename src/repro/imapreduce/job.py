@@ -30,7 +30,19 @@ from ..common.errors import ConfigError
 from ..common.partition import HashPartitioner, Partitioner
 from ..metrics import RunMetrics
 
-__all__ = ["Phase", "AuxPhase", "IterativeJob", "IterativeRunResult"]
+# Re-exported for discoverability: the accumulative (Maiter-mode) job
+# model extends this module's job surface but lives in accum.py.
+from .accum import AccumJob, AccumRunResult, Accumulator  # noqa: E402
+
+__all__ = [
+    "Phase",
+    "AuxPhase",
+    "IterativeJob",
+    "IterativeRunResult",
+    "AccumJob",
+    "AccumRunResult",
+    "Accumulator",
+]
 
 #: map(key, state_value, static_value, ctx)
 MapFn = Callable[[Any, Any, Any, Any], None]

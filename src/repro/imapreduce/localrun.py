@@ -30,7 +30,13 @@ from ..mapreduce.api import Context
 from .job import IterativeJob, Phase
 from .runtime import AuxContext
 
-__all__ = ["LocalRunResult", "run_local", "map_pair", "order_key"]
+__all__ = [
+    "LocalRunResult",
+    "run_local",
+    "run_accum_local",
+    "map_pair",
+    "order_key",
+]
 
 
 @dataclass
@@ -302,4 +308,130 @@ def run_local(
         terminated_by=terminated_by,
         distances=distances,
         history=history,
+    )
+
+
+def run_accum_local(
+    job,
+    delta_records: Iterable[tuple[Any, Any]],
+    static_records: dict[str, Iterable[tuple[Any, Any]]] | None = None,
+    *,
+    num_pairs: int = 4,
+    mode: str = "async",
+    keep_trace: bool = False,
+):
+    """Execute an :class:`~repro.imapreduce.accum.AccumJob` serially.
+
+    ``delta_records`` are the initial deltas (state starts at the
+    algebra's identity); ``static_records`` maps the job's static path
+    to its records, as in :func:`run_local`.  ``mode="sync"`` drains
+    every pending delta each round — the synchronous reference the
+    fixpoint-equivalence oracle compares async runs against;
+    ``mode="async"`` drains only the top-priority fraction.
+
+    Rounds are mass-checked *before* executing: the pending-priority
+    mass is summed pair-ascending at the top of each round (round 0
+    sees the initial deltas) and the run stops when it reaches the
+    job's threshold — exactly the verdict protocol the multiprocess
+    coordinator runs, so serial and parallel runs of the same mode are
+    record-for-record identical.
+
+    Jobs carrying a delta kernel (``job.kernel``) dispatch to the
+    columnar twin — dense pending arrays with an active-key mask.
+    """
+    from .accum import (
+        AccumPair,
+        AccumRunResult,
+        check_mode,
+        partition_accum_inputs,
+    )
+    from .columnar import accum_kernel_enabled, run_accum_local_kernel
+
+    check_mode(mode)
+    if accum_kernel_enabled(job):
+        return run_accum_local_kernel(
+            job,
+            delta_records,
+            static_records,
+            num_pairs=num_pairs,
+            mode=mode,
+            keep_trace=keep_trace,
+        )
+
+    part = bind_partitioner(job.partitioner, num_pairs)
+    delta_parts, static_tables = partition_accum_inputs(
+        job, delta_records, static_records, num_pairs, part
+    )
+    pairs = [
+        AccumPair(p, job.accumulator, static_tables[p], keys=static_tables[p])
+        for p in range(num_pairs)
+    ]
+    for p in range(num_pairs):
+        pairs[p].absorb(delta_parts[p])
+
+    threshold = job.threshold if job.threshold is not None else 0.0
+    max_rounds = job.max_rounds if job.max_rounds is not None else 10**9
+    frac = job.top_fraction
+    trace: list[dict] = []
+    rounds = 0
+    shipped = 0
+    mass = 0.0
+    terminated_by = ""
+
+    while True:
+        # ---- global accumulated-progress check (pair-ascending sum,
+        # the same fold order the parallel coordinator uses) ----
+        mass = 0.0
+        for ps in pairs:
+            mass += ps.mass()
+        if keep_trace:
+            trace.append(
+                {
+                    "round": rounds,
+                    "pending_mass": mass,
+                    "updates": sum(ps.updates_processed for ps in pairs),
+                    "emitted": sum(ps.deltas_emitted for ps in pairs),
+                    "shipped": shipped,
+                }
+            )
+        if mass <= threshold:
+            terminated_by = "progress"
+            break
+        if rounds >= max_rounds:
+            terminated_by = "maxrounds"
+            break
+        # ---- select + apply (pairs ascending) ----
+        outboxes = [
+            [[] for _ in range(num_pairs)] for _ in range(num_pairs)
+        ]  # [src][dst]
+        for ps in pairs:
+            selected = ps.select(mode, frac)
+            ps.apply(job, selected, part, outboxes[ps.pair])
+        # ---- absorb (dest ascending, then source ascending — the
+        # mesh's gather order) ----
+        for dst in range(num_pairs):
+            target = pairs[dst]
+            for src in range(num_pairs):
+                batch = outboxes[src][dst]
+                if batch:
+                    target.absorb(batch)
+                    if src != dst:
+                        shipped += len(batch)
+        rounds += 1
+
+    final = sorted(
+        (rec for ps in pairs for rec in ps.state.items()),
+        key=lambda kv: order_key(kv[0]),
+    )
+    return AccumRunResult(
+        state=final,
+        rounds=rounds,
+        converged=terminated_by == "progress",
+        terminated_by=terminated_by,
+        pending_mass=mass,
+        updates_processed=sum(ps.updates_processed for ps in pairs),
+        deltas_emitted=sum(ps.deltas_emitted for ps in pairs),
+        deltas_shipped=shipped,
+        mode=mode,
+        trace=trace,
     )

@@ -89,6 +89,7 @@ from typing import Any, Iterable
 from ..common.errors import JobError
 from ..common.partition import bind_partitioner
 from ..common.records import group_by_key
+from .accum import AccumJob, AccumRunResult, check_mode, partition_accum_inputs
 from .checkpoint import CheckpointError, CheckpointStore, ProcFault
 from .columnar import kernel_enabled
 from .job import IterativeJob
@@ -113,6 +114,7 @@ __all__ = [
     "ParallelExecutionError",
     "ProcFault",
     "run_parallel",
+    "run_accum_parallel",
 ]
 
 
@@ -426,6 +428,7 @@ def _spawn_mesh(
     faults: tuple,
     columnar: bool,
     timeout: float | None,
+    accum_mode: str = "async",
 ) -> _Mesh:
     num_workers = len(assignment)
     owner_of = [0] * num_pairs
@@ -473,6 +476,7 @@ def _spawn_mesh(
             spool_dir=spool_dir,
             faults=tuple(f for f in faults if f.worker == w),
             columnar_state=columnar and restored is not None,
+            accum_mode=accum_mode,
         ).to_blob()
         for w in range(num_workers)
     ]
@@ -1054,5 +1058,221 @@ def _coordinate(
         terminated_by=terminated_by,
         distances=distances,
         history=list(coord.history),
+        worker_stats=worker_stats,
+    )
+
+
+# ------------------------------------------------- accumulative (Maiter) --
+def run_accum_parallel(
+    job: AccumJob,
+    delta_records: Iterable[tuple[Any, Any]],
+    static_records: dict[str, Iterable[tuple[Any, Any]]] | None = None,
+    *,
+    num_pairs: int = 4,
+    num_workers: int | None = None,
+    mode: str = "async",
+    keep_trace: bool = False,
+    start_method: str | None = None,
+    timeout: float | None = 600.0,
+    heartbeat_interval: float | None = 0.5,
+    suspicion_timeout: float | None = 30.0,
+) -> AccumRunResult:
+    """Execute an :class:`~repro.imapreduce.accum.AccumJob` on real
+    worker processes.
+
+    Same semantics as
+    :func:`~repro.imapreduce.localrun.run_accum_local` — partitioning,
+    scheduling, and the pre-round mass check follow the identical
+    determinism contract, so for a given ``(job, deltas, num_pairs,
+    mode)`` the parallel result is record-for-record identical to the
+    serial one (floats included) at every worker count and start
+    method.  Only nonzero delta batches cross the mesh; converged
+    pairs cost one manifest frame per peer per round.
+
+    Accumulative runs have no inter-round barrier state worth
+    checkpointing (pending deltas are in flight by design), so a worker
+    death is terminal here: it raises :class:`ParallelExecutionError`
+    rather than recovering.  Chaos coverage for the async mode rides
+    the simulated backend's seeded delivery deferral instead.
+    """
+    run_started = time.perf_counter()
+    check_mode(mode)
+    num_workers = _pick_workers(num_workers, num_pairs)
+    part = bind_partitioner(job.partitioner, num_pairs)
+    delta_parts, static_tables = partition_accum_inputs(
+        job, delta_records, static_records, num_pairs, part
+    )
+
+    try:
+        ctx = multiprocessing.get_context(start_method or "fork")
+    except ValueError:  # pragma: no cover - non-POSIX fallback
+        ctx = multiprocessing.get_context(start_method)
+
+    assignment = [
+        [p for p in range(num_pairs) if p % num_workers == w]
+        for w in range(num_workers)
+    ]
+    mesh = _spawn_mesh(
+        ctx,
+        job,
+        assignment,
+        delta_parts,
+        [static_tables],
+        None,
+        num_pairs=num_pairs,
+        generation=0,
+        start_iteration=0,
+        send_state=False,
+        wait_verdict=True,
+        checkpoint_every=None,
+        spool_dir=None,
+        heartbeat_interval=heartbeat_interval,
+        faults=(),
+        columnar=False,
+        timeout=timeout,
+        accum_mode=mode,
+    )
+    ok = False
+    try:
+        outcome = _coordinate_accum(
+            job,
+            num_pairs,
+            mesh,
+            keep_trace=keep_trace,
+            timeout=timeout,
+            suspicion_timeout=(
+                suspicion_timeout if heartbeat_interval is not None else None
+            ),
+        )
+        ok = True
+    except _WorkerDeath as death:
+        raise ParallelExecutionError(death.reason) from None
+    finally:
+        if ok:
+            _shutdown(mesh)
+        else:
+            _fence(mesh)
+
+    outcome.mode = mode
+    outcome.num_workers = num_workers
+    outcome.worker_stats.sort(key=lambda s: s.get("worker", 0))
+    outcome.wall_seconds = time.perf_counter() - run_started
+    return outcome
+
+
+def _coordinate_accum(
+    job: AccumJob,
+    num_pairs: int,
+    mesh: _Mesh,
+    *,
+    keep_trace: bool,
+    timeout: float | None,
+    suspicion_timeout: float | None,
+) -> AccumRunResult:
+    """Drive the accumulative verdict protocol.
+
+    Each round: gather every worker's pre-round report (per-pair
+    pending-priority masses + cumulative work counters), fold the
+    masses in ascending pair order (the serial loop's float fold), and
+    broadcast ``"progress"`` / ``"maxrounds"`` / CONTINUE.
+    """
+    num_workers = len(mesh.procs)
+    threshold = job.threshold if job.threshold is not None else 0.0
+    max_rounds = job.max_rounds if job.max_rounds is not None else 10**9
+    inbox = _CoordinatorInbox(
+        mesh.report_conns, mesh.procs, suspicion=suspicion_timeout
+    )
+
+    finals: dict[int, dict] = {}
+    pending_rounds: dict[int, dict[int, dict]] = {}
+    trace: list[dict] = []
+    terminated_by = ""
+    mass = 0.0
+
+    def handle(frame) -> None:
+        kind, iteration, _phase, wid, payload, _nbytes = frame
+        if kind == ERROR_REPORT:
+            raise ParallelExecutionError(f"worker {wid} failed:\n{payload}")
+        if kind == FINAL_REPORT:
+            finals[wid] = payload
+            inbox.mark_final(wid)
+            return
+        if kind == ITER_REPORT:
+            pending_rounds.setdefault(iteration, {})[wid] = payload
+            return
+        raise ParallelExecutionError(f"unexpected message kind {kind!r}")
+
+    rnd = 0
+    while True:
+        while len(pending_rounds.get(rnd, {})) < num_workers:
+            handle(inbox.recv(timeout))
+        reports = pending_rounds.pop(rnd)
+        masses: dict[int, float] = {}
+        updates = emitted = shipped = 0
+        for wid in sorted(reports):
+            report = reports[wid]
+            masses.update(report["mass"])
+            updates += report["updates"]
+            emitted += report["emitted"]
+            shipped += report["shipped"]
+        # Ascending-pair fold — bit-identical to the serial loop's sum.
+        mass = 0.0
+        for p in range(num_pairs):
+            mass += masses.get(p, 0.0)
+        if keep_trace:
+            trace.append(
+                {
+                    "round": rnd,
+                    "pending_mass": mass,
+                    "updates": updates,
+                    "emitted": emitted,
+                    "shipped": shipped,
+                }
+            )
+        verdict = CONTINUE
+        if mass <= threshold:
+            verdict = "progress"
+        elif rnd >= max_rounds:
+            verdict = "maxrounds"
+        parts, _ = encode_frame(VERDICT, rnd, 0, -1, verdict)
+        for conn in mesh.verdict_conns:
+            try:
+                for part in parts:
+                    conn.send_bytes(part)
+            except OSError:  # a dead worker: the next recv reports it
+                pass
+        if verdict != CONTINUE:
+            terminated_by = verdict
+            break
+        rnd += 1
+
+    while len(finals) < num_workers:
+        handle(inbox.recv(timeout))
+    if any(f["iterations_run"] != rnd for f in finals.values()):
+        raise ParallelExecutionError(
+            "workers disagree on the round count: "
+            f"{sorted((w, f['iterations_run']) for w, f in finals.items())}"
+        )
+
+    by_pair: dict[int, list] = {}
+    worker_stats: list[dict] = []
+    for final in finals.values():
+        by_pair.update(final["state"])
+        worker_stats.append(final["stats"])
+    state = sorted(
+        (rec for p in range(num_pairs) for rec in by_pair.get(p, ())),
+        key=lambda kv: order_key(kv[0]),
+    )
+    return AccumRunResult(
+        state=state,
+        rounds=rnd,
+        converged=terminated_by == "progress",
+        terminated_by=terminated_by,
+        pending_mass=mass,
+        updates_processed=sum(s["updates_processed"] for s in worker_stats),
+        deltas_emitted=sum(s["deltas_emitted"] for s in worker_stats),
+        deltas_shipped=sum(s["deltas_shipped"] for s in worker_stats),
+        mode="async",
+        trace=trace,
         worker_stats=worker_stats,
     )

@@ -84,6 +84,7 @@ from typing import Any
 from ..common.partition import bind_partitioner
 from ..common.records import group_by_key
 from ..mapreduce.api import Context
+from .accum import AccumJob, AccumPair
 from .checkpoint import CheckpointStore, fire_fault
 from .columnar import (
     concat_broadcast,
@@ -123,11 +124,15 @@ _PROTOCOL = 5
 #: whose compute lands in ``map``/``combine``/``reduce``.  ``checkpoint``
 #: is the durable-spool write path (§3.4.1) and ``recover`` the
 #: restore-from-checkpoint load after a respawn; both stay zero on an
-#: unfaulted run without checkpointing.
+#: unfaulted run without checkpointing.  ``schedule`` (priority scoring
+#: + selection) and ``delta`` (apply/emit/absorb) belong to the
+#: accumulative Maiter-mode loop and stay zero on synchronous jobs.
 PHASE_COUNTERS = (
     "map",
     "combine",
     "kernel",
+    "schedule",
+    "delta",
     "serialize",
     "deserialize",
     "send",
@@ -229,6 +234,7 @@ class WorkerConfig:
         spool_dir: str | None = None,
         faults: tuple = (),
         columnar_state: bool = False,
+        accum_mode: str = "async",
     ):
         self.worker_id = worker_id
         self.num_workers = num_workers
@@ -253,6 +259,10 @@ class WorkerConfig:
         #: ``state_parts`` holds restored columnar ``(keys, values)``
         #: arrays instead of record lists.
         self.columnar_state = columnar_state
+        #: Accumulative jobs only: the round scheduling mode
+        #: (``"sync"`` drains every pending delta, ``"async"`` the
+        #: top-priority fraction).
+        self.accum_mode = accum_mode
 
     def resolved_owner_of(self) -> list[int]:
         if self.owner_of is not None:
@@ -445,7 +455,12 @@ def worker_main(
             heartbeat = _Heartbeat(feeder, report_conn, worker_id, heartbeat_interval)
             heartbeat.start()
         cfg = WorkerConfig.from_blob(blob)
-        loop = _worker_loop_kernel if kernel_enabled(cfg.job) else _worker_loop
+        if isinstance(cfg.job, AccumJob):
+            loop = _worker_loop_accum
+        elif kernel_enabled(cfg.job):
+            loop = _worker_loop_kernel
+        else:
+            loop = _worker_loop
         loop(
             cfg, peer_recv, peer_send, verdict_conn, report_conn, feeder, timeout
         )
@@ -763,6 +778,182 @@ def _worker_loop(
         "stats": stats,
     }
     parts, _ = encode_frame(FINAL_REPORT, iterations_run, 0, wid, final)
+    feeder.send(report_conn, parts)
+
+
+def _worker_loop_accum(
+    cfg: WorkerConfig,
+    peer_recv: dict[int, Any],
+    peer_send: dict[int, Any],
+    verdict_conn,
+    report_conn,
+    feeder: _Feeder,
+    timeout: float | None,
+) -> None:
+    """Accumulative (Maiter-mode) worker loop.
+
+    Rounds are mass-checked *before* they execute: at the top of each
+    round the worker reports its per-pair pending-priority masses (round
+    0 reports the initial deltas' mass) plus its cumulative work
+    counters, then blocks on the coordinator's verdict.  On CONTINUE it
+    drains its pairs' priority queues (``cfg.accum_mode`` selects sync
+    or top-fraction async scheduling), applies the deltas, and exchanges
+    only the nonzero delta batches over the skip-empty shuffle — a
+    silent pair costs one manifest frame, and a converged worker's
+    entire round is manifests.
+
+    Determinism contract: pairs ascending, arriving batches absorbed in
+    ascending source-pair order, and the coordinator folds per-pair
+    masses in ascending pair order — the exact operation sequence of
+    :func:`~repro.imapreduce.localrun.run_accum_local`, so serial and
+    parallel runs of the same mode are record-for-record identical
+    (floats included).
+    """
+    job = cfg.job
+    wid = cfg.worker_id
+    num_pairs = cfg.num_pairs
+    mode = cfg.accum_mode
+    frac = job.top_fraction
+    my_pairs = sorted(cfg.state_parts)
+    peers = sorted(peer_recv)
+    part = bind_partitioner(job.partitioner, num_pairs)
+    owner_of = cfg.resolved_owner_of()
+    perf = time.perf_counter
+
+    timings = {name: 0.0 for name in PHASE_COUNTERS}
+    inbox = _Inbox([*peer_recv.values(), verdict_conn], timings)
+
+    static_tables = cfg.static_parts[0]
+    stats: dict[str, Any] = {
+        "worker": wid,
+        "pairs": list(my_pairs),
+        "static_loads": 1,
+        "static_records": sum(len(d) for d in static_tables.values()),
+        "records_sent": 0,
+        "batches_sent": 0,
+        "manifest_frames": 0,
+        "bytes_pickled": 0,
+        "ckpt_writes": 0,
+        "ckpt_bytes": 0,
+    }
+
+    pairs = {
+        p: AccumPair(p, job.accumulator, static_tables[p], keys=static_tables[p])
+        for p in my_pairs
+    }
+    for p in my_pairs:
+        pairs[p].absorb(cfg.state_parts[p])
+
+    def ship(kind: str, iteration: int, dest: int, payload) -> None:
+        started = perf()
+        parts, nbytes = encode_frame(kind, iteration, 0, wid, payload)
+        timings["serialize"] += perf() - started
+        stats["bytes_pickled"] += nbytes
+        if payload is _NO_PAYLOAD:
+            stats["manifest_frames"] += 1
+        else:
+            stats["batches_sent"] += 1
+        feeder.send(peer_send[dest], parts)
+
+    def exchange(
+        iteration: int, routed: dict[int, dict[tuple[int, int], list]]
+    ) -> dict[int, dict[int, list]]:
+        """Skip-empty delta send + gather (the synchronous loop's
+        contract verbatim): data frames only to fed destinations,
+        manifests elsewhere, merged as dest_pair → src_pair → records."""
+        for v in peers:
+            batch = routed.get(v)
+            if batch:
+                flat = [(q, src, recs) for (q, src), recs in batch.items()]
+                ship(SHUFFLE, iteration, v, flat)
+                stats["records_sent"] += sum(len(recs) for _, _, recs in flat)
+            else:
+                ship(SHUFFLE, iteration, v, _NO_PAYLOAD)
+        merged: dict[int, dict[int, list]] = {}
+        local = routed.get(wid)
+        if local:
+            for (q, src), recs in local.items():
+                merged.setdefault(q, {})[src] = recs
+        arrived = inbox.gather(SHUFFLE, iteration, 0, peers, timeout)
+        for batch in arrived.values():
+            if batch:
+                for q, src, recs in batch:
+                    merged.setdefault(q, {})[src] = recs
+        return merged
+
+    shipped = 0  # cumulative cross-pair delta records
+    rnd = 0
+    terminated_by = ""
+
+    while True:
+        # ---- pre-round mass report + verdict ----
+        started = perf()
+        masses = {p: pairs[p].mass() for p in my_pairs}
+        timings["schedule"] += perf() - started
+        started = perf()
+        report = {
+            "mass": masses,
+            "updates": sum(pairs[p].updates_processed for p in my_pairs),
+            "emitted": sum(pairs[p].deltas_emitted for p in my_pairs),
+            "shipped": shipped,
+        }
+        parts, nbytes = encode_frame(ITER_REPORT, rnd, 0, wid, report)
+        stats["bytes_pickled"] += nbytes
+        feeder.send(report_conn, parts)
+        timings["report"] += perf() - started
+        verdict = inbox.verdict(rnd, timeout)
+        if verdict != CONTINUE:
+            terminated_by = verdict
+            break
+
+        # ---- select (priority queues) ----
+        started = perf()
+        selections = {p: pairs[p].select(mode, frac) for p in my_pairs}
+        timings["schedule"] += perf() - started
+
+        # ---- apply + emit ----
+        started = perf()
+        outboxes = {p: [[] for _ in range(num_pairs)] for p in my_pairs}
+        for p in my_pairs:
+            pairs[p].apply(job, selections[p], part, outboxes[p])
+        routed: dict[int, dict[tuple[int, int], list]] = {}
+        for p in my_pairs:
+            for q in range(num_pairs):
+                recs = outboxes[p][q]
+                if recs:
+                    routed.setdefault(owner_of[q], {})[(q, p)] = recs
+                    if q != p:
+                        shipped += len(recs)
+        timings["delta"] += perf() - started
+
+        merged = exchange(rnd, routed)
+
+        # ---- absorb (ascending source-pair order) ----
+        started = perf()
+        for q in my_pairs:
+            by_src = merged.get(q)
+            if by_src:
+                target = pairs[q]
+                for src in range(num_pairs):
+                    recs = by_src.get(src)
+                    if recs:
+                        target.absorb(recs)
+        timings["delta"] += perf() - started
+        rnd += 1
+
+    feeder.flush()
+    timings["send"] = feeder.seconds
+    stats["phase_seconds"] = {k: round(v, 6) for k, v in timings.items()}
+    stats["updates_processed"] = sum(pairs[p].updates_processed for p in my_pairs)
+    stats["deltas_emitted"] = sum(pairs[p].deltas_emitted for p in my_pairs)
+    stats["deltas_shipped"] = shipped
+    final = {
+        "state": {p: pairs[p].final_records() for p in my_pairs},
+        "iterations_run": rnd,
+        "terminated_by": terminated_by,
+        "stats": stats,
+    }
+    parts, _ = encode_frame(FINAL_REPORT, rnd, 0, wid, final)
     feeder.send(report_conn, parts)
 
 

@@ -75,6 +75,15 @@ class CampaignSpec:
     #: this dimension only bites when the campaign runs in parallel mode;
     #: the simulated runtime ignores it.
     proc_kill: tuple | None = None
+    #: Asynchronous delta-based (Maiter-mode) accumulative twin: the
+    #: campaign additionally runs the workload's ``AccumJob`` — sync
+    #: serial reference, async serial, seeded-deferral simulated, the
+    #: delta kernel twin when ``use_kernels``, and the real multiprocess
+    #: backend in parallel mode — and the ``async-fixpoint`` oracle
+    #: demands they all land on the same fixpoint (bit-exact for ``min``
+    #: algebras, within tolerance for ``+``).  Only sssp and pagerank
+    #: carry accumulative formulations; false elsewhere.
+    async_mode: bool = False
 
     # -- derived -----------------------------------------------------------
     def machine_names(self) -> list[str]:
@@ -125,6 +134,11 @@ class CampaignSpec:
         worst_alive = self.cluster_nodes - max(1, schedule.max_concurrent_failures())
         if self.faults and self.num_pairs > worst_alive * PAIRS_PER_WORKER:
             raise ValueError("pairs would not fit the surviving workers")
+        if self.async_mode and self.workload not in ("sssp", "pagerank"):
+            raise ValueError(
+                f"async_mode needs an accumulative workload, not "
+                f"{self.workload!r}"
+            )
         if self.proc_kill is not None:
             worker, iteration, action = self.proc_kill
             if action not in ("kill", "stop"):
@@ -220,6 +234,8 @@ class CampaignSpec:
         if self.proc_kill is not None:
             w, i, action = self.proc_kill
             modes.append(f"proc-{action}:w{w}@i{i}")
+        if self.async_mode:
+            modes.append("accum-async")
         return (
             f"{self.workload} n={self.input_size} on {self.cluster_nodes} nodes, "
             f"{self.num_pairs} pairs, {self.max_iterations} iters, "
@@ -359,6 +375,11 @@ def generate_campaign(
             rng.randrange(max_iterations),
             "kill" if rng.random() < 0.75 else "stop",
         )
+    # The accumulative (Maiter-mode) dimension draws after proc_kill —
+    # the same append-only discipline, so every previously pinned
+    # campaign seed still replays byte-identically.  The coin is spent
+    # unconditionally; only the accumulative workloads can honour it.
+    async_mode = rng.random() < 0.4 and workload in ("sssp", "pagerank")
 
     spec = CampaignSpec(
         seed=seed,
@@ -377,6 +398,7 @@ def generate_campaign(
         net_faults=net_faults,
         use_kernels=use_kernels,
         proc_kill=proc_kill,
+        async_mode=async_mode,
     )
     spec.validate()
     return spec

@@ -31,6 +31,7 @@ __all__ = [
     "oracle_kernel_differential",
     "oracle_parallel_differential",
     "oracle_parallel_recovery",
+    "oracle_async_fixpoint",
     "oracle_checkpoint_rollback",
     "oracle_trace_well_formed",
     "ALL_ORACLES",
@@ -361,6 +362,73 @@ def oracle_parallel_recovery(spec, outcome) -> list[OracleViolation]:
     return v
 
 
+def oracle_async_fixpoint(spec, outcome) -> list[OracleViolation]:
+    """Fixpoint equivalence for the accumulative (Maiter-mode) twin.
+
+    Every asynchronous schedule of the same accumulative job — serial
+    top-fraction, seeded-deferral simulated, delta kernel, real
+    multiprocess — must land on the synchronous reference's fixpoint:
+    record-identical for ``min`` algebras (the fixpoint is unique and
+    the deltas drain exactly), within :data:`RTOL`/:data:`ATOL` for
+    ``+`` algebras (every run stops at pending mass ≤ the job threshold,
+    so each sits within a threshold-sized ball of the true fixpoint —
+    the campaign thresholds leave orders of magnitude of headroom).
+    Every run must terminate by accumulated progress, not the round
+    budget.  Inert unless ``spec.async_mode``.
+    """
+    if not getattr(spec, "async_mode", False):
+        return []
+    v: list[OracleViolation] = []
+    for name, error in outcome.async_errors.items():
+        v.append(
+            OracleViolation(
+                "async-fixpoint",
+                f"{name} run raised {type(error).__name__}: {error}",
+            )
+        )
+    ref = outcome.async_reference
+    if ref is None:
+        if not outcome.async_errors:
+            v.append(
+                OracleViolation("async-fixpoint", "no sync reference was run")
+            )
+        return v
+    if ref.terminated_by != "progress":
+        v.append(
+            OracleViolation(
+                "async-fixpoint",
+                f"sync reference terminated by {ref.terminated_by!r}, "
+                "not accumulated progress",
+            )
+        )
+    exact = outcome.async_algebra == "min"
+    for name, result in outcome.async_results.items():
+        if result.terminated_by != "progress":
+            v.append(
+                OracleViolation(
+                    "async-fixpoint",
+                    f"{name} run terminated by {result.terminated_by!r}, "
+                    "not accumulated progress",
+                )
+            )
+            continue
+        if exact:
+            if not records_identical(result.state, ref.state):
+                detail = "; ".join(states_match(result.state, ref.state)) or (
+                    "states compare close but not record-identical"
+                )
+                v.append(
+                    OracleViolation(
+                        "async-fixpoint",
+                        f"{name} (min algebra, must be bit-exact): {detail}",
+                    )
+                )
+        else:
+            for problem in states_match(result.state, ref.state):
+                v.append(OracleViolation("async-fixpoint", f"{name}: {problem}"))
+    return v
+
+
 def oracle_checkpoint_rollback(spec, outcome) -> list[OracleViolation]:
     """Recovery never resumes from a newer iteration than the last
     durable checkpoint, and durable checkpoints only move forward."""
@@ -417,6 +485,7 @@ ALL_ORACLES: dict[str, Callable] = {
     "kernel-differential": oracle_kernel_differential,
     "parallel-differential": oracle_parallel_differential,
     "parallel-recovery": oracle_parallel_recovery,
+    "async-fixpoint": oracle_async_fixpoint,
     "checkpoint": oracle_checkpoint_rollback,
     "trace": oracle_trace_well_formed,
 }

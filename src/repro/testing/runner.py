@@ -29,6 +29,9 @@ from ..imapreduce import (
     IMapReduceRuntime,
     LoadBalanceConfig,
     ProcFault,
+    run_accum_local,
+    run_accum_parallel,
+    run_accum_simulated,
     run_local,
     run_parallel,
 )
@@ -74,6 +77,17 @@ class CampaignOutcome:
     #: parallel oracle compares against this result bit-for-bit.
     kernel_result: Any = None  # LocalRunResult | None
     kernel_error: BaseException | None = None
+    #: Set when ``spec.async_mode``: the accumulative (Maiter-mode)
+    #: twin's runs, judged by the ``async-fixpoint`` oracle.
+    #: ``async_reference`` is the synchronous serial run;
+    #: ``async_results`` maps schedule name (``"serial-async"``,
+    #: ``"simulated"``, ``"kernel-async"``, ``"parallel-async"``) to its
+    #: result; ``async_errors`` maps the name to the exception instead
+    #: when a run died.  ``async_algebra`` is ``"min"`` or ``"sum"``.
+    async_reference: Any = None  # AccumRunResult | None
+    async_results: dict = field(default_factory=dict)
+    async_errors: dict = field(default_factory=dict)
+    async_algebra: str = ""
 
     @property
     def ok(self) -> bool:
@@ -184,6 +198,124 @@ def _build_workload(spec: CampaignSpec, use_kernel: bool = False):
         raise ValueError(f"unknown workload {spec.workload!r}")
     job.conf.set_int(IterKeys.SEED, spec.seed or 1)
     return job, state, {STATIC_PATH: static}
+
+
+#: Pending-mass threshold for ``+``-algebra accumulative twins; ``min``
+#: algebras drain exactly at 0.  Campaign inputs are tiny (≤ 28 nodes),
+#: so this leaves the async-fixpoint oracle's 1e-9 absolute tolerance
+#: orders of magnitude of headroom.
+ACCUM_SUM_THRESHOLD = 1e-12
+#: Round budget no converging accumulative campaign run ever hits.
+ACCUM_MAX_ROUNDS = 2000
+
+
+def _build_accum_workload(spec: CampaignSpec, use_kernel: bool = False):
+    """Spec → (accum_job, initial_deltas, static_records_by_path, algebra).
+
+    The accumulative (Maiter-mode) twin of :func:`_build_workload` for
+    the workloads that have one: the same seeded input graph, formulated
+    as an :class:`~repro.imapreduce.accum.AccumJob`.
+    """
+    if spec.workload == "sssp":
+        graph = sssp_graph(spec.input_size, seed=stable_seed(spec.seed, "graph"))
+        deltas = sssp.accum_initial_deltas(0)
+        static = sssp.static_records(graph)
+        job = sssp.build_accum_job(
+            state_path=STATE_PATH,
+            static_path=STATIC_PATH,
+            output_path=OUTPUT_PATH,
+            max_rounds=ACCUM_MAX_ROUNDS,
+            num_pairs=spec.num_pairs,
+            use_kernel=use_kernel,
+        )
+        algebra = "min"
+    elif spec.workload == "pagerank":
+        graph = pagerank_graph(spec.input_size, seed=stable_seed(spec.seed, "graph"))
+        deltas = pagerank.accum_initial_deltas(spec.input_size, pagerank.DAMPING)
+        static = pagerank.static_records(graph)
+        job = pagerank.build_accum_job(
+            state_path=STATE_PATH,
+            static_path=STATIC_PATH,
+            output_path=OUTPUT_PATH,
+            threshold=ACCUM_SUM_THRESHOLD,
+            max_rounds=ACCUM_MAX_ROUNDS,
+            num_pairs=spec.num_pairs,
+            use_kernel=use_kernel,
+        )
+        algebra = "sum"
+    else:  # pragma: no cover - validate() rejects async_mode elsewhere
+        raise ValueError(f"no accumulative twin for {spec.workload!r}")
+    return job, deltas, {STATIC_PATH: static}, algebra
+
+
+def _run_accum_twin(
+    spec: CampaignSpec,
+    outcome: CampaignOutcome,
+    *,
+    parallel: bool,
+    parallel_workers: int,
+    parallel_start_method: str | None,
+) -> None:
+    """Run the accumulative twin under every schedule the spec asks for.
+
+    All runs share one job and one input; the ``async-fixpoint`` oracle
+    compares each asynchronous schedule's fixpoint against the
+    synchronous serial reference.
+    """
+    job, deltas, static_map, algebra = _build_accum_workload(spec)
+    outcome.async_algebra = algebra
+    try:
+        outcome.async_reference = run_accum_local(
+            job, deltas, static_map, num_pairs=spec.num_pairs, mode="sync"
+        )
+    except Exception as exc:
+        outcome.async_errors["sync-reference"] = exc
+        return
+    runs: list[tuple[str, Callable[[], Any]]] = [
+        (
+            "serial-async",
+            lambda: run_accum_local(
+                job, deltas, static_map, num_pairs=spec.num_pairs, mode="async"
+            ),
+        ),
+        (
+            "simulated",
+            lambda: run_accum_simulated(
+                job, deltas, static_map, num_pairs=spec.num_pairs, seed=spec.seed
+            ),
+        ),
+    ]
+    if spec.use_kernels:
+        kjob, _, _, _ = _build_accum_workload(spec, use_kernel=True)
+        runs.append(
+            (
+                "kernel-async",
+                lambda: run_accum_local(
+                    kjob, deltas, static_map, num_pairs=spec.num_pairs,
+                    mode="async",
+                ),
+            )
+        )
+    if parallel:
+        runs.append(
+            (
+                "parallel-async",
+                lambda: run_accum_parallel(
+                    job,
+                    deltas,
+                    static_map,
+                    num_pairs=spec.num_pairs,
+                    num_workers=parallel_workers,
+                    mode="async",
+                    start_method=parallel_start_method,
+                ),
+            )
+        )
+    for name, thunk in runs:
+        try:
+            outcome.async_results[name] = thunk()
+        except Exception as exc:  # judged by the async-fixpoint oracle
+            outcome.async_errors[name] = exc
 
 
 def _build_cluster(spec: CampaignSpec, engine: Engine) -> Cluster:
@@ -318,6 +450,14 @@ def run_campaign(
             outcome.parallel_result.state.sort(key=lambda kv: repr(kv[0]))
         except Exception as exc:  # judged by the parallel oracle
             outcome.parallel_error = exc
+    if spec.async_mode:
+        _run_accum_twin(
+            spec,
+            outcome,
+            parallel=parallel,
+            parallel_workers=parallel_workers,
+            parallel_start_method=parallel_start_method,
+        )
     outcome.trace_events = list(tracer.events)
     outcome.violations = evaluate_oracles(spec, outcome)
     outcome.wall_seconds = time.perf_counter() - started

@@ -1,0 +1,129 @@
+"""Multiprocess accumulative runs: the serial/parallel determinism
+contract per mode, across start methods and worker counts.
+
+The engine promises more than tolerance-level agreement: for a given
+mode the parallel mesh replays the serial executor *record for record,
+floats included*, at any worker count and start method, because both
+drive the same :class:`AccumPair` sequence and the coordinator folds
+the pending mass pair-ascending exactly like the serial loop.  These
+tests pin that contract — it is what lets the chaos oracle use the
+serial run as the reference for parallel runs.
+"""
+
+import pytest
+
+from repro.algorithms import pagerank, sssp
+from repro.common import ConfigError
+from repro.graph import pagerank_graph, sssp_graph
+from repro.imapreduce import run_accum_local, run_accum_parallel
+
+STATE, STATIC, OUT = "/dfs/deltas", "/dfs/static", "/dfs/out"
+
+
+def _case(name, n=60, seed=11):
+    if name == "sssp":
+        graph = sssp_graph(n, seed=seed)
+        job = sssp.build_accum_job(
+            state_path=STATE, static_path=STATIC, output_path=OUT,
+            max_rounds=10_000,
+        )
+        return job, sssp.accum_initial_deltas(0), {
+            STATIC: sssp.static_records(graph)
+        }
+    graph = pagerank_graph(n, seed=seed)
+    job = pagerank.build_accum_job(
+        state_path=STATE, static_path=STATIC, output_path=OUT,
+        threshold=1e-9, max_rounds=100_000,
+    )
+    return job, pagerank.accum_initial_deltas(n, pagerank.DAMPING), {
+        STATIC: pagerank.static_records(graph)
+    }
+
+
+@pytest.mark.parametrize("workload", ["sssp", "pagerank"])
+@pytest.mark.parametrize("mode", ["sync", "async"])
+def test_parallel_replays_serial_bit_for_bit(workload, mode):
+    job, deltas, static = _case(workload)
+    serial = run_accum_local(job, deltas, static, num_pairs=4, mode=mode,
+                             keep_trace=True)
+    par = run_accum_parallel(job, deltas, static, num_pairs=4,
+                             num_workers=2, mode=mode, keep_trace=True)
+    assert par.state == serial.state  # floats included, no tolerance
+    assert par.rounds == serial.rounds
+    assert par.terminated_by == serial.terminated_by
+    assert par.pending_mass == serial.pending_mass
+    assert par.deltas_shipped == serial.deltas_shipped
+    assert par.updates_processed == serial.updates_processed
+    assert par.deltas_emitted == serial.deltas_emitted
+    assert [row["pending_mass"] for row in par.trace] == \
+        [row["pending_mass"] for row in serial.trace]
+
+
+@pytest.mark.parametrize("num_workers", [1, 3])
+def test_worker_count_is_invisible(num_workers):
+    job, deltas, static = _case("pagerank")
+    serial = run_accum_local(job, deltas, static, num_pairs=4, mode="async")
+    par = run_accum_parallel(job, deltas, static, num_pairs=4,
+                             num_workers=num_workers, mode="async")
+    assert par.state == serial.state
+    assert par.rounds == serial.rounds
+
+
+@pytest.mark.parametrize("workload", ["sssp", "pagerank"])
+def test_spawn_matches_fork(workload):
+    """The pinned-seed parity CI leg's contract: both start methods
+    produce the identical run (config blobs, jobs and delta frames all
+    survive the spawn machinery)."""
+    job, deltas, static = _case(workload)
+    fork = run_accum_parallel(job, deltas, static, num_pairs=4,
+                              num_workers=2, mode="async",
+                              start_method="fork")
+    spawn = run_accum_parallel(job, deltas, static, num_pairs=4,
+                               num_workers=2, mode="async",
+                               start_method="spawn")
+    assert spawn.state == fork.state
+    assert spawn.rounds == fork.rounds
+    assert spawn.deltas_shipped == fork.deltas_shipped
+
+
+def test_sparse_async_run_uses_manifests():
+    """sssp deltas start at a single source: most peer pairs see no
+    traffic most rounds, so the skip-empty exchange must ship
+    ``_NO_PAYLOAD`` manifests instead of empty data frames."""
+    job, deltas, static = _case("sssp")
+    par = run_accum_parallel(job, deltas, static, num_pairs=4,
+                             num_workers=2, mode="async")
+    assert par.counter("manifest_frames") > 0
+    assert par.counter("records_sent") > 0
+
+
+def test_async_ships_fewer_mesh_records_than_sync():
+    job, deltas, static = _case("pagerank", n=200)
+    sync = run_accum_parallel(job, deltas, static, num_pairs=4,
+                              num_workers=2, mode="sync")
+    async_ = run_accum_parallel(job, deltas, static, num_pairs=4,
+                                num_workers=2, mode="async")
+    assert async_.deltas_shipped < sync.deltas_shipped
+    assert async_.counter("records_sent") < sync.counter("records_sent")
+
+
+def test_worker_stats_expose_delta_phases():
+    job, deltas, static = _case("pagerank")
+    par = run_accum_parallel(job, deltas, static, num_pairs=4,
+                             num_workers=2, mode="async")
+    assert par.num_workers == 2
+    for stats in par.worker_stats:
+        phases = stats["phase_seconds"]
+        assert "schedule" in phases and "delta" in phases
+        assert stats["updates_processed"] >= 0
+    assert par.counter("updates_processed") == par.updates_processed
+
+
+def test_bad_mode_rejected_before_spawning():
+    job, deltas, static = _case("sssp")
+    with pytest.raises(ConfigError, match="mode"):
+        run_accum_parallel(job, deltas, static, mode="eventual")
+
+
+if __name__ == "__main__":
+    raise SystemExit(pytest.main([__file__, "-q"]))

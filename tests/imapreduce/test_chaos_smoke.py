@@ -137,3 +137,41 @@ def test_injected_bug_shrinks_to_replayable_campaign():
     lines = failure.replay_lines("stale-ckpt")
     assert any(f"--campaign-seed {failure.campaign_seed}" in l for l in lines)
     assert all("--inject-bug stale-ckpt" in l for l in lines)
+
+
+# ------------------------------------------------- async (Maiter) twin --
+#: Pinned battery seeds whose campaigns carry ``async_mode`` (drawn from
+#: ``--seed 20240806``); replayable via ``repro chaos --campaign-seed N``.
+ASYNC_SSSP_SEED = 195064592273757
+ASYNC_PAGERANK_SEED = 81277046555875
+
+
+def test_async_dimension_restricted_to_accumulative_workloads():
+    spec = generate_campaign(BATTERY_SEED)
+    with pytest.raises(ValueError, match="accumulative"):
+        spec.but(workload="kmeans", async_mode=True).validate()
+    for workload in ("sssp", "pagerank"):
+        spec.but(workload=workload, async_mode=True).validate()
+
+
+def test_async_dimension_is_append_only_for_pinned_seeds():
+    """The new rng draw happens *after* every pre-existing dimension, so
+    a pinned seed's non-async fields replay byte-identically — the
+    discipline that keeps old shrunk reproductions valid."""
+    spec = generate_campaign(ASYNC_SSSP_SEED)
+    assert spec.async_mode and spec.workload == "sssp"
+    assert "accum-async" in spec.describe()
+    again = generate_campaign(ASYNC_SSSP_SEED)
+    assert again == spec
+
+
+def test_async_campaign_passes_fixpoint_oracle():
+    spec = generate_campaign(ASYNC_PAGERANK_SEED)
+    assert spec.async_mode and spec.workload == "pagerank"
+    outcome = run_campaign(spec)
+    details = "; ".join(map(str, outcome.violations))
+    assert outcome.ok, details
+    assert outcome.async_reference is not None
+    assert "serial-async" in outcome.async_results
+    assert "simulated" in outcome.async_results
+    assert outcome.async_errors == {}

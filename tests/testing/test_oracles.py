@@ -185,7 +185,8 @@ def test_trace_oracle_flags_time_reversal():
 def test_evaluate_runs_every_oracle():
     assert set(ALL_ORACLES) == {
         "termination", "differential", "kernel-differential",
-        "parallel-differential", "parallel-recovery", "checkpoint", "trace",
+        "parallel-differential", "parallel-recovery", "async-fixpoint",
+        "checkpoint", "trace",
     }
     v = evaluate_oracles(spec(), outcome(error=RuntimeError("boom")))
     assert [x.oracle for x in v] == ["termination"]
@@ -369,3 +370,86 @@ def test_parallel_oracle_compares_against_kernel_twin():
                 parallel_error=None),
     )
     assert v == []  # bit-equal to the kernel twin, despite record drift
+
+
+# ------------------------------------------------- async-fixpoint oracle --
+def _aspec(async_mode=True, workload="pagerank"):
+    return SimpleNamespace(async_mode=async_mode, workload=workload)
+
+
+def _accum(state, terminated_by="progress"):
+    return SimpleNamespace(state=state, terminated_by=terminated_by)
+
+
+def _aoutcome(reference, results=None, errors=None, algebra="sum"):
+    return outcome(
+        async_reference=reference,
+        async_results=results or {},
+        async_errors=errors or {},
+        async_algebra=algebra,
+    )
+
+
+def test_async_oracle_inert_without_dimension():
+    from repro.testing.oracles import oracle_async_fixpoint
+
+    v = oracle_async_fixpoint(
+        _aspec(async_mode=False),
+        _aoutcome(None, errors={"serial-async": RuntimeError("boom")}),
+    )
+    assert v == []
+
+
+def test_async_oracle_reports_run_errors_and_missing_reference():
+    from repro.testing.oracles import oracle_async_fixpoint
+
+    v = oracle_async_fixpoint(
+        _aspec(), _aoutcome(None, errors={"simulated": RuntimeError("boom")})
+    )
+    assert len(v) == 1 and "boom" in v[0].detail
+    v = oracle_async_fixpoint(_aspec(), _aoutcome(None))
+    assert len(v) == 1 and "reference" in v[0].detail
+
+
+def test_async_oracle_demands_progress_termination():
+    from repro.testing.oracles import oracle_async_fixpoint
+
+    ref = _accum([(0, 1.0)])
+    budget = _accum([(0, 1.0)], terminated_by="maxrounds")
+    v = oracle_async_fixpoint(
+        _aspec(), _aoutcome(ref, results={"serial-async": budget})
+    )
+    assert len(v) == 1 and "maxrounds" in v[0].detail
+    v = oracle_async_fixpoint(_aspec(), _aoutcome(budget))
+    assert v and "sync reference" in v[0].detail
+
+
+def test_async_oracle_tolerant_for_sum_exact_for_min():
+    from repro.testing.oracles import oracle_async_fixpoint
+
+    ref = _accum([(0, 1.0)])
+    close = _accum([(0, 1.0 + 1e-12)])
+    # Sum algebra: schedule-order float drift within tolerance passes.
+    assert oracle_async_fixpoint(
+        _aspec(), _aoutcome(ref, results={"serial-async": close})
+    ) == []
+    # Min algebra: the same drift is a violation — the fixpoint is
+    # unique, so every schedule must land bit-exactly.
+    v = oracle_async_fixpoint(
+        _aspec(),
+        _aoutcome(ref, results={"serial-async": close}, algebra="min"),
+    )
+    assert len(v) == 1 and "bit-exact" in v[0].detail
+
+
+def test_async_oracle_flags_real_divergence_per_run():
+    from repro.testing.oracles import oracle_async_fixpoint
+
+    ref = _accum([(0, 1.0)])
+    wrong = _accum([(0, 2.0)])
+    v = oracle_async_fixpoint(
+        _aspec(),
+        _aoutcome(ref, results={"simulated": wrong,
+                                "parallel-async": _accum([(0, 1.0)])}),
+    )
+    assert len(v) == 1 and v[0].detail.startswith("simulated")

@@ -126,3 +126,11 @@ def test_candidates_neutralize_kernel_dimension():
     # And never the other way around: shrinking must not *add* kernels.
     plain = big_spec(use_kernels=False)
     assert all(not c.use_kernels for c in shrink_candidates(plain))
+
+
+def test_candidates_neutralize_async_dimension():
+    spec = big_spec(async_mode=True)
+    assert any(not c.async_mode for c in shrink_candidates(spec))
+    # Shrinking must never *add* the async dimension.
+    plain = big_spec(async_mode=False)
+    assert all(not c.async_mode for c in shrink_candidates(plain))
