@@ -96,6 +96,17 @@ def build_parser() -> argparse.ArgumentParser:
                        help="(--backend parallel) fault injection: SIGKILL "
                             "worker W at iteration I (':stop' sends SIGSTOP "
                             "and lets the heartbeat suspicion catch it)")
+    p_run.add_argument("--memo-dir", default=None, metavar="DIR",
+                       help="(--mode sync|async) memoize the converged "
+                            "state in DIR; a later run with --delta "
+                            "warm-starts from it (i2MapReduce mode)")
+    p_run.add_argument("--delta", type=float, default=None, metavar="FRAC",
+                       help="(--mode + --memo-dir) mutate FRAC of the "
+                            "edges (seeded churn) and refresh "
+                            "incrementally from the memoized state, "
+                            "printing the warm-vs-cold comparison")
+    p_run.add_argument("--delta-seed", type=int, default=0,
+                       help="seed for the --delta churn draw (default 0)")
 
     p_rep = sub.add_parser("report", help="write EXPERIMENTS.md")
     p_rep.add_argument("--output", default="EXPERIMENTS.md")
@@ -142,8 +153,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench = sub.add_parser(
         "bench", help="wall-clock benchmark: run_local vs run_parallel"
     )
-    p_bench.add_argument("--out", default="BENCH_PR9.json",
-                         help="output JSON path (default BENCH_PR9.json)")
+    p_bench.add_argument("--out", default="BENCH_PR10.json",
+                         help="output JSON path (default BENCH_PR10.json)")
     p_bench.add_argument("--workers", default=None,
                          help="comma-separated worker counts, e.g. 1,2,4")
     p_bench.add_argument("--workloads", default=None, metavar="NAME,...",
@@ -170,6 +181,14 @@ def build_parser() -> argparse.ArgumentParser:
                          help="print the benchmark trajectory across every "
                               "committed BENCH_PR*.json baseline and exit "
                               "(no suite run)")
+
+    p_gc = sub.add_parser(
+        "gc", help="prune stale checkpoint spools / memo versions"
+    )
+    p_gc.add_argument("--spool-dir", required=True, metavar="DIR",
+                      help="checkpoint spool or --memo-dir directory")
+    p_gc.add_argument("--keep", type=int, default=1,
+                      help="committed manifests to retain (default 1)")
     return parser
 
 
@@ -274,6 +293,24 @@ def _run_accum(args, dataset: str) -> int:
               "to accumulative runs (deltas are in flight by design; "
               "worker death is terminal)", file=sys.stderr)
         return 2
+    if args.delta is not None and args.memo_dir is None:
+        print("--delta needs --memo-dir (the memoized state to "
+              "warm-start from)", file=sys.stderr)
+        return 2
+    if args.memo_dir is not None:
+        if args.algorithm not in ("sssp", "pagerank"):
+            print("--memo-dir supports sssp and pagerank (graph "
+                  "workloads with a static adjacency to mutate)",
+                  file=sys.stderr)
+            return 2
+        if args.backend == "simulated":
+            # The memoized path needs a real executor; the default
+            # backend quietly upgrades to serial rather than erroring
+            # (seeded delivery deferral has no warm-start story).
+            args.backend = "serial"
+        return _run_accum_memoized(
+            args, dataset, job, deltas, static_map, num_pairs,
+        )
     started = time.perf_counter()
     if args.backend == "serial":
         result = run_accum_local(
@@ -308,6 +345,139 @@ def _run_accum(args, dataset: str) -> int:
         f"  {result.updates_processed:,} updates, "
         f"{result.deltas_emitted:,} deltas emitted, "
         f"{result.deltas_shipped:,} shipped cross-pair"
+    )
+    return 0
+
+
+def _run_accum_memoized(args, dataset, job, deltas, static_map,
+                        num_pairs) -> int:
+    """``repro run --mode ... --memo-dir``: the i2MapReduce path.
+
+    Without ``--delta``, runs cold and memoizes the converged state.
+    With ``--delta F``, synthesizes a seeded churn touching ~F of the
+    edges, refreshes incrementally from the memo (warm start + change
+    propagation), reruns cold on the mutated input for comparison, and
+    memoizes the refreshed state so refreshes chain.
+    """
+    import time
+
+    from .algorithms import pagerank
+    from .imapreduce import (
+        MemoStore,
+        patch_static_table,
+        random_edge_churn,
+        run_accum_local,
+        run_accum_parallel,
+        run_incremental_accum,
+    )
+    from .imapreduce.incremental import ADJACENCY_KINDS, cold_initial_deltas
+
+    plan_kwargs = (
+        {"source": 0} if args.algorithm == "sssp"
+        else {"damping": pagerank.DAMPING}
+    )
+    memo = MemoStore(args.memo_dir)
+
+    def run_cold(initial, statics):
+        if args.backend == "parallel":
+            return run_accum_parallel(
+                job, initial, statics, num_pairs=num_pairs,
+                num_workers=args.workers, mode=args.mode,
+            )
+        return run_accum_local(
+            job, initial, statics, num_pairs=num_pairs, mode=args.mode,
+        )
+
+    def memoize(state) -> int:
+        return memo.save(
+            state, job_name=job.name, num_pairs=num_pairs,
+            partitioner=job.partitioner,
+            meta={"algorithm": args.algorithm, "dataset": dataset,
+                  **plan_kwargs},
+        )
+
+    if args.delta is None or not memo.has():
+        if args.delta is not None:
+            print(f"no memoized state under {args.memo_dir!r}; run once "
+                  "without --delta first", file=sys.stderr)
+            return 2
+        started = time.perf_counter()
+        result = run_cold(deltas, static_map)
+        elapsed = time.perf_counter() - started
+        version = memoize(result.state)
+        print(
+            f"{args.algorithm} on {dataset} [accumulative {args.mode}, "
+            f"cold]: {result.rounds} rounds, "
+            f"{result.updates_processed:,} updates, {elapsed:.2f}s wall"
+        )
+        print(f"  memoized {len(result.state)} records as version "
+              f"{version} under {args.memo_dir}")
+        return 0
+
+    memo_records, meta = memo.load(job_name=job.name)
+    if meta.get("algorithm") != args.algorithm:
+        print(f"memo under {args.memo_dir!r} holds "
+              f"{meta.get('algorithm')!r} state, not {args.algorithm!r}",
+              file=sys.stderr)
+        return 2
+    table = dict(static_map[job.static_path])
+    num_edges = sum(len(row) for row in table.values())
+    churn = max(2, round(args.delta * num_edges))
+    insert = churn // 2
+    delete = churn - insert
+    # Min-algebra serving workloads refresh fastest on improvement-only
+    # churn (new/faster roads); pagerank takes arbitrary insert+delete.
+    delta = random_edge_churn(
+        table, args.algorithm, insert=insert, delete=delete,
+        seed=args.delta_seed, monotone=args.algorithm == "sssp",
+    )
+    started = time.perf_counter()
+    warm = run_incremental_accum(
+        job, args.algorithm, delta, memo_records,
+        {job.static_path: dict(table)}, num_pairs=num_pairs,
+        mode=args.mode,
+        backend="parallel" if args.backend == "parallel" else "local",
+        **({"num_workers": args.workers}
+           if args.backend == "parallel" else {}),
+        **plan_kwargs,
+    )
+    warm_wall = time.perf_counter() - started
+    mutated = dict(table)
+    patch_static_table(mutated, delta, ADJACENCY_KINDS[args.algorithm])
+    started = time.perf_counter()
+    cold = run_cold(
+        cold_initial_deltas(args.algorithm, mutated, **plan_kwargs),
+        {job.static_path: mutated},
+    )
+    cold_wall = time.perf_counter() - started
+    version = memoize(warm.state)
+    frontier = warm.counters.get("incremental", {})
+    max_diff = max(
+        (abs(a[1] - b[1]) for a, b in zip(warm.state, cold.state)),
+        default=0.0,
+    )
+    print(
+        f"{args.algorithm} on {dataset} [accumulative {args.mode}, "
+        f"incremental refresh]: delta {delta.size} edits "
+        f"(~{args.delta:.2%} of {num_edges:,} edges, seed "
+        f"{args.delta_seed})"
+    )
+    print(
+        f"  warm: {warm.rounds} rounds, "
+        f"{warm.updates_processed:,} updates, "
+        f"{warm.deltas_shipped:,} shipped, {warm_wall:.2f}s "
+        f"(frontier {frontier.get('frontier_keys', '?')} keys)"
+    )
+    print(
+        f"  cold: {cold.rounds} rounds, "
+        f"{cold.updates_processed:,} updates, "
+        f"{cold.deltas_shipped:,} shipped, {cold_wall:.2f}s"
+    )
+    speedup = (cold.updates_processed / warm.updates_processed
+               if warm.updates_processed else float("inf"))
+    print(
+        f"  {speedup:.1f}x fewer updates than cold rerun; states agree "
+        f"to {max_diff:.3g}; memoized version {version}"
     )
     return 0
 
@@ -605,6 +775,28 @@ def _cmd_chaos(args) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_gc(args) -> int:
+    """``repro gc``: retention pass over a spool / memo directory."""
+    import os
+
+    from .imapreduce.checkpoint import CheckpointStore
+
+    if args.keep < 1:
+        print("--keep must be >= 1", file=sys.stderr)
+        return 2
+    if not os.path.isdir(args.spool_dir):
+        print(f"no such directory: {args.spool_dir}", file=sys.stderr)
+        return 2
+    stats = CheckpointStore(args.spool_dir).gc(keep=args.keep)
+    print(
+        f"gc {args.spool_dir}: kept {stats['kept_manifests']} "
+        f"manifest(s), pruned {stats['pruned_manifests']} manifest(s) "
+        f"+ {stats['pruned_files']} spool file(s) "
+        f"({stats['pruned_bytes']:,} bytes reclaimed)"
+    )
+    return 0
+
+
 _COMMANDS = {
     "datasets": _cmd_datasets,
     "list-figures": _cmd_list_figures,
@@ -613,6 +805,7 @@ _COMMANDS = {
     "report": _cmd_report,
     "chaos": _cmd_chaos,
     "bench": _cmd_bench,
+    "gc": _cmd_gc,
 }
 
 

@@ -84,6 +84,7 @@ __all__ = [
     "run_suite",
     "checkpoint_overhead",
     "async_convergence",
+    "incremental_refresh",
     "compare_counters",
     "format_phase_breakdown",
     "load_history",
@@ -638,6 +639,140 @@ def _build_accum_case(name: str, quick: bool):
     return job, deltas, static_map, exact, 8
 
 
+#: Edge-churn fractions for the incremental-refresh speedup-vs-delta
+#: curve.  The strictly-fewer gates apply at fractions at or below
+#: :data:`GATED_CHURN` — at 10% churn a warm refresh legitimately
+#: approaches cold-rerun work, so that point stays informational.
+CHURN_LEVELS = (0.001, 0.01, 0.1)
+GATED_CHURN = 0.01
+
+
+def incremental_refresh(quick: bool = False, log=None,
+                        workloads=None) -> dict:
+    """The i2MapReduce A/B: warm refresh from memoized state vs cold
+    rerun, across :data:`CHURN_LEVELS` edge-churn fractions.
+
+    For each accumulative workload, one converged base run supplies the
+    memoized state; each churn level synthesizes a seeded
+    :class:`~repro.imapreduce.DataDelta` (improvement-only for the
+    ``min`` algebra — new/faster roads — arbitrary insert+delete for
+    pagerank), refreshes incrementally (change propagation + warm
+    start), and reruns cold on the mutated input.  Each level records
+    both runs' rounds/updates/shipped-delta counters and wall times —
+    the speedup-vs-delta-size curve — plus the gates
+    :func:`compare_counters` enforces at small churn: the warm run must
+    recompute strictly fewer pairs and ship strictly fewer delta
+    records than the cold rerun, and the two fixpoints must agree
+    (bit-exact for ``min``, threshold-bounded for ``+``).
+    """
+    from ..imapreduce import (
+        patch_static_table,
+        random_edge_churn,
+        run_incremental_accum,
+    )
+    from ..imapreduce.incremental import ADJACENCY_KINDS, cold_initial_deltas
+    from ..testing.oracles import records_identical, states_match
+
+    if workloads is None:
+        names = ACCUM_WORKLOADS
+    else:
+        names = tuple(n for n in ACCUM_WORKLOADS if n in workloads)
+    section: dict[str, Any] = {
+        "churn_levels": list(CHURN_LEVELS),
+        "gated_churn": GATED_CHURN,
+        "workloads": [],
+    }
+    for name in names:
+        job, deltas, static_map, exact, num_pairs = _build_accum_case(
+            name, quick
+        )
+        table = dict(static_map[STATIC])
+        num_edges = sum(len(row) for row in table.values())
+        plan_kwargs = (
+            {"source": 0} if name == "sssp"
+            else {"damping": pagerank.DAMPING}
+        )
+        base = run_accum_local(
+            job, deltas, static_map, num_pairs=num_pairs, mode="sync"
+        )
+        row: dict[str, Any] = {
+            "name": f"{name}-refresh",
+            "algebra": job.accumulator.name,
+            "num_pairs": num_pairs,
+            "num_edges": num_edges,
+            "levels": [],
+        }
+        for churn in CHURN_LEVELS:
+            edits = max(2, round(churn * num_edges))
+            insert = edits // 2
+            delta = random_edge_churn(
+                table, name, insert=insert, delete=edits - insert,
+                seed=int(churn * 1_000_000) + 13,
+                monotone=name == "sssp",
+            )
+            started = time.perf_counter()
+            warm = run_incremental_accum(
+                job, name, delta, base.state, {STATIC: dict(table)},
+                num_pairs=num_pairs, mode="async", **plan_kwargs,
+            )
+            warm_seconds = time.perf_counter() - started
+            mutated = dict(table)
+            patch_static_table(mutated, delta, ADJACENCY_KINDS[name])
+            started = time.perf_counter()
+            cold = run_accum_local(
+                job, cold_initial_deltas(name, mutated, **plan_kwargs),
+                {STATIC: mutated}, num_pairs=num_pairs, mode="async",
+            )
+            cold_seconds = time.perf_counter() - started
+            if exact:
+                match = records_identical(warm.state, cold.state)
+            else:
+                match = not states_match(warm.state, cold.state)
+            level = {
+                "churn": churn,
+                "delta_size": delta.size,
+                "frontier_keys": warm.counters["incremental"][
+                    "frontier_keys"
+                ],
+                "warm": {
+                    "rounds": warm.rounds,
+                    "updates_processed": warm.updates_processed,
+                    "deltas_shipped": warm.deltas_shipped,
+                    "seconds": round(warm_seconds, 4),
+                },
+                "cold": {
+                    "rounds": cold.rounds,
+                    "updates_processed": cold.updates_processed,
+                    "deltas_shipped": cold.deltas_shipped,
+                    "seconds": round(cold_seconds, 4),
+                },
+                "update_speedup": (
+                    round(cold.updates_processed / warm.updates_processed, 2)
+                    if warm.updates_processed else None
+                ),
+                "warm_fewer_updates": (
+                    warm.updates_processed < cold.updates_processed
+                ),
+                "warm_fewer_shipped": (
+                    warm.deltas_shipped < cold.deltas_shipped
+                ),
+                "states_match": match,
+            }
+            row["levels"].append(level)
+            if log:
+                log(
+                    f"{row['name']}@{churn:.1%}: delta {delta.size} edits, "
+                    f"warm {warm.updates_processed:,} updates / "
+                    f"{warm.deltas_shipped:,} shipped vs cold "
+                    f"{cold.updates_processed:,} / "
+                    f"{cold.deltas_shipped:,} "
+                    f"({level['update_speedup']}x fewer updates, "
+                    f"match={match})"
+                )
+        section["workloads"].append(row)
+    return section
+
+
 def async_convergence(quick: bool = False, workers: int = 2,
                       workloads=None) -> dict:
     """The Maiter-mode A/B: the same accumulative job run synchronously
@@ -733,7 +868,7 @@ def async_convergence(quick: bool = False, workers: int = 2,
 
 
 def run_suite(
-    out_path: str | None = "BENCH_PR9.json",
+    out_path: str | None = "BENCH_PR10.json",
     workers: tuple[int, ...] = DEFAULT_WORKERS,
     quick: bool = False,
     log: Callable[[str], None] | None = None,
@@ -868,6 +1003,15 @@ def run_suite(
                     f"{sync_mode['counters']['records_sent']:,}; "
                     f"states_match={row['states_match']})"
                 )
+    # The i2MapReduce warm-vs-cold curve is serial-only, so it runs
+    # even under --backend-only serial; it honors the workload filter.
+    if any(c.name in ACCUM_WORKLOADS for c in cases):
+        results["incremental_refresh"] = incremental_refresh(
+            quick=quick,
+            log=log,
+            workloads=None if workloads is None
+            else [c.name for c in cases],
+        )
     if out_path:
         with open(out_path, "w") as fh:
             json.dump(results, fh, indent=2)
@@ -987,6 +1131,33 @@ def compare_counters(results: dict, baseline: dict) -> list[str]:
                         f"{now['bytes_pickled']} > baseline "
                         f"{base_counters['bytes_pickled']} (+2% headroom)"
                     )
+    incr = results.get("incremental_refresh")
+    if incr is not None:
+        gated_churn = incr.get("gated_churn", GATED_CHURN)
+        for row in incr.get("workloads", ()):
+            for level in row.get("levels", ()):
+                churn = level.get("churn", 1.0)
+                if level.get("states_match") is False:
+                    problems.append(
+                        f"{row['name']}@{churn:.1%}: warm refresh diverged "
+                        "from the cold rerun on the mutated input"
+                    )
+                if churn > gated_churn:
+                    continue
+                if level.get("warm_fewer_updates") is False:
+                    problems.append(
+                        f"{row['name']}@{churn:.1%}: warm refresh must "
+                        "recompute strictly fewer pairs than a cold rerun "
+                        f"(warm {level['warm']['updates_processed']} vs "
+                        f"cold {level['cold']['updates_processed']})"
+                    )
+                if level.get("warm_fewer_shipped") is False:
+                    problems.append(
+                        f"{row['name']}@{churn:.1%}: warm refresh must "
+                        "ship strictly fewer delta records than a cold "
+                        f"rerun (warm {level['warm']['deltas_shipped']} vs "
+                        f"cold {level['cold']['deltas_shipped']})"
+                    )
     ckpt = results.get("checkpoint_overhead")
     if ckpt is not None:
         pct = ckpt.get("overhead_pct")
@@ -1063,6 +1234,14 @@ def load_history(root: str = ".") -> list[dict]:
     return entries
 
 
+def _na(value, fmt: str = "{}") -> str:
+    """Backfill for counter keys a baseline predates: older
+    ``BENCH_PR*.json`` files simply lack sections and counters newer
+    PRs introduced, and the trajectory table must render them as
+    ``n/a`` rather than crash or fake a zero."""
+    return "n/a" if value is None else fmt.format(value)
+
+
 def format_history(entries: list[dict]) -> str:
     """The benchmark trajectory across committed baselines, as a table.
 
@@ -1070,7 +1249,11 @@ def format_history(entries: list[dict]) -> str:
     comparable within a block), one row per workload: serial seconds,
     the best parallel speedup, and the 2-worker data-plane counters the
     CI gate watches.  Accumulative A/B sections contribute their
-    sync-vs-async shipped-delta ratio.
+    sync-vs-async shipped-delta ratio; incremental-refresh sections the
+    warm-vs-cold update speedup per churn level.  Keys a baseline
+    predates render as ``n/a`` (see :func:`_na`) — the history command
+    must keep working over every committed baseline, not just the
+    newest schema.
     """
     if not entries:
         return "no BENCH_PR*.json baselines found"
@@ -1091,34 +1274,51 @@ def format_history(entries: list[dict]) -> str:
                 p["speedup"] for p in row.get("parallel", ())
                 if p.get("speedup") is not None
             ]
-            best = f"{max(speedups):.2f}x" if speedups else "-"
+            best = f"{max(speedups):.2f}x" if speedups else "n/a"
             two_w = next(
                 (p for p in row.get("parallel", ()) if p.get("workers") == 2),
                 None,
             )
             counters = (two_w or {}).get("counters", {})
-            records = counters.get("records_sent")
-            nbytes = counters.get("bytes_pickled")
             lines.append(
-                f"  {row['name']:<18} {row.get('serial_seconds', 0):>9.3f} "
+                f"  {row.get('name', '?'):<18} "
+                f"{_na(row.get('serial_seconds'), '{:.3f}'):>9} "
                 f"{best:>13} "
-                f"{records if records is not None else '-':>12} "
-                f"{nbytes if nbytes is not None else '-':>12}"
+                f"{_na(counters.get('records_sent')):>12} "
+                f"{_na(counters.get('bytes_pickled')):>12}"
             )
         accum = data.get("async_convergence")
         if accum:
             for row in accum.get("workloads", ()):
-                sync_mode = row["modes"]["sync"]
-                async_mode = row["modes"]["async"]
-                shipped_sync = sync_mode["deltas_shipped"]
-                shipped_async = async_mode["deltas_shipped"]
+                sync_mode = row.get("modes", {}).get("sync", {})
+                async_mode = row.get("modes", {}).get("async", {})
+                shipped_sync = sync_mode.get("deltas_shipped")
+                shipped_async = async_mode.get("deltas_shipped")
                 ratio = (
                     f"{shipped_async / shipped_sync:.2f}x"
-                    if shipped_sync else "-"
+                    if shipped_sync and shipped_async is not None else "n/a"
                 )
                 lines.append(
-                    f"  {row['name']:<18} async ships {shipped_async:,} vs "
-                    f"sync {shipped_sync:,} delta records ({ratio}); "
-                    f"states_match={row.get('states_match')}"
+                    f"  {row.get('name', '?'):<18} async ships "
+                    f"{_na(shipped_async, '{:,}')} vs sync "
+                    f"{_na(shipped_sync, '{:,}')} delta records ({ratio}); "
+                    f"states_match={row.get('states_match', 'n/a')}"
+                )
+        incr = data.get("incremental_refresh")
+        if incr:
+            for row in incr.get("workloads", ()):
+                points = ", ".join(
+                    f"{level.get('churn', 0):.1%}:"
+                    f"{_na(level.get('update_speedup'), '{}x')}"
+                    for level in row.get("levels", ())
+                )
+                matches = all(
+                    level.get("states_match") is not False
+                    for level in row.get("levels", ())
+                )
+                lines.append(
+                    f"  {row.get('name', '?'):<18} warm-vs-cold update "
+                    f"speedup by churn: {points or 'n/a'}; "
+                    f"states_match={matches}"
                 )
     return "\n".join(lines)

@@ -11,6 +11,18 @@ from .columnar import (
     kernel_enabled,
 )
 from .failure_detector import FailureDetector, FailureDetectorConfig
+from .incremental import (
+    ChangePlan,
+    DataDelta,
+    DeltaError,
+    MemoStore,
+    patch_static_table,
+    plan_changes,
+    random_edge_churn,
+    run_incremental_accum,
+    run_incremental_local,
+    run_incremental_parallel,
+)
 from .job import AuxPhase, IterativeJob, IterativeRunResult, Phase
 from .localrun import LocalRunResult, run_accum_local, run_local
 from .parallel import (
@@ -41,6 +53,16 @@ __all__ = [
     "accum_kernel_enabled",
     "FailureDetector",
     "FailureDetectorConfig",
+    "ChangePlan",
+    "DataDelta",
+    "DeltaError",
+    "MemoStore",
+    "patch_static_table",
+    "plan_changes",
+    "random_edge_churn",
+    "run_incremental_accum",
+    "run_incremental_local",
+    "run_incremental_parallel",
     "AuxPhase",
     "IterativeJob",
     "IterativeRunResult",

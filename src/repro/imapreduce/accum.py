@@ -77,6 +77,7 @@ __all__ = [
     "TOP_FRACTION_KEY",
     "DEFAULT_TOP_FRACTION",
     "partition_accum_inputs",
+    "partition_state",
 ]
 
 #: Conf key: fraction of a pair's *active* pending keys drained per
@@ -310,7 +311,7 @@ class AccumPair:
     )
 
     def __init__(self, pair: int, accumulator: Accumulator, static_table: dict,
-                 keys=()):
+                 keys=(), initial_state=None):
         self.pair = pair
         self.acc = accumulator
         self.static = static_table
@@ -319,6 +320,14 @@ class AccumPair:
         #: final state covers unreached keys at the identity — matching
         #: the synchronous executors' full state records.
         self.state: dict[Any, Any] = {k: ident for k in keys}
+        #: Warm start (incremental mode): memoized converged values are
+        #: *preloaded* — written into the state without running the
+        #: update function, so no propagation fires for them.  Feeding
+        #: them through ``absorb`` instead would re-emit every key's
+        #: downstream deltas (a full recomputation, and a wrong fixpoint
+        #: for non-idempotent algebras like ``+``).
+        if initial_state is not None:
+            self.state.update(initial_state)
         self.pending: dict[Any, Any] = {}
         self.updates_processed = 0
         self.deltas_emitted = 0
@@ -429,6 +438,16 @@ def partition_accum_inputs(
     for key, value in table.items():
         static_tables[part(key)][key] = value
     return delta_parts, static_tables
+
+
+def partition_state(records, num_pairs: int, part) -> list[list]:
+    """Partition warm-start state records with the same loop (and
+    therefore insertion order) as the initial deltas."""
+    parts: list[list] = [[] for _ in range(num_pairs)]
+    if records is not None:
+        for rec in records:
+            parts[part(rec[0])].append(rec)
+    return parts
 
 
 def check_mode(mode: str) -> None:

@@ -218,3 +218,56 @@ class CheckpointStore:
                 continue
         found.sort(key=lambda m: m["iteration"], reverse=True)
         return found
+
+    # -- retention ------------------------------------------------------
+    def gc(self, keep: int = 1) -> dict:
+        """Prune old checkpoints: keep the newest ``keep`` manifests and
+        every spool file they reference, delete the rest.
+
+        Spool dirs accumulate one file per ``(generation, iteration,
+        worker)`` across a run's lifetime (and across runs when a memo
+        store shares the directory); only the files referenced by a
+        retained manifest are ever restore candidates, so everything
+        else — older manifests, their spools, and orphan spools no
+        manifest ever committed (a fenced generation's partial writes) —
+        is dead weight.  Deletion order is manifests first, then files,
+        so a reader that races the sweep can never see a live manifest
+        pointing at a pruned spool.  Returns a summary dict
+        (``kept_manifests``, ``pruned_manifests``, ``pruned_files``,
+        ``pruned_bytes``).
+        """
+        if keep < 1:
+            raise ValueError("gc keep must be >= 1")
+        kept = self.manifests()[:keep]
+        live = {e["file"] for m in kept for e in m.get("entries", [])}
+        live |= {f"manifest-i{m['iteration']:06d}.json" for m in kept}
+        pruned_manifests = 0
+        pruned_files = 0
+        pruned_bytes = 0
+        doomed_manifests: list[str] = []
+        doomed_spools: list[str] = []
+        for name in sorted(os.listdir(self.root)):
+            if name in live:
+                continue
+            if name.startswith("manifest-") and name.endswith(".json"):
+                doomed_manifests.append(name)
+            elif name.startswith("ckpt-") or ".tmp." in name:
+                doomed_spools.append(name)
+        for name in doomed_manifests + doomed_spools:
+            path = os.path.join(self.root, name)
+            try:
+                size = os.path.getsize(path)
+                os.remove(path)
+            except OSError:
+                continue
+            if name in doomed_manifests:
+                pruned_manifests += 1
+            else:
+                pruned_files += 1
+            pruned_bytes += size
+        return {
+            "kept_manifests": len(kept),
+            "pruned_manifests": pruned_manifests,
+            "pruned_files": pruned_files,
+            "pruned_bytes": pruned_bytes,
+        }

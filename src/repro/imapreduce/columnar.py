@@ -556,16 +556,25 @@ def run_accum_local_kernel(
     num_pairs: int = 4,
     mode: str = "async",
     keep_trace: bool = False,
+    initial_state: Iterable[tuple[Any, Any]] | None = None,
 ):
     """Serial columnar executor for accumulative jobs —
     :func:`~repro.imapreduce.localrun.run_accum_local`'s kernel
     dispatch target.  Same round protocol (mass check before the round,
     pair-ascending sums, ascending-source absorption) over dense
-    state/pending arrays with an active-key mask.
+    state/pending arrays with an active-key mask.  ``initial_state``
+    (incremental warm start) scatters memoized values into the dense
+    state arrays without marking them pending — the record engine's
+    preload semantics.
     """
     import math
 
-    from .accum import AccumRunResult, check_mode, partition_accum_inputs
+    from .accum import (
+        AccumRunResult,
+        check_mode,
+        partition_accum_inputs,
+        partition_state,
+    )
     from .localrun import order_key
 
     check_mode(mode)
@@ -578,9 +587,10 @@ def run_accum_local_kernel(
     delta_parts, static_tables = partition_accum_inputs(
         job, delta_records, static_records, num_pairs, part
     )
+    state_parts = partition_state(initial_state, num_pairs, part)
 
-    # Owned key universe per pair: static keys ∪ initial-delta keys,
-    # ascending (searchsorted needs sorted owned sets).
+    # Owned key universe per pair: static keys ∪ initial-delta keys
+    # (∪ warm-start keys), ascending (searchsorted needs sorted sets).
     owned: list[np.ndarray] = []
     state: list[np.ndarray] = []
     pending: list[np.ndarray] = []
@@ -588,6 +598,7 @@ def run_accum_local_kernel(
     for p in range(num_pairs):
         key_set = set(static_tables[p])
         key_set.update(k for k, _d in delta_parts[p])
+        key_set.update(k for k, _v in state_parts[p])
         for k in key_set:
             if isinstance(k, bool) or not isinstance(k, int):
                 raise KernelContractError(
@@ -598,6 +609,10 @@ def run_accum_local_kernel(
         state.append(np.full(ks.size, identity, dtype=dtype))
         pending.append(np.full(ks.size, identity, dtype=dtype))
         active.append(np.zeros(ks.size, dtype=bool))
+        if state_parts[p]:
+            wk = np.array([k for k, _v in state_parts[p]], dtype=np.int64)
+            wv = np.array([v for _k, v in state_parts[p]], dtype=dtype)
+            state[p][np.searchsorted(ks, wk)] = wv
         if delta_parts[p]:
             dk = np.array([k for k, _d in delta_parts[p]], dtype=np.int64)
             dv = np.array([d for _k, d in delta_parts[p]], dtype=dtype)

@@ -319,6 +319,7 @@ def run_accum_local(
     num_pairs: int = 4,
     mode: str = "async",
     keep_trace: bool = False,
+    initial_state: Iterable[tuple[Any, Any]] | None = None,
 ):
     """Execute an :class:`~repro.imapreduce.accum.AccumJob` serially.
 
@@ -328,6 +329,11 @@ def run_accum_local(
     every pending delta each round — the synchronous reference the
     fixpoint-equivalence oracle compares async runs against;
     ``mode="async"`` drains only the top-priority fraction.
+
+    ``initial_state`` (incremental mode) preloads memoized converged
+    values into the pairs' state *without* propagation; the
+    ``delta_records`` then carry only the change-scoped perturbation —
+    see :mod:`~repro.imapreduce.incremental`.
 
     Rounds are mass-checked *before* executing: the pending-priority
     mass is summed pair-ascending at the top of each round (round 0
@@ -344,6 +350,7 @@ def run_accum_local(
         AccumRunResult,
         check_mode,
         partition_accum_inputs,
+        partition_state,
     )
     from .columnar import accum_kernel_enabled, run_accum_local_kernel
 
@@ -356,14 +363,22 @@ def run_accum_local(
             num_pairs=num_pairs,
             mode=mode,
             keep_trace=keep_trace,
+            initial_state=initial_state,
         )
 
     part = bind_partitioner(job.partitioner, num_pairs)
     delta_parts, static_tables = partition_accum_inputs(
         job, delta_records, static_records, num_pairs, part
     )
+    state_parts = partition_state(initial_state, num_pairs, part)
     pairs = [
-        AccumPair(p, job.accumulator, static_tables[p], keys=static_tables[p])
+        AccumPair(
+            p,
+            job.accumulator,
+            static_tables[p],
+            keys=static_tables[p],
+            initial_state=state_parts[p],
+        )
         for p in range(num_pairs)
     ]
     for p in range(num_pairs):

@@ -89,7 +89,13 @@ from typing import Any, Iterable
 from ..common.errors import JobError
 from ..common.partition import bind_partitioner
 from ..common.records import group_by_key
-from .accum import AccumJob, AccumRunResult, check_mode, partition_accum_inputs
+from .accum import (
+    AccumJob,
+    AccumRunResult,
+    check_mode,
+    partition_accum_inputs,
+    partition_state,
+)
 from .checkpoint import CheckpointError, CheckpointStore, ProcFault
 from .columnar import kernel_enabled
 from .job import IterativeJob
@@ -429,6 +435,7 @@ def _spawn_mesh(
     columnar: bool,
     timeout: float | None,
     accum_mode: str = "async",
+    accum_state_parts: list[list] | None = None,
 ) -> _Mesh:
     num_workers = len(assignment)
     owner_of = [0] * num_pairs
@@ -477,6 +484,11 @@ def _spawn_mesh(
             faults=tuple(f for f in faults if f.worker == w),
             columnar_state=columnar and restored is not None,
             accum_mode=accum_mode,
+            accum_initial_state=(
+                None
+                if accum_state_parts is None
+                else {p: accum_state_parts[p] for p in assignment[w]}
+            ),
         ).to_blob()
         for w in range(num_workers)
     ]
@@ -1076,6 +1088,7 @@ def run_accum_parallel(
     timeout: float | None = 600.0,
     heartbeat_interval: float | None = 0.5,
     suspicion_timeout: float | None = 30.0,
+    initial_state: Iterable[tuple[Any, Any]] | None = None,
 ) -> AccumRunResult:
     """Execute an :class:`~repro.imapreduce.accum.AccumJob` on real
     worker processes.
@@ -1101,6 +1114,11 @@ def run_accum_parallel(
     part = bind_partitioner(job.partitioner, num_pairs)
     delta_parts, static_tables = partition_accum_inputs(
         job, delta_records, static_records, num_pairs, part
+    )
+    state_parts = (
+        None
+        if initial_state is None
+        else partition_state(initial_state, num_pairs, part)
     )
 
     try:
@@ -1131,6 +1149,7 @@ def run_accum_parallel(
         columnar=False,
         timeout=timeout,
         accum_mode=mode,
+        accum_state_parts=state_parts,
     )
     ok = False
     try:

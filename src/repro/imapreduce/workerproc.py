@@ -235,6 +235,7 @@ class WorkerConfig:
         faults: tuple = (),
         columnar_state: bool = False,
         accum_mode: str = "async",
+        accum_initial_state: dict[int, list] | None = None,
     ):
         self.worker_id = worker_id
         self.num_workers = num_workers
@@ -263,6 +264,11 @@ class WorkerConfig:
         #: (``"sync"`` drains every pending delta, ``"async"`` the
         #: top-priority fraction).
         self.accum_mode = accum_mode
+        #: Accumulative warm start (incremental mode): pair → memoized
+        #: converged records, preloaded into the pairs' state without
+        #: propagation; ``state_parts`` then carries only the
+        #: change-scoped perturbation deltas.
+        self.accum_initial_state = accum_initial_state
 
     def resolved_owner_of(self) -> list[int]:
         if self.owner_of is not None:
@@ -837,8 +843,15 @@ def _worker_loop_accum(
         "ckpt_bytes": 0,
     }
 
+    warm = cfg.accum_initial_state or {}
     pairs = {
-        p: AccumPair(p, job.accumulator, static_tables[p], keys=static_tables[p])
+        p: AccumPair(
+            p,
+            job.accumulator,
+            static_tables[p],
+            keys=static_tables[p],
+            initial_state=warm.get(p),
+        )
         for p in my_pairs
     }
     for p in my_pairs:

@@ -84,6 +84,15 @@ class CampaignSpec:
     #: algebras, within tolerance for ``+``).  Only sssp and pagerank
     #: carry accumulative formulations; false elsewhere.
     async_mode: bool = False
+    #: Incremental-refresh (i2MapReduce-mode) twin: ``(insert, delete,
+    #: churn_seed)`` churn parameters resolved against the campaign's
+    #: actual graph via :func:`repro.imapreduce.random_edge_churn`.
+    #: The campaign additionally runs a cold base accum run, memoizes
+    #: it, mutates the input, and demands every warm-started refresh
+    #: (serial sync, serial async, multiprocess) land on the cold
+    #: rerun's fixpoint — the ``incremental-differential`` oracle.
+    #: ``None`` = no input mutation.  Graph workloads only.
+    input_delta: tuple | None = None
 
     # -- derived -----------------------------------------------------------
     def machine_names(self) -> list[str]:
@@ -149,6 +158,17 @@ class CampaignSpec:
                 raise ValueError(
                     "proc_kill iteration must land inside the iteration budget"
                 )
+        if self.input_delta is not None:
+            if self.workload not in ("sssp", "pagerank"):
+                raise ValueError(
+                    f"input_delta needs a graph workload, not "
+                    f"{self.workload!r}"
+                )
+            if len(self.input_delta) != 3:
+                raise ValueError("input_delta must be (insert, delete, seed)")
+            insert, delete, _churn_seed = self.input_delta
+            if insert < 0 or delete < 0 or insert + delete == 0:
+                raise ValueError("input_delta churn must mutate something")
         master = self.machine_names()[0]
         for fault in self.net_faults:
             unknown = fault.machines() - names
@@ -210,6 +230,8 @@ class CampaignSpec:
             d["speeds"] = tuple(d["speeds"])
         if d.get("proc_kill") is not None:
             d["proc_kill"] = tuple(d["proc_kill"])
+        if d.get("input_delta") is not None:
+            d["input_delta"] = tuple(d["input_delta"])
         return cls(**d)
 
     @classmethod
@@ -236,6 +258,9 @@ class CampaignSpec:
             modes.append(f"proc-{action}:w{w}@i{i}")
         if self.async_mode:
             modes.append("accum-async")
+        if self.input_delta is not None:
+            ins, dels, churn_seed = self.input_delta
+            modes.append(f"delta:+{ins}/-{dels}@s{churn_seed}")
         return (
             f"{self.workload} n={self.input_size} on {self.cluster_nodes} nodes, "
             f"{self.num_pairs} pairs, {self.max_iterations} iters, "
@@ -380,6 +405,18 @@ def generate_campaign(
     # campaign seed still replays byte-identically.  The coin is spent
     # unconditionally; only the accumulative workloads can honour it.
     async_mode = rng.random() < 0.4 and workload in ("sssp", "pagerank")
+    # The incremental-refresh dimension draws LAST — append-only
+    # discipline once more, so every previously pinned campaign seed
+    # (chaos-network, parallel-recovery, async-parity CI legs) still
+    # replays byte-identically.  Coins are spent unconditionally; only
+    # the graph workloads can honour the dimension.
+    input_delta: tuple | None = None
+    delta_coin = rng.random()
+    insert_count = rng.randint(0, 3)
+    delete_count = rng.randint(0 if insert_count else 1, 3)
+    churn_seed = rng.randrange(2**16)
+    if delta_coin < 0.35 and workload in ("sssp", "pagerank"):
+        input_delta = (insert_count, delete_count, churn_seed)
 
     spec = CampaignSpec(
         seed=seed,
@@ -399,6 +436,7 @@ def generate_campaign(
         use_kernels=use_kernels,
         proc_kill=proc_kill,
         async_mode=async_mode,
+        input_delta=input_delta,
     )
     spec.validate()
     return spec

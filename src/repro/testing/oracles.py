@@ -32,6 +32,7 @@ __all__ = [
     "oracle_parallel_differential",
     "oracle_parallel_recovery",
     "oracle_async_fixpoint",
+    "oracle_incremental_differential",
     "oracle_checkpoint_rollback",
     "oracle_trace_well_formed",
     "ALL_ORACLES",
@@ -429,6 +430,80 @@ def oracle_async_fixpoint(spec, outcome) -> list[OracleViolation]:
     return v
 
 
+def oracle_incremental_differential(spec, outcome) -> list[OracleViolation]:
+    """Warm-refresh equivalence for the incremental (i2MapReduce-mode)
+    twin.
+
+    Every warm-started refresh of the mutated input — memoized state
+    plus change-propagated perturbation deltas, on any engine — must
+    land on the *cold rerun's* fixpoint: record-identical for ``min``
+    algebras (surviving memo values are the same left-folded path sums
+    the cold rerun computes, invalidated keys re-derive them), within
+    :data:`RTOL`/:data:`ATOL` for ``+`` algebras (the residual-injected
+    warm run stops at the same pending-mass threshold the cold run
+    does).  Every run must terminate by accumulated progress, not the
+    round budget.  Inert unless ``spec.input_delta``.
+    """
+    if getattr(spec, "input_delta", None) is None:
+        return []
+    v: list[OracleViolation] = []
+    for name, error in outcome.incremental_errors.items():
+        v.append(
+            OracleViolation(
+                "incremental-differential",
+                f"{name} run raised {type(error).__name__}: {error}",
+            )
+        )
+    ref = outcome.incremental_reference
+    if ref is None:
+        if not outcome.incremental_errors:
+            v.append(
+                OracleViolation(
+                    "incremental-differential", "no cold rerun was run"
+                )
+            )
+        return v
+    if ref.terminated_by != "progress":
+        v.append(
+            OracleViolation(
+                "incremental-differential",
+                f"cold rerun terminated by {ref.terminated_by!r}, "
+                "not accumulated progress",
+            )
+        )
+    exact = outcome.incremental_algebra == "min"
+    for name, result in outcome.incremental_results.items():
+        if result.terminated_by != "progress":
+            v.append(
+                OracleViolation(
+                    "incremental-differential",
+                    f"{name} run terminated by {result.terminated_by!r}, "
+                    "not accumulated progress",
+                )
+            )
+            continue
+        if exact:
+            if not records_identical(result.state, ref.state):
+                detail = "; ".join(states_match(result.state, ref.state)) or (
+                    "states compare close but not record-identical"
+                )
+                v.append(
+                    OracleViolation(
+                        "incremental-differential",
+                        f"{name} (min algebra, warm must be bit-exact "
+                        f"against the cold rerun): {detail}",
+                    )
+                )
+        else:
+            for problem in states_match(result.state, ref.state):
+                v.append(
+                    OracleViolation(
+                        "incremental-differential", f"{name}: {problem}"
+                    )
+                )
+    return v
+
+
 def oracle_checkpoint_rollback(spec, outcome) -> list[OracleViolation]:
     """Recovery never resumes from a newer iteration than the last
     durable checkpoint, and durable checkpoints only move forward."""
@@ -486,6 +561,7 @@ ALL_ORACLES: dict[str, Callable] = {
     "parallel-differential": oracle_parallel_differential,
     "parallel-recovery": oracle_parallel_recovery,
     "async-fixpoint": oracle_async_fixpoint,
+    "incremental-differential": oracle_incremental_differential,
     "checkpoint": oracle_checkpoint_rollback,
     "trace": oracle_trace_well_formed,
 }

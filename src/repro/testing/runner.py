@@ -29,12 +29,16 @@ from ..imapreduce import (
     IMapReduceRuntime,
     LoadBalanceConfig,
     ProcFault,
+    patch_static_table,
+    random_edge_churn,
     run_accum_local,
     run_accum_parallel,
     run_accum_simulated,
+    run_incremental_accum,
     run_local,
     run_parallel,
 )
+from ..imapreduce.incremental import ADJACENCY_KINDS, cold_initial_deltas
 from ..metrics.trace import TraceEvent, Tracer
 from ..simulation import Engine
 from .campaign import REPLICATION, WORKLOADS, CampaignSpec, generate_campaign
@@ -88,6 +92,19 @@ class CampaignOutcome:
     async_results: dict = field(default_factory=dict)
     async_errors: dict = field(default_factory=dict)
     async_algebra: str = ""
+    #: Set when ``spec.input_delta``: the incremental-refresh
+    #: (i2MapReduce-mode) twin's runs, judged by the
+    #: ``incremental-differential`` oracle.  ``incremental_reference``
+    #: is the cold rerun on the *mutated* input;
+    #: ``incremental_results`` maps schedule name
+    #: (``"warm-serial-sync"``, ``"warm-serial-async"``,
+    #: ``"warm-kernel-async"``, ``"warm-parallel-async"``) to its
+    #: warm-started run; ``incremental_errors`` maps the name to the
+    #: exception instead when a run died.
+    incremental_reference: Any = None  # AccumRunResult | None
+    incremental_results: dict = field(default_factory=dict)
+    incremental_errors: dict = field(default_factory=dict)
+    incremental_algebra: str = ""
 
     @property
     def ok(self) -> bool:
@@ -318,6 +335,103 @@ def _run_accum_twin(
             outcome.async_errors[name] = exc
 
 
+def _run_incremental_twin(
+    spec: CampaignSpec,
+    outcome: CampaignOutcome,
+    *,
+    parallel: bool,
+    parallel_workers: int,
+    parallel_start_method: str | None,
+) -> None:
+    """Run the incremental-refresh (i2MapReduce-mode) twin.
+
+    One cold base run converges and is memoized; the spec's pinned
+    churn parameters synthesize a :class:`DataDelta` against the
+    campaign graph; a cold rerun on the mutated input becomes the
+    reference fixpoint; and every warm-started refresh — serial sync,
+    serial async, the kernel twin, the real multiprocess backend — is
+    judged against it by the ``incremental-differential`` oracle.
+    """
+    job, deltas, static_map, algebra = _build_accum_workload(spec)
+    outcome.incremental_algebra = algebra
+    table = dict(static_map[STATIC_PATH])
+    insert, delete, churn_seed = spec.input_delta
+    plan_kwargs = (
+        {"source": 0} if spec.workload == "sssp"
+        else {"damping": pagerank.DAMPING}
+    )
+    try:
+        delta = random_edge_churn(
+            table, spec.workload, insert=insert, delete=delete,
+            seed=churn_seed,
+        )
+        memo = run_accum_local(
+            job, deltas, {STATIC_PATH: table}, num_pairs=spec.num_pairs,
+            mode="sync",
+        )
+        mutated = dict(table)
+        patch_static_table(mutated, delta, ADJACENCY_KINDS[spec.workload])
+        outcome.incremental_reference = run_accum_local(
+            job,
+            cold_initial_deltas(spec.workload, mutated, **plan_kwargs),
+            {STATIC_PATH: mutated},
+            num_pairs=spec.num_pairs,
+            mode="sync",
+        )
+    except Exception as exc:
+        outcome.incremental_errors["cold-base"] = exc
+        return
+    runs: list[tuple[str, Callable[[], Any]]] = [
+        (
+            "warm-serial-sync",
+            lambda: run_incremental_accum(
+                job, spec.workload, delta, memo.state,
+                {STATIC_PATH: dict(table)}, num_pairs=spec.num_pairs,
+                mode="sync", **plan_kwargs,
+            ),
+        ),
+        (
+            "warm-serial-async",
+            lambda: run_incremental_accum(
+                job, spec.workload, delta, memo.state,
+                {STATIC_PATH: dict(table)}, num_pairs=spec.num_pairs,
+                mode="async", **plan_kwargs,
+            ),
+        ),
+    ]
+    if spec.use_kernels:
+        kjob, _, _, _ = _build_accum_workload(spec, use_kernel=True)
+        runs.append(
+            (
+                "warm-kernel-async",
+                lambda: run_incremental_accum(
+                    kjob, spec.workload, delta, memo.state,
+                    {STATIC_PATH: dict(table)}, num_pairs=spec.num_pairs,
+                    mode="async", **plan_kwargs,
+                ),
+            )
+        )
+    if parallel:
+        runs.append(
+            (
+                "warm-parallel-async",
+                lambda: run_incremental_accum(
+                    job, spec.workload, delta, memo.state,
+                    {STATIC_PATH: dict(table)}, num_pairs=spec.num_pairs,
+                    mode="async", backend="parallel",
+                    num_workers=parallel_workers,
+                    start_method=parallel_start_method,
+                    **plan_kwargs,
+                ),
+            )
+        )
+    for name, thunk in runs:
+        try:
+            outcome.incremental_results[name] = thunk()
+        except Exception as exc:  # judged by the incremental oracle
+            outcome.incremental_errors[name] = exc
+
+
 def _build_cluster(spec: CampaignSpec, engine: Engine) -> Cluster:
     if spec.speeds is not None:
         return heterogeneous_cluster(engine, list(spec.speeds))
@@ -452,6 +566,14 @@ def run_campaign(
             outcome.parallel_error = exc
     if spec.async_mode:
         _run_accum_twin(
+            spec,
+            outcome,
+            parallel=parallel,
+            parallel_workers=parallel_workers,
+            parallel_start_method=parallel_start_method,
+        )
+    if spec.input_delta is not None:
+        _run_incremental_twin(
             spec,
             outcome,
             parallel=parallel,

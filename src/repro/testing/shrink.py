@@ -92,6 +92,8 @@ def shrink_candidates(spec: CampaignSpec) -> Iterator[CampaignSpec]:
         yield spec.but(use_kernels=False)
     if spec.async_mode:
         yield spec.but(async_mode=False)
+    if spec.input_delta is not None:
+        yield spec.but(input_delta=None)
     if spec.proc_kill is not None:
         yield spec.but(proc_kill=None)
         # A SIGSTOP reproduction that survives as a plain SIGKILL is

@@ -132,3 +132,90 @@ def test_compare_counters_gates_checkpoint_overhead():
     problems = compare_counters(broken, {"workloads": []})
     assert any("diverged" in p for p in problems)
     assert any("data-plane counters" in p for p in problems)
+
+
+def test_compare_counters_gates_incremental_refresh():
+    # Synthetic results: at churn <= gated_churn the warm run must beat
+    # the cold rerun on both counters and the fixpoints must agree; the
+    # 10% point is informational except for state divergence.
+    def level(churn, *, fewer_updates=True, fewer_shipped=True, match=True):
+        return {
+            "churn": churn, "delta_size": 3, "frontier_keys": 5,
+            "warm": {"rounds": 4, "updates_processed": 10,
+                     "deltas_shipped": 20, "seconds": 0.1},
+            "cold": {"rounds": 40, "updates_processed": 100,
+                     "deltas_shipped": 200, "seconds": 1.0},
+            "update_speedup": 10.0,
+            "warm_fewer_updates": fewer_updates,
+            "warm_fewer_shipped": fewer_shipped,
+            "states_match": match,
+        }
+
+    def results(levels):
+        return {
+            "workloads": [], "meta": {"quick": True},
+            "incremental_refresh": {
+                "gated_churn": 0.01,
+                "workloads": [{"name": "sssp-refresh", "levels": levels}],
+            },
+        }
+
+    ok = results([level(0.001), level(0.01), level(0.1)])
+    assert compare_counters(ok, {"workloads": []}) == []
+    # A 10% point doing cold-rerun work passes; a diverged one fails.
+    lazy = results([level(0.1, fewer_updates=False, fewer_shipped=False)])
+    assert compare_counters(lazy, {"workloads": []}) == []
+    regressed = results([level(0.01, fewer_updates=False)])
+    problems = compare_counters(regressed, {"workloads": []})
+    assert len(problems) == 1 and "strictly fewer pairs" in problems[0]
+    leaky = results([level(0.001, fewer_shipped=False)])
+    problems = compare_counters(leaky, {"workloads": []})
+    assert len(problems) == 1 and "strictly fewer delta records" in problems[0]
+    wrong = results([level(0.1, match=False)])
+    problems = compare_counters(wrong, {"workloads": []})
+    assert len(problems) == 1 and "diverged" in problems[0]
+
+
+def test_history_tolerates_old_baselines():
+    """``repro bench --history`` must render every committed baseline.
+
+    The older BENCH_PR4/PR5 files predate the kernel counters, the
+    async_convergence section and the incremental_refresh section; the
+    trajectory table backfills missing keys with ``n/a`` instead of
+    crashing or printing zeros.
+    """
+    import os
+
+    from repro.experiments.wallclock import format_history, load_history
+
+    root = os.path.join(os.path.dirname(__file__), "..", "..")
+    entries = load_history(root)
+    committed = {e["file"] for e in entries}
+    assert {"BENCH_PR4.json", "BENCH_PR5.json"} <= committed
+    text = format_history(entries)
+    for entry in entries:
+        assert entry["file"] in text
+
+
+def test_history_backfills_missing_keys_with_na():
+    # A degenerate baseline stripped to the bare row shape: every
+    # newer counter key must render as n/a.
+    from repro.experiments.wallclock import format_history
+
+    entries = [{
+        "pr": 1, "file": "BENCH_PR1.json",
+        "data": {
+            "meta": {},
+            "workloads": [{"name": "pagerank", "parallel": [{"workers": 2}]}],
+            "async_convergence": {"workloads": [{"name": "pagerank-accum"}]},
+            "incremental_refresh": {
+                "workloads": [
+                    {"name": "sssp-refresh", "levels": [{"churn": 0.01}]}
+                ]
+            },
+        },
+    }]
+    text = format_history(entries)
+    assert "n/a" in text
+    for row_name in ("pagerank", "pagerank-accum", "sssp-refresh"):
+        assert row_name in text

@@ -175,3 +175,41 @@ def test_async_campaign_passes_fixpoint_oracle():
     assert "serial-async" in outcome.async_results
     assert "simulated" in outcome.async_results
     assert outcome.async_errors == {}
+
+
+# -------------------------------------------- incremental (i2MR) twin --
+#: Pinned campaign seeds whose specs draw ``input_delta`` (churn
+#: parameters against the static graph); replayable via
+#: ``repro chaos --campaign-seed N``.
+DELTA_SSSP_SEED = 8       # sssp, async, delta +0/-2
+DELTA_PAGERANK_SEED = 9   # pagerank, sync engine, delta +2/-1
+
+
+def test_input_delta_restricted_to_graph_workloads():
+    spec = generate_campaign(BATTERY_SEED)
+    with pytest.raises(ValueError, match="graph workload"):
+        spec.but(workload="kmeans", input_delta=(1, 1, 7)).validate()
+    for workload in ("sssp", "pagerank"):
+        spec.but(workload=workload, input_delta=(1, 1, 7)).validate()
+
+
+def test_input_delta_dimension_is_append_only_for_pinned_seeds():
+    """The churn draw happens *after* every pre-existing dimension
+    (async_mode included), so pinned seeds replay byte-identically."""
+    spec = generate_campaign(DELTA_SSSP_SEED)
+    assert spec.input_delta is not None and spec.workload == "sssp"
+    assert "delta:" in spec.describe()
+    again = generate_campaign(DELTA_SSSP_SEED)
+    assert again == spec
+
+
+def test_input_delta_campaign_passes_incremental_oracle():
+    spec = generate_campaign(DELTA_PAGERANK_SEED)
+    assert spec.input_delta is not None and spec.workload == "pagerank"
+    outcome = run_campaign(spec)
+    details = "; ".join(map(str, outcome.violations))
+    assert outcome.ok, details
+    assert outcome.incremental_reference is not None
+    assert "warm-serial-sync" in outcome.incremental_results
+    assert "warm-serial-async" in outcome.incremental_results
+    assert outcome.incremental_errors == {}

@@ -136,3 +136,67 @@ def test_manifest_commit_is_atomic_and_torn_manifest_skipped(tmp_path):
     manifests = store.manifests()
     assert [m["iteration"] for m in manifests] == [1]
     assert json.loads(json.dumps(manifests[0]))  # committed one is valid JSON
+
+
+# ------------------------------------------------------------- retention --
+def _committed_iteration(store, iteration, workers=2):
+    entries = [
+        store.write(0, iteration, w,
+                    {"path": "record", "pairs": {w: [(w, float(iteration))]}})
+        for w in range(workers)
+    ]
+    store.commit(iteration, 0, entries)
+    return entries
+
+
+def test_gc_prunes_stale_spools_keeps_live_manifest(tmp_path):
+    """Retention: after ``gc(keep=2)`` only the two newest manifests and
+    the spool files they reference survive — and the survivors still
+    restore (every live payload readable, digests intact)."""
+    store = CheckpointStore(str(tmp_path))
+    for iteration in range(5):
+        _committed_iteration(store, iteration)
+    # An orphan tmp file from a torn write must also be swept.
+    orphan = os.path.join(store.root, "ckpt-g000-i000099-w000.bin.tmp.1234")
+    with open(orphan, "w") as fh:
+        fh.write("torn")
+    before = set(os.listdir(store.root))
+    stats = store.gc(keep=2)
+    after = set(os.listdir(store.root))
+
+    assert [m["iteration"] for m in store.manifests()] == [4, 3]
+    assert stats["kept_manifests"] == 2
+    assert stats["pruned_manifests"] == 3
+    assert stats["pruned_files"] + stats["pruned_manifests"] == \
+        len(before) - len(after)
+    assert stats["pruned_bytes"] > 0
+    assert not os.path.exists(orphan)
+    # No spool file from a pruned iteration remains…
+    for name in after:
+        if name.startswith("ckpt-"):
+            assert any(f"i00000{i}" in name for i in (3, 4)), name
+    # …and every surviving manifest still restores its payloads.
+    for manifest in store.manifests():
+        for entry in manifest["entries"]:
+            assert store.read_payload(entry)["path"] == "record"
+
+
+def test_gc_keep_all_is_noop(tmp_path):
+    store = CheckpointStore(str(tmp_path))
+    for iteration in range(3):
+        _committed_iteration(store, iteration, workers=1)
+    before = sorted(os.listdir(store.root))
+    stats = store.gc(keep=10)
+    assert sorted(os.listdir(store.root)) == before
+    assert stats["pruned_files"] == 0 and stats["pruned_manifests"] == 0
+
+
+def test_gc_rejects_nonpositive_keep(tmp_path):
+    store = CheckpointStore(str(tmp_path))
+    with pytest.raises(ValueError):
+        store.gc(keep=0)
+
+
+def test_gc_empty_store(tmp_path):
+    stats = CheckpointStore(str(tmp_path)).gc(keep=1)
+    assert stats["kept_manifests"] == 0 and stats["pruned_files"] == 0

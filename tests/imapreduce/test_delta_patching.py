@@ -1,0 +1,206 @@
+"""Property: patching a static table is indistinguishable from a rebuild.
+
+:func:`patch_static_table` promises row-order fidelity — deletions keep
+survivors in position, insertions append, ``sorted_rows`` kinds
+re-sort — exactly what a direct rebuild from the mutated edge list
+produces via :meth:`Digraph.from_edges`'s stable sort.  Hypothesis
+drives random graphs through random deltas and checks two identities:
+
+1. the patched table equals a from-scratch build of the mutated input
+   (dict equality, tuple order included), and
+2. every kernel's ``prepare`` CSR columns rebuilt from the patched
+   table are **bit-identical** (``np.array_equal``) to ones built from
+   the mutated input directly — across all kernel algorithms, both the
+   synchronous and the accumulative twins.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import components, pagerank, sssp
+from repro.graph import Digraph
+from repro.imapreduce import DataDelta, patch_static_table
+from repro.imapreduce.incremental import ADJACENCY_KINDS
+
+NUM_PAIRS = 3
+
+
+@st.composite
+def graph_and_delta(draw, weighted=False):
+    """A random directed graph plus a consistent random delta."""
+    n = draw(st.integers(min_value=4, max_value=16))
+    universe = [(u, v) for u in range(n) for v in range(n) if u != v]
+    edges = draw(
+        st.lists(st.sampled_from(universe), unique=True, min_size=1,
+                 max_size=min(40, len(universe)))
+    )
+    absent = [e for e in universe if e not in set(edges)]
+    deletions = draw(
+        st.lists(st.sampled_from(edges), unique=True, max_size=4)
+        if edges else st.just([])
+    )
+    insertions = draw(
+        st.lists(st.sampled_from(absent), unique=True, max_size=4)
+        if absent else st.just([])
+    )
+    weight = st.floats(min_value=0.125, max_value=8.0, allow_nan=False)
+    if weighted:
+        weights = draw(
+            st.lists(weight, min_size=len(edges), max_size=len(edges))
+        )
+        updatable = [e for e in edges if e not in set(deletions)]
+        updates = draw(
+            st.lists(st.sampled_from(updatable), unique=True, max_size=3)
+            if updatable else st.just([])
+        )
+        update_ws = draw(
+            st.lists(weight, min_size=len(updates), max_size=len(updates))
+        )
+        delta = DataDelta(
+            insert_edges=tuple((u, v, draw(weight)) for u, v in insertions),
+            delete_edges=tuple(deletions),
+            update_edges=tuple(
+                (u, v, w) for (u, v), w in zip(updates, update_ws)
+            ),
+        )
+        return n, edges, weights, delta
+    delta = DataDelta(
+        insert_edges=tuple(insertions), delete_edges=tuple(deletions)
+    )
+    return n, edges, None, delta
+
+
+def _mutate_edges(edges, weights, delta):
+    """The mutated edge list a fresh ingest would see: survivors keep
+    their position (weight updates in place), insertions append."""
+    dead = {(u, v) for u, v in delta.delete_edges}
+    upd = {(u, v): w for u, v, w in delta.update_edges}
+    out, out_w = [], []
+    for i, (u, v) in enumerate(edges):
+        if (u, v) in dead:
+            continue
+        out.append((u, v))
+        if weights is not None:
+            out_w.append(upd.get((u, v), weights[i]))
+    for entry in delta.insert_edges:
+        u, v, *w = entry
+        out.append((u, v))
+        if weights is not None:
+            out_w.append(w[0])
+    return out, (out_w if weights is not None else None)
+
+
+def _prepare_columns(kernel, table, n):
+    cols = []
+    for pair in range(NUM_PAIRS):
+        owned = np.array(
+            [k for k in range(n) if k % NUM_PAIRS == pair], dtype=np.int64
+        )
+        cols.append(kernel.prepare(pair, owned, table))
+    return cols
+
+
+def _assert_prepared_equal(got, want):
+    for pg, pw in zip(got, want):
+        for cg, cw in zip(pg, pw):
+            assert np.array_equal(np.asarray(cg), np.asarray(cw))
+
+
+@settings(max_examples=60, deadline=None)
+@given(case=graph_and_delta(weighted=False))
+def test_pagerank_patch_equals_rebuild(case):
+    n, edges, _w, delta = case
+    table = dict(
+        pagerank.static_records(Digraph.from_edges(n, edges))
+    )
+    patched = dict(table)
+    patch_static_table(patched, delta, ADJACENCY_KINDS["pagerank"])
+    mut_edges, _ = _mutate_edges(edges, None, delta)
+    rebuilt = dict(
+        pagerank.static_records(Digraph.from_edges(n, mut_edges))
+    )
+    assert patched == rebuilt
+    _assert_prepared_equal(
+        _prepare_columns(pagerank.PageRankKernel(n), patched, n),
+        _prepare_columns(pagerank.PageRankKernel(n), rebuilt, n),
+    )
+    _assert_prepared_equal(
+        _prepare_columns(pagerank.PageRankAccumKernel(), patched, n),
+        _prepare_columns(pagerank.PageRankAccumKernel(), rebuilt, n),
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(case=graph_and_delta(weighted=True))
+def test_sssp_patch_equals_rebuild(case):
+    n, edges, weights, delta = case
+    table = dict(
+        sssp.static_records(Digraph.from_edges(n, edges, weights))
+    )
+    patched = dict(table)
+    patch_static_table(patched, delta, ADJACENCY_KINDS["sssp"])
+    mut_edges, mut_ws = _mutate_edges(edges, weights, delta)
+    rebuilt = dict(
+        sssp.static_records(Digraph.from_edges(n, mut_edges, mut_ws))
+    )
+    assert patched == rebuilt
+    _assert_prepared_equal(
+        _prepare_columns(sssp.SsspKernel(), patched, n),
+        _prepare_columns(sssp.SsspKernel(), rebuilt, n),
+    )
+    _assert_prepared_equal(
+        _prepare_columns(sssp.SsspAccumKernel(), patched, n),
+        _prepare_columns(sssp.SsspAccumKernel(), rebuilt, n),
+    )
+
+
+@st.composite
+def undirected_graph_and_delta(draw):
+    """Components: an undirected edge set plus a symmetric delta."""
+    n = draw(st.integers(min_value=4, max_value=14))
+    universe = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    edges = draw(
+        st.lists(st.sampled_from(universe), unique=True, min_size=1,
+                 max_size=min(30, len(universe)))
+    )
+    present = set(edges)
+    absent = [e for e in universe if e not in present]
+    deletions = draw(
+        st.lists(st.sampled_from(edges), unique=True, max_size=3)
+        if edges else st.just([])
+    )
+    insertions = draw(
+        st.lists(st.sampled_from(absent), unique=True, max_size=3)
+        if absent else st.just([])
+    )
+    return n, edges, DataDelta(
+        insert_edges=tuple(insertions), delete_edges=tuple(deletions)
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(case=undirected_graph_and_delta())
+def test_components_patch_equals_rebuild(case):
+    n, edges, delta = case
+    table = dict(
+        components.static_records(Digraph.from_edges(n, edges))
+    )
+    patched = dict(table)
+    patch_static_table(patched, delta, ADJACENCY_KINDS["components"])
+    dead = set(delta.delete_edges) | {(v, u) for u, v in delta.delete_edges}
+    mut_edges = [e for e in edges if e not in dead] + [
+        (u, v) for u, v in delta.insert_edges
+    ]
+    rebuilt = dict(
+        components.static_records(Digraph.from_edges(n, mut_edges))
+    )
+    assert patched == rebuilt
+    _assert_prepared_equal(
+        _prepare_columns(components.ComponentsKernel(), patched, n),
+        _prepare_columns(components.ComponentsKernel(), rebuilt, n),
+    )
+    _assert_prepared_equal(
+        _prepare_columns(components.ComponentsAccumKernel(), patched, n),
+        _prepare_columns(components.ComponentsAccumKernel(), rebuilt, n),
+    )

@@ -186,7 +186,7 @@ def test_evaluate_runs_every_oracle():
     assert set(ALL_ORACLES) == {
         "termination", "differential", "kernel-differential",
         "parallel-differential", "parallel-recovery", "async-fixpoint",
-        "checkpoint", "trace",
+        "incremental-differential", "checkpoint", "trace",
     }
     v = evaluate_oracles(spec(), outcome(error=RuntimeError("boom")))
     assert [x.oracle for x in v] == ["termination"]
